@@ -1,0 +1,76 @@
+// Command dbgen generates TPC-H or SSB data and optionally writes it to
+// disk in the binary columnar format of internal/iosim (used by the
+// out-of-memory experiment, Table 5).
+//
+// Usage:
+//
+//	dbgen -benchmark tpch -sf 1 -out /tmp/tpch-sf1
+//	dbgen -benchmark ssb  -sf 1            # generate only, print stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paradigms/internal/iosim"
+	"paradigms/internal/ssb"
+	"paradigms/internal/storage"
+	"paradigms/internal/tpch"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "tpch", "tpch or ssb")
+	sf := flag.Float64("sf", 1, "scale factor")
+	out := flag.String("out", "", "output directory (omit to only print stats)")
+	verify := flag.Bool("verify", false, "re-read written columns and verify")
+	flag.Parse()
+
+	var db *storage.Database
+	switch *benchmark {
+	case "tpch":
+		db = tpch.Generate(*sf, 0)
+	case "ssb":
+		db = ssb.Generate(*sf, 0)
+	default:
+		fmt.Fprintf(os.Stderr, "dbgen: unknown benchmark %q\n", *benchmark)
+		os.Exit(2)
+	}
+
+	var total int64
+	for _, name := range db.Relations() {
+		rel := db.Rel(name)
+		total += rel.ByteSize()
+		fmt.Printf("%-10s %12d rows %10.1f MB\n", name, rel.Rows(),
+			float64(rel.ByteSize())/1e6)
+	}
+	fmt.Printf("%-10s %25.1f MB\n", "total", float64(total)/1e6)
+
+	if *out == "" {
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "dbgen:", err)
+		os.Exit(1)
+	}
+	if err := iosim.WriteDatabase(db, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dbgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s to %s\n", *benchmark, *out)
+	if *verify {
+		for _, name := range db.Relations() {
+			rel := db.Rel(name)
+			for _, col := range rel.Columns() {
+				if col.Type == storage.String {
+					continue
+				}
+				if err := iosim.VerifyRoundTrip(*out, db, name, col.Name); err != nil {
+					fmt.Fprintln(os.Stderr, "dbgen:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Println("verification OK")
+	}
+}

@@ -1,0 +1,60 @@
+// Microsim: drive the micro-architectural simulator directly — first on a
+// synthetic probe workload to visualize the cache cliff, then on the two
+// engines' traced query twins to compare their per-tuple counter
+// profiles, reproducing the mechanism behind Table 1.
+//
+//	go run ./examples/microsim
+package main
+
+import (
+	"fmt"
+	"unsafe"
+
+	"paradigms"
+	"paradigms/internal/microsim"
+)
+
+func main() {
+	fmt.Println("Cache cliff: random 8-byte loads over growing working sets (Skylake model)")
+	fmt.Printf("%14s %12s %10s %10s %10s\n", "working set", "cyc/access", "L1 miss%", "L2 miss%", "LLC miss%")
+	for _, size := range []int{16 << 10, 256 << 10, 4 << 20, 64 << 20} {
+		cpu := microsim.NewCPU(microsim.Skylake)
+		table := make([]uint64, size/8)
+		state := uint64(1)
+		const accesses = 200_000
+		for i := 0; i < accesses; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			cpu.Ops(4)
+			cpu.Load(unsafe.Pointer(&table[state%uint64(len(table))]), 8)
+		}
+		fmt.Printf("%12dKB %12.1f %9.1f%% %9.1f%% %9.1f%%\n",
+			size>>10,
+			float64(cpu.Cycles())/accesses,
+			100*float64(cpu.L1.Misses)/float64(cpu.L1.Accesses),
+			100*float64(cpu.L2.Misses)/float64(max64(cpu.L2.Accesses, 1)),
+			100*float64(cpu.LLC.Misses)/float64(max64(cpu.LLC.Accesses, 1)))
+	}
+
+	fmt.Println("\nEngine counter profiles (traced twins, TPC-H SF 0.05):")
+	db := paradigms.GenerateTPCH(0.05, 0)
+	fmt.Printf("%-14s %8s %6s %8s %8s %8s %9s\n",
+		"engine/query", "cycles", "IPC", "instr", "L1miss", "brMiss", "memStall")
+	for _, q := range []string{"Q1", "Q3", "Q9"} {
+		for _, eng := range []string{"typer", "tectorwise"} {
+			ctr := microsim.TracedTPCH(db, microsim.Skylake, eng, q)
+			fmt.Printf("%-14s %8.1f %6.2f %8.1f %8.2f %8.3f %9.1f\n",
+				eng+"/"+q, ctr.Cycles, ctr.IPC, ctr.Instr, ctr.L1Miss,
+				ctr.BranchMiss, ctr.MemStall)
+		}
+	}
+	fmt.Println("\nReading the profile: the vectorized engine executes ~2x the instructions")
+	fmt.Println("(materialized intermediates) but overlaps cache misses better (lower")
+	fmt.Println("memory-stall share on the join queries) — the paper's §4.1 result.")
+}
+
+func max64(a uint64, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

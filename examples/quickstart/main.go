@@ -1,0 +1,55 @@
+// Quickstart: generate a small TPC-H instance, run the same query on both
+// engines, and verify they agree — the repository's core invariant.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"paradigms"
+	"paradigms/internal/queries"
+)
+
+func main() {
+	fmt.Println("Generating TPC-H at scale factor 0.1 ...")
+	db := paradigms.GenerateTPCH(0.1, 0)
+	fmt.Printf("lineitem: %d rows\n\n", db.Rel("lineitem").Rows())
+
+	opts := paradigms.Options{Workers: 4}
+	for _, query := range paradigms.Queries(db) {
+		t0 := time.Now()
+		compiled, err := paradigms.Run(db, paradigms.Typer, query, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		typerTime := time.Since(t0)
+
+		t0 = time.Now()
+		vectorized, err := paradigms.Run(db, paradigms.Tectorwise, query, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		twTime := time.Since(t0)
+
+		agree := fmt.Sprint(compiled) == fmt.Sprint(vectorized)
+		fmt.Printf("%-4s  typer %8.1fms   tectorwise %8.1fms   results agree: %v\n",
+			query, ms(typerTime), ms(twTime), agree)
+		if !agree {
+			log.Fatalf("%s: engines disagree!", query)
+		}
+	}
+
+	// Show one actual result: Q1's four aggregate groups.
+	res, _ := paradigms.Run(db, paradigms.Typer, "Q1", opts)
+	fmt.Println("\nTPC-H Q1 result (compiled engine):")
+	for _, row := range res.(queries.Q1Result) {
+		fmt.Printf("  %c%c  count=%8d  sum_qty=%14d  avg_disc=%.4f\n",
+			row.ReturnFlag, row.LineStatus, row.Count, row.SumQty,
+			float64(row.SumDiscnt)/float64(row.Count)/100)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,82 @@
+package paradigms
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEnginesAgreeEverywhere is the paper's core methodological invariant:
+// both engines run the same physical plans on the same data structures, so
+// their results must be identical — across scale factors, thread counts,
+// and (for Tectorwise) vector sizes — and must match the independent
+// reference implementation.
+func TestEnginesAgreeEverywhere(t *testing.T) {
+	for _, sf := range []float64{0.01, 0.1} {
+		tpchDB := GenerateTPCH(sf, 0)
+		ssbDB := GenerateSSB(sf, 0)
+		for _, db := range []*DB{tpchDB, ssbDB} {
+			for _, q := range Queries(db) {
+				want, err := Reference(db, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 3, 8} {
+					got, err := Run(db, Typer, q, Options{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("sf=%v %s/%s workers=%d: Typer result differs from reference",
+							sf, db.Name, q, workers)
+					}
+					for _, vec := range []int{1000, 64} {
+						got, err := Run(db, Tectorwise, q, Options{Workers: workers, VectorSize: vec})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("sf=%v %s/%s workers=%d vec=%d: Tectorwise result differs",
+								sf, db.Name, q, workers, vec)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	db := GenerateTPCH(0.01, 0)
+	if _, err := Run(db, Typer, "Q42", Options{}); err == nil {
+		t.Error("expected error for unknown query")
+	}
+	if _, err := Run(db, Engine("volcano"), "Q1", Options{}); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+	if _, err := Reference(db, "Q42"); err == nil {
+		t.Error("expected error for unknown reference query")
+	}
+}
+
+func TestScannedTuples(t *testing.T) {
+	db := GenerateTPCH(0.01, 0)
+	li := int64(db.Rel("lineitem").Rows())
+	if got := ScannedTuples(db, "Q1"); got != li {
+		t.Errorf("Q1 scanned = %d, want %d", got, li)
+	}
+	q3 := li + int64(db.Rel("orders").Rows()) + int64(db.Rel("customer").Rows())
+	if got := ScannedTuples(db, "Q3"); got != q3 {
+		t.Errorf("Q3 scanned = %d, want %d", got, q3)
+	}
+}
+
+func TestQueriesList(t *testing.T) {
+	tpchDB := GenerateTPCH(0.01, 0)
+	ssbDB := GenerateSSB(0.01, 0)
+	if got := Queries(tpchDB); len(got) != 5 || got[0] != "Q1" {
+		t.Errorf("TPC-H queries = %v", got)
+	}
+	if got := Queries(ssbDB); len(got) != 4 || got[0] != "Q1.1" {
+		t.Errorf("SSB queries = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+// Package bench is the experiment harness: it runs every experiment of
+// the paper's evaluation and renders "paper vs. measured" tables. One
+// function per table/figure; cmd/repro and the root benchmarks call in
+// here.
+package bench
+
+// Paper-reported numbers, used for side-by-side output and shape checks.
+// Sources: the tables and figures of Kersten et al., PVLDB 11(13), 2018.
+
+// PaperFig3 is Figure 3: TPC-H SF 1, single-threaded runtimes (ms).
+var PaperFig3 = map[string]struct{ Typer, TW float64 }{
+	"Q1":  {44, 85},
+	"Q6":  {15, 15},
+	"Q3":  {47, 44},
+	"Q9":  {126, 111},
+	"Q18": {90, 154},
+}
+
+// PaperTable1 is Table 1: per-tuple counters at SF 1, one thread.
+type PaperCounterRow struct {
+	Cycles, IPC, Instr, L1Miss, LLCMiss, BranchMiss float64
+}
+
+// PaperTable1 rows keyed by "engine/query".
+var PaperTable1 = map[string]PaperCounterRow{
+	"typer/Q1":       {34, 2.0, 68, 0.6, 0.57, 0.01},
+	"tectorwise/Q1":  {59, 2.8, 162, 2.0, 0.57, 0.03},
+	"typer/Q6":       {11, 1.8, 20, 0.3, 0.35, 0.06},
+	"tectorwise/Q6":  {11, 1.4, 15, 0.2, 0.29, 0.01},
+	"typer/Q3":       {25, 0.8, 21, 0.5, 0.16, 0.27},
+	"tectorwise/Q3":  {24, 1.8, 42, 0.9, 0.16, 0.08},
+	"typer/Q9":       {74, 0.6, 42, 1.7, 0.46, 0.34},
+	"tectorwise/Q9":  {56, 1.3, 76, 2.1, 0.47, 0.39},
+	"typer/Q18":      {30, 1.6, 46, 0.8, 0.19, 0.16},
+	"tectorwise/Q18": {48, 2.1, 102, 1.9, 0.18, 0.37},
+}
+
+// PaperSSB is the §4.4 SSB counter table (SF 30, one thread); the last
+// field is memory-stall cycles per tuple.
+type PaperSSBRow struct {
+	Cycles, IPC, Instr, L1Miss, LLCMiss, BranchMiss, MemStall float64
+}
+
+// PaperSSBTable rows keyed by "engine/query".
+var PaperSSBTable = map[string]PaperSSBRow{
+	"typer/Q1.1":      {28, 0.7, 21, 0.3, 0.31, 0.69, 6.33},
+	"tectorwise/Q1.1": {12, 2.0, 23, 0.4, 0.29, 0.05, 2.77},
+	"typer/Q2.1":      {39, 0.8, 30, 1.3, 0.12, 0.17, 18.35},
+	"tectorwise/Q2.1": {30, 1.5, 44, 1.6, 0.13, 0.23, 7.63},
+	"typer/Q3.1":      {55, 0.7, 40, 1.1, 0.20, 0.24, 27.95},
+	"tectorwise/Q3.1": {53, 1.3, 71, 1.7, 0.23, 0.41, 15.68},
+	"typer/Q4.1":      {78, 0.5, 39, 1.8, 0.31, 0.38, 45.91},
+	"tectorwise/Q4.1": {59, 1.0, 61, 2.5, 0.32, 0.63, 19.48},
+}
+
+// PaperTable2 is Table 2: production systems vs. the test system (ms,
+// SF 1, one thread).
+var PaperTable2 = map[string]struct{ HyPer, VectorWise, Typer, TW float64 }{
+	"Q1":  {53, 71, 44, 85},
+	"Q6":  {10, 21, 15, 15},
+	"Q3":  {48, 50, 47, 44},
+	"Q9":  {124, 154, 126, 111},
+	"Q18": {224, 159, 90, 154},
+}
+
+// PaperTable3 is Table 3: multi-threaded TPC-H SF 100 on Skylake
+// (runtime ms at 1/10/20 threads).
+var PaperTable3 = map[string]struct {
+	Typer1, Typer10, Typer20 float64
+	TW1, TW10, TW20          float64
+}{
+	"Q1":  {4426, 496, 466, 7871, 867, 708},
+	"Q6":  {1511, 243, 236, 1443, 213, 196},
+	"Q3":  {9754, 1119, 842, 7627, 913, 743},
+	"Q9":  {28086, 3047, 2525, 20371, 2394, 2083},
+	"Q18": {13620, 2099, 1955, 18072, 2432, 2026},
+}
+
+// PaperTable5 is Table 5: SSD (1.4 GB/s), SF 100, 20 threads (ms).
+var PaperTable5 = map[string]struct{ Typer, TW float64 }{
+	"Q1":  {923, 1184},
+	"Q6":  {808, 773},
+	"Q3":  {1405, 1313},
+	"Q9":  {3268, 2827},
+	"Q18": {2747, 2795},
+}
+
+// PaperFig6 are the Figure 6 SIMD selection speedups.
+var PaperFig6 = struct{ Dense, Sparse, Q6 float64 }{8.4, 2.7, 1.4}
+
+// PaperFig8 are the Figure 8 SIMD join-probing speedups.
+var PaperFig8 = struct{ Hash, Gather, Probe, Q3, Q9 float64 }{2.3, 1.1, 1.4, 1.1, 1.1}
+
+// PaperFig5 records Figure 5's qualitative findings: vector sizes below
+// 64 and above 64K are significantly slower than 1K.
+var PaperFig5Note = "vector size sweet spot ≈1K; <64 and >64K degrade significantly"
+
+// PaperSpeedups are §6.1's reported average speedups of the production
+// systems at 20 hyper-threads (HyPer morsel-driven vs VectorWise
+// exchange).
+var PaperSpeedups = struct{ HyPer, VectorWise float64 }{11.7, 7.2}
+
+// Table6 is the paper's taxonomy of query processing models (Table 6).
+var Table6 = []struct {
+	System, Pipelining, Execution string
+	Year                          int
+}{
+	{"System R", "pull", "interpretation", 1974},
+	{"PushPull", "push", "interpretation", 2001},
+	{"MonetDB", "n/a", "vectorization", 1996},
+	{"VectorWise", "pull", "vectorization", 2005},
+	{"Virtuoso", "push", "vectorization", 2013},
+	{"Hique", "n/a", "compilation", 2010},
+	{"HyPer", "push", "compilation", 2011},
+	{"Hekaton", "pull", "compilation", 2014},
+	{"Typer (this repo)", "push", "compilation", 2018},
+	{"Tectorwise (this repo)", "pull", "vectorization", 2018},
+}
+
+// EC2Note reproduces §6.2's cost observation as model constants:
+// price-per-hour and measured geomean runtime for two instance sizes.
+var EC2 = []struct {
+	Instance  string
+	VCPUs     int
+	PricePerH float64
+	GeomeanMS float64
+}{
+	{"m5.2xlarge", 8, 0.384, 2027},
+	{"m5.12xlarge", 48, 2.304, 534},
+}

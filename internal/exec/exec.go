@@ -1,0 +1,140 @@
+// Package exec provides the morsel-driven intra-query parallelization
+// framework shared by both engines (§6.1 of the paper).
+//
+// Work distribution follows HyPer's morsel-driven model: scans are split
+// into morsels (ranges of ~100k tuples) claimed by workers from a shared
+// atomic dispatcher, giving automatic load balancing. Pipeline-breaking
+// operators synchronize workers with a reusable Barrier: e.g. a hash join
+// first has all workers consume the build side into a shared hash table,
+// then crosses a barrier, then starts probing. The framework is engine
+// agnostic — Typer drives it with fused pipeline functions, Tectorwise
+// with per-worker operator trees — which is exactly the paper's setup:
+// same parallelization framework, different execution paradigm.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the number of tuples per morsel. HyPer uses
+// ~100,000; morsels need to be big enough to amortize dispatch and small
+// enough to load-balance.
+const DefaultMorselSize = 100_000
+
+// Morsel is a half-open tuple range [Begin, End) of a scanned relation.
+type Morsel struct {
+	Begin, End int
+}
+
+// Len returns the number of tuples in the morsel.
+func (m Morsel) Len() int { return m.End - m.Begin }
+
+// Dispatcher hands out morsels of a relation scan to workers. It is safe
+// for concurrent use; claiming is a single atomic add.
+type Dispatcher struct {
+	next  atomic.Int64
+	total int64
+	size  int64
+}
+
+// NewDispatcher creates a dispatcher over total tuples with the given
+// morsel size (DefaultMorselSize if size <= 0).
+func NewDispatcher(total, size int) *Dispatcher {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	return &Dispatcher{total: int64(total), size: int64(size)}
+}
+
+// Next claims the next morsel. ok is false once the scan is exhausted.
+func (d *Dispatcher) Next() (m Morsel, ok bool) {
+	begin := d.next.Add(d.size) - d.size
+	if begin >= d.total {
+		return Morsel{}, false
+	}
+	end := begin + d.size
+	if end > d.total {
+		end = d.total
+	}
+	return Morsel{Begin: int(begin), End: int(end)}, true
+}
+
+// Reset rewinds the dispatcher for reuse (e.g. repeated query runs).
+func (d *Dispatcher) Reset() { d.next.Store(0) }
+
+// Barrier is a reusable cyclic barrier for a fixed set of workers.
+// The last worker to arrive runs the (optional) action registered for
+// that generation before releasing the others — used, for example, to
+// size a shared hash table directory after the build-side materialization
+// completes and before insertion starts.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for parties workers.
+func NewBarrier(parties int) *Barrier {
+	if parties <= 0 {
+		panic("exec: barrier needs at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties have called Wait. If action is non-nil it
+// is executed exactly once per generation, by the last arriving worker,
+// while the others are still blocked. Returns true for the worker that
+// ran the action.
+func (b *Barrier) Wait(action func()) bool {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		if action != nil {
+			action()
+		}
+		b.waiting = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return false
+}
+
+// Parallel runs fn(workerID) on workers goroutines and waits for all of
+// them. workers <= 0 selects GOMAXPROCS. It returns the worker count used.
+func Parallel(workers int, fn func(worker int)) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		fn(0)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+	return workers
+}
+
+// Once wraps sync.Once for per-pipeline shared-state initialization done
+// by whichever worker arrives first (e.g. allocating a shared result
+// buffer).
+type Once = sync.Once

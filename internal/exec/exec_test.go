@@ -1,0 +1,179 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDispatcherCoversRangeExactlyOnce(t *testing.T) {
+	f := func(totalRaw uint16, sizeRaw uint8) bool {
+		total := int(totalRaw) % 5000
+		size := int(sizeRaw)%97 + 1
+		d := NewDispatcher(total, size)
+		covered := make([]bool, total)
+		for {
+			m, ok := d.Next()
+			if !ok {
+				break
+			}
+			if m.Begin < 0 || m.End > total || m.Begin >= m.End {
+				return false
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if covered[i] {
+					return false
+				}
+				covered[i] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDispatcherConcurrent(t *testing.T) {
+	const total = 1_000_000
+	d := NewDispatcher(total, 1024)
+	var sum atomic.Int64
+	var count atomic.Int64
+	Parallel(8, func(int) {
+		for {
+			m, ok := d.Next()
+			if !ok {
+				return
+			}
+			sum.Add(int64(m.Len()))
+			count.Add(1)
+		}
+	})
+	if sum.Load() != total {
+		t.Fatalf("covered %d tuples, want %d", sum.Load(), total)
+	}
+	if want := int64((total + 1023) / 1024); count.Load() != want {
+		t.Fatalf("morsel count = %d, want %d", count.Load(), want)
+	}
+}
+
+func TestDispatcherDefaults(t *testing.T) {
+	d := NewDispatcher(10, 0)
+	m, ok := d.Next()
+	if !ok || m.Begin != 0 || m.End != 10 {
+		t.Fatalf("morsel = %+v, ok=%v", m, ok)
+	}
+	if _, ok := d.Next(); ok {
+		t.Fatal("dispatcher did not exhaust")
+	}
+	d.Reset()
+	if _, ok := d.Next(); !ok {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestDispatcherEmpty(t *testing.T) {
+	d := NewDispatcher(0, 100)
+	if _, ok := d.Next(); ok {
+		t.Fatal("empty dispatcher produced a morsel")
+	}
+}
+
+func TestBarrierReleasesAll(t *testing.T) {
+	const workers = 7
+	b := NewBarrier(workers)
+	var phase1, phase2 atomic.Int32
+	var actions atomic.Int32
+	Parallel(workers, func(w int) {
+		phase1.Add(1)
+		b.Wait(func() {
+			actions.Add(1)
+			if phase1.Load() != workers {
+				t.Errorf("action ran before all workers arrived (%d)", phase1.Load())
+			}
+		})
+		phase2.Add(1)
+		b.Wait(nil) // reuse in a second generation
+	})
+	if actions.Load() != 1 {
+		t.Fatalf("action ran %d times, want 1", actions.Load())
+	}
+	if phase2.Load() != workers {
+		t.Fatalf("phase2 = %d", phase2.Load())
+	}
+}
+
+func TestBarrierManyGenerations(t *testing.T) {
+	const workers = 4
+	const gens = 200
+	b := NewBarrier(workers)
+	counters := make([]int, workers)
+	Parallel(workers, func(w int) {
+		for g := 0; g < gens; g++ {
+			counters[w]++
+			b.Wait(func() {
+				// At the barrier every counter must equal g+1.
+				for i, c := range counters {
+					if c != g+1 {
+						t.Errorf("gen %d: counter[%d]=%d", g, i, c)
+					}
+				}
+			})
+		}
+	})
+}
+
+func TestBarrierExactlyOneActionRunner(t *testing.T) {
+	b := NewBarrier(5)
+	var ranAction atomic.Int32
+	var trueReturns atomic.Int32
+	Parallel(5, func(int) {
+		if b.Wait(func() { ranAction.Add(1) }) {
+			trueReturns.Add(1)
+		}
+	})
+	if ranAction.Load() != 1 || trueReturns.Load() != 1 {
+		t.Fatalf("action=%d trueReturns=%d", ranAction.Load(), trueReturns.Load())
+	}
+}
+
+func TestParallelSingleWorkerInline(t *testing.T) {
+	ran := false
+	n := Parallel(1, func(w int) {
+		if w != 0 {
+			t.Errorf("worker id = %d", w)
+		}
+		ran = true
+	})
+	if !ran || n != 1 {
+		t.Fatal("single worker path broken")
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	var mu sync.Mutex
+	ids := map[int]bool{}
+	n := Parallel(0, func(w int) {
+		mu.Lock()
+		ids[w] = true
+		mu.Unlock()
+	})
+	if len(ids) != n {
+		t.Fatalf("%d distinct ids for %d workers", len(ids), n)
+	}
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 parties")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -1,0 +1,29 @@
+package hashtable
+
+import "testing"
+
+var sinkU64 uint64
+
+func BenchmarkMurmur2(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += Murmur2(uint64(i))
+	}
+	sinkU64 = s
+}
+
+func BenchmarkCRC(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += CRC(uint64(i))
+	}
+	sinkU64 = s
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += Mix64(uint64(i))
+	}
+	sinkU64 = s
+}

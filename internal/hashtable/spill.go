@@ -1,0 +1,90 @@
+package hashtable
+
+// Spill is the partition-spill buffer used by the shared two-phase
+// parallel aggregation algorithm (§3.2: "A pre-aggregation handles heavy
+// hitters and spills groups into partitions. Afterwards, a final step
+// aggregates the groups in each partition.").
+//
+// During phase one every worker appends partial-aggregate rows (hash +
+// group key + aggregate state) into its own per-partition buffers — no
+// synchronization. During phase two, each partition is merged by exactly
+// one worker, which reads that partition's rows across all workers.
+// Both engines use this structure; only the loop structure around it
+// differs.
+type Spill struct {
+	rowWords int
+	parts    int
+	bufs     [][][]uint64 // [worker][partition] -> packed rows
+}
+
+// NewSpill creates spill buffers for workers × parts partitions with rows
+// of rowWords words (the first word of each row is, by convention, the
+// group hash).
+func NewSpill(workers, parts, rowWords int) *Spill {
+	if workers <= 0 || parts <= 0 || rowWords <= 0 {
+		panic("hashtable: invalid spill dimensions")
+	}
+	s := &Spill{rowWords: rowWords, parts: parts}
+	s.bufs = make([][][]uint64, workers)
+	for w := range s.bufs {
+		s.bufs[w] = make([][]uint64, parts)
+	}
+	return s
+}
+
+// Parts returns the number of partitions.
+func (s *Spill) Parts() int { return s.parts }
+
+// RowWords returns the row width in words.
+func (s *Spill) RowWords() int { return s.rowWords }
+
+// AppendRow reserves one row in (worker, part) and returns the slice to
+// fill. Only the owning worker may call this for its worker index.
+func (s *Spill) AppendRow(worker, part int) []uint64 {
+	buf := s.bufs[worker][part]
+	n := len(buf)
+	if n+s.rowWords > cap(buf) {
+		grown := make([]uint64, n, 2*(n+s.rowWords)+64*s.rowWords)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:n+s.rowWords]
+	s.bufs[worker][part] = buf
+	return buf[n : n+s.rowWords]
+}
+
+// PartitionRows invokes fn for every row spilled to partition p, across
+// all workers. Safe to call concurrently for distinct p after phase one.
+func (s *Spill) PartitionRows(p int, fn func(row []uint64)) {
+	for w := range s.bufs {
+		buf := s.bufs[w][p]
+		for i := 0; i+s.rowWords <= len(buf); i += s.rowWords {
+			fn(buf[i : i+s.rowWords])
+		}
+	}
+}
+
+// PartitionCount returns the number of rows spilled to partition p.
+func (s *Spill) PartitionCount(p int) int {
+	n := 0
+	for w := range s.bufs {
+		n += len(s.bufs[w][p]) / s.rowWords
+	}
+	return n
+}
+
+// TotalRows returns the number of rows across all partitions.
+func (s *Spill) TotalRows() int {
+	n := 0
+	for p := 0; p < s.parts; p++ {
+		n += s.PartitionCount(p)
+	}
+	return n
+}
+
+// PartitionOf maps a group hash to a partition index. It uses high hash
+// bits (52..63) so partitioning is independent of both the directory
+// index (low bits) and the Bloom tag (bits 48..51).
+func PartitionOf(hash uint64, parts int) int {
+	return int(hash>>52) & (parts - 1)
+}

@@ -1,0 +1,139 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpillBasics(t *testing.T) {
+	s := NewSpill(2, 4, 3)
+	if s.Parts() != 4 || s.RowWords() != 3 {
+		t.Fatal("dimensions")
+	}
+	row := s.AppendRow(0, 2)
+	row[0], row[1], row[2] = 10, 20, 30
+	row = s.AppendRow(1, 2)
+	row[0], row[1], row[2] = 11, 21, 31
+	if s.PartitionCount(2) != 2 || s.PartitionCount(0) != 0 {
+		t.Fatalf("counts: %d %d", s.PartitionCount(2), s.PartitionCount(0))
+	}
+	var seen [][3]uint64
+	s.PartitionRows(2, func(r []uint64) {
+		seen = append(seen, [3]uint64{r[0], r[1], r[2]})
+	})
+	if len(seen) != 2 || seen[0] != [3]uint64{10, 20, 30} || seen[1] != [3]uint64{11, 21, 31} {
+		t.Fatalf("rows: %v", seen)
+	}
+	if s.TotalRows() != 2 {
+		t.Fatal("total")
+	}
+}
+
+func TestSpillPanicsOnBadDims(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSpill(0, 1, 1) },
+		func() { NewSpill(1, 0, 1) },
+		func() { NewSpill(1, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMergeSpillSumProperty: partition-merging with OpSum preserves the
+// per-key totals no matter how rows are distributed across workers and
+// partitions.
+func TestMergeSpillSumProperty(t *testing.T) {
+	f := func(keysRaw []uint8, valsRaw []uint8) bool {
+		n := len(keysRaw)
+		if len(valsRaw) < n {
+			n = len(valsRaw)
+		}
+		const workers, parts = 3, 8
+		s := NewSpill(workers, parts, 3)
+		expect := map[uint64]uint64{}
+		for i := 0; i < n; i++ {
+			key := uint64(keysRaw[i] % 16)
+			val := uint64(valsRaw[i])
+			h := Murmur2(key)
+			row := s.AppendRow(i%workers, PartitionOf(h, parts))
+			row[0], row[1], row[2] = h, key, val
+			expect[key] += val
+		}
+		got := map[uint64]uint64{}
+		for p := 0; p < parts; p++ {
+			MergeSpill(s, p, []AggOp{OpSum}, func(row []uint64) {
+				if _, dup := got[row[1]]; dup {
+					t.Errorf("key %d emitted from two partitions", row[1])
+				}
+				got[row[1]] += row[2]
+			})
+		}
+		if len(got) != len(expect) {
+			return false
+		}
+		for k, v := range expect {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSpillFirstOp(t *testing.T) {
+	s := NewSpill(1, 2, 4)
+	h := Murmur2(9)
+	p := PartitionOf(h, 2)
+	r := s.AppendRow(0, p)
+	r[0], r[1], r[2], r[3] = h, 9, 5, 111 // sum=5, first=111
+	r = s.AppendRow(0, p)
+	r[0], r[1], r[2], r[3] = h, 9, 7, 222 // first must stay 111
+	count := 0
+	MergeSpill(s, p, []AggOp{OpSum, OpFirst}, func(row []uint64) {
+		count++
+		if row[1] != 9 || row[2] != 12 || row[3] != 111 {
+			t.Fatalf("merged row = %v", row)
+		}
+	})
+	if count != 1 {
+		t.Fatalf("emitted %d rows", count)
+	}
+}
+
+func TestMergeSpillRowWidthMismatchPanics(t *testing.T) {
+	s := NewSpill(1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ops/width mismatch")
+		}
+	}()
+	MergeSpill(s, 0, []AggOp{OpSum, OpSum}, func([]uint64) {})
+}
+
+func TestPartitionOfUsesHighBits(t *testing.T) {
+	// Keys colliding in low bits (same directory bucket) must still
+	// spread over partitions.
+	parts := map[int]bool{}
+	for i := uint64(0); i < 4096; i++ {
+		parts[PartitionOf(i<<52, 64)] = true
+	}
+	if len(parts) < 32 {
+		t.Errorf("only %d partitions used", len(parts))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		p := PartitionOf(Murmur2(i), 64)
+		if p < 0 || p >= 64 {
+			t.Fatalf("partition %d out of range", p)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package hybrid
+
+import (
+	"reflect"
+	"testing"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/tpch"
+)
+
+func TestQ3ROFMatchesReference(t *testing.T) {
+	for _, sf := range []float64{0.01, 0.05} {
+		db := tpch.Generate(sf, 0)
+		want := queries.RefQ3(db)
+		for _, threads := range []int{1, 4} {
+			got := Q3(db, threads)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("sf=%v threads=%d ROF Q3 mismatch:\n got %v\nwant %v",
+					sf, threads, got, want)
+			}
+		}
+	}
+}
+
+func TestQ3ROFSpillPath(t *testing.T) {
+	// SF 0.1 has ~15K qualifying groups per worker at 1 thread — above
+	// the 16K local capacity at larger scales; run with a single worker
+	// on SF 0.2 to exercise the spill slice.
+	db := tpch.Generate(0.2, 0)
+	want := queries.RefQ3(db)
+	got := Q3(db, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("ROF Q3 mismatch under spill pressure")
+	}
+}

@@ -1,0 +1,148 @@
+// Package microsim is a trace-driven micro-architectural simulator. It
+// substitutes for the hardware performance counters the paper reads via
+// Linux perf (DESIGN.md S2): traced twins of every query execute the real
+// algorithms against the real in-memory data and hash tables, emitting
+// loads, stores, ALU operations, and branches into a modeled CPU. The
+// model produces the per-tuple counters of Table 1, the memory-stall
+// breakdown of Figure 4, the selectivity and working-set sweeps of
+// Figures 7 and 9, and — through its SIMD lane model — the data-parallel
+// results of Figures 6, 8, and 10.
+//
+// The model is deliberately simple and fully deterministic:
+//
+//   - a set-associative, LRU, inclusive three-level cache hierarchy with
+//     64-byte lines, sized per hardware profile (Table 4);
+//   - a gshare-style branch predictor (2-bit counters, global history);
+//   - a cost model that issues instructions at the profile's width and
+//     charges miss latency with bounded overlap: consecutive misses that
+//     fall inside one reorder-buffer window with no intervening branch
+//     mispredict overlap up to the line-fill-buffer limit. Complex fused
+//     loops (more instructions and mispredicts between misses) therefore
+//     overlap fewer misses than simple primitive loops — precisely the
+//     mechanism the paper identifies (§4.1) for vectorization's latency-
+//     hiding advantage.
+package microsim
+
+import "unsafe"
+
+const lineBits = 6 // 64-byte cache lines
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	ways     int
+	setMask  uint64
+	tags     []uint64 // sets × ways; 0 = empty
+	stamps   []uint64 // LRU timestamps
+	clock    uint64
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache of approximately the given total size in bytes
+// and associativity. The set count is rounded down to a power of two
+// (real LLCs with non-power-of-two slice counts hash addresses; the
+// rounding keeps the model's indexing simple at <15% size error).
+func NewCache(size, ways int) *Cache {
+	sets := size / (ways * 64)
+	if sets <= 0 {
+		panic("microsim: cache smaller than one set")
+	}
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1 // clear lowest bit until power of two
+	}
+	return &Cache{
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		stamps:  make([]uint64, sets*ways),
+	}
+}
+
+// Access touches the line containing addr; reports whether it hit.
+func (c *Cache) Access(line uint64) bool {
+	c.Accesses++
+	set := int(line & c.setMask)
+	base := set * c.ways
+	c.clock++
+	tag := line | 1<<63 // bit 63 marks occupancy (real addrs never set it)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == tag {
+			c.stamps[base+w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Evict LRU.
+	victim := base
+	for w := 1; w < c.ways; w++ {
+		if c.stamps[base+w] < c.stamps[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = tag
+	c.stamps[victim] = c.clock
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamps[i] = 0
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// lineOf maps an address to its cache line number.
+func lineOf(p unsafe.Pointer) uint64 { return uint64(uintptr(p)) >> lineBits }
+
+// BranchPredictor is a gshare predictor: 2-bit saturating counters
+// indexed by (site ^ global history).
+type BranchPredictor struct {
+	table    []uint8
+	history  uint64
+	Branches uint64
+	Misses   uint64
+}
+
+// NewBranchPredictor builds a predictor with 2^bits counters.
+func NewBranchPredictor(bits int) *BranchPredictor {
+	return &BranchPredictor{table: make([]uint8, 1<<bits)}
+}
+
+// Branch records a dynamic branch at static site id with the given
+// outcome and reports whether the predictor mispredicted.
+func (b *BranchPredictor) Branch(site uint32, taken bool) bool {
+	b.Branches++
+	idx := (uint64(site)*0x9e3779b9 ^ b.history) & uint64(len(b.table)-1)
+	ctr := b.table[idx]
+	predictTaken := ctr >= 2
+	miss := predictTaken != taken
+	if miss {
+		b.Misses++
+	}
+	if taken {
+		if ctr < 3 {
+			b.table[idx] = ctr + 1
+		}
+		b.history = b.history<<1 | 1
+	} else {
+		if ctr > 0 {
+			b.table[idx] = ctr - 1
+		}
+		b.history = b.history << 1
+	}
+	return miss
+}
+
+// Reset clears state and counters.
+func (b *BranchPredictor) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+	b.history = 0
+	b.Branches = 0
+	b.Misses = 0
+}

@@ -1,0 +1,248 @@
+package microsim
+
+import "unsafe"
+
+// HW describes one hardware platform (Table 4 of the paper, augmented
+// with the micro-architectural parameters the cost model needs).
+type HW struct {
+	Name       string
+	Model      string
+	Cores      int
+	SMTWays    int
+	IssueWidth int
+	ClockGHz   float64
+
+	L1Size, L1Ways   int
+	L2Size, L2Ways   int
+	LLCSize, LLCWays int
+
+	L2Lat, LLCLat, MemLat int // access latencies in cycles
+
+	ROB               int // reorder-buffer window (instructions)
+	LineFillBuffers   int // maximum overlapping cache-line misses
+	BranchMissPenalty int
+
+	SIMDLanes32 int     // 32-bit lanes per SIMD operation
+	SIMDPorts   int     // SIMD operations issued per cycle
+	MemBWGBs    float64 // sustained memory bandwidth
+	SMTBoost    float64 // throughput gain from using 2nd hyper-thread
+	PriceUSD    int
+	Launch      string
+}
+
+// The three platforms of Table 4.
+var (
+	// Skylake is the Intel i9-7900X (Skylake X) primary platform.
+	Skylake = HW{
+		Name: "Skylake", Model: "i9-7900X", Cores: 10, SMTWays: 2,
+		IssueWidth: 4, ClockGHz: 4.0,
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 1 << 20, L2Ways: 16,
+		LLCSize: 14 << 20, LLCWays: 11,
+		L2Lat: 14, LLCLat: 44, MemLat: 200,
+		ROB: 224, LineFillBuffers: 10, BranchMissPenalty: 16,
+		SIMDLanes32: 16, SIMDPorts: 2, MemBWGBs: 58, SMTBoost: 1.25,
+		PriceUSD: 989, Launch: "Q2'17",
+	}
+	// Threadripper is the AMD 1950X (Zen).
+	Threadripper = HW{
+		Name: "Threadripper", Model: "1950X", Cores: 16, SMTWays: 2,
+		IssueWidth: 4, ClockGHz: 3.8,
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 512 << 10, L2Ways: 8,
+		LLCSize: 32 << 20, LLCWays: 16,
+		L2Lat: 17, LLCLat: 40, MemLat: 220,
+		ROB: 192, LineFillBuffers: 8, BranchMissPenalty: 18,
+		SIMDLanes32: 4, SIMDPorts: 2, MemBWGBs: 56, SMTBoost: 1.05,
+		PriceUSD: 1000, Launch: "Q3'17",
+	}
+	// KNL is the Intel Xeon Phi 7210 (Knights Landing).
+	KNL = HW{
+		Name: "KNL", Model: "Phi 7210", Cores: 64, SMTWays: 4,
+		IssueWidth: 2, ClockGHz: 1.4,
+		L1Size: 64 << 10, L1Ways: 8,
+		L2Size: 1 << 20, L2Ways: 16,
+		LLCSize: 16 << 30, LLCWays: 16, // 16 GB MCDRAM as L3 cache
+		L2Lat: 17, LLCLat: 160, MemLat: 400,
+		ROB: 72, LineFillBuffers: 12, BranchMissPenalty: 12,
+		SIMDLanes32: 16, SIMDPorts: 2, MemBWGBs: 68, SMTBoost: 1.6,
+		PriceUSD: 1881, Launch: "Q4'16",
+	}
+)
+
+// Platforms lists the modeled hardware in paper order.
+var Platforms = []HW{Skylake, Threadripper, KNL}
+
+// CPU is the modeled core that traced query twins feed with events.
+type CPU struct {
+	HW  HW
+	L1  *Cache
+	L2  *Cache
+	LLC *Cache
+	BP  *BranchPredictor
+
+	// Instruction counters.
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	// Cycle accounting.
+	MemStallCycles    uint64
+	BranchStallCycles uint64
+
+	// Overlap-group state (§4.1 latency-hiding model).
+	groupStartInstr uint64
+	groupSize       int
+	groupBroken     bool
+}
+
+// NewCPU builds a modeled CPU for a hardware profile. The LLC of KNL is
+// its 16 GB MCDRAM; it is modeled with 512 MB to bound simulator memory,
+// which is indistinguishable for working sets below that.
+func NewCPU(hw HW) *CPU {
+	llc := hw.LLCSize
+	if llc > 512<<20 {
+		llc = 512 << 20
+	}
+	return &CPU{
+		HW:  hw,
+		L1:  NewCache(hw.L1Size, hw.L1Ways),
+		L2:  NewCache(hw.L2Size, hw.L2Ways),
+		LLC: NewCache(llc, hw.LLCWays),
+		BP:  NewBranchPredictor(14),
+	}
+}
+
+// Reset clears all counters and cache/predictor state.
+func (c *CPU) Reset() {
+	c.L1.Reset()
+	c.L2.Reset()
+	c.LLC.Reset()
+	c.BP.Reset()
+	c.Instructions = 0
+	c.Loads = 0
+	c.Stores = 0
+	c.MemStallCycles = 0
+	c.BranchStallCycles = 0
+	c.groupStartInstr = 0
+	c.groupSize = 0
+	c.groupBroken = false
+}
+
+// Ops records n ALU/control instructions.
+func (c *CPU) Ops(n int) { c.Instructions += uint64(n) }
+
+// Load records one load instruction touching size bytes at p.
+func (c *CPU) Load(p unsafe.Pointer, size int) {
+	c.Instructions++
+	c.Loads++
+	c.access(lineOf(p))
+	// A load crossing a line boundary touches the next line too.
+	if size > 1 {
+		if last := (uint64(uintptr(p)) + uint64(size) - 1) >> lineBits; last != lineOf(p) {
+			c.access(last)
+		}
+	}
+}
+
+// Store records one store instruction (write-allocate).
+func (c *CPU) Store(p unsafe.Pointer, size int) {
+	c.Instructions++
+	c.Stores++
+	c.access(lineOf(p))
+	if size > 1 {
+		if last := (uint64(uintptr(p)) + uint64(size) - 1) >> lineBits; last != lineOf(p) {
+			c.access(last)
+		}
+	}
+}
+
+// Branch records a conditional branch at static site id.
+func (c *CPU) Branch(site uint32, taken bool) {
+	c.Instructions++
+	if c.BP.Branch(site, taken) {
+		c.BranchStallCycles += uint64(c.HW.BranchMissPenalty)
+		// A mispredict squashes speculation: misses issued after it
+		// cannot overlap with those before (§4.1: "every branch miss is
+		// more expensive ... work performed under speculative execution
+		// is discarded").
+		c.groupBroken = true
+	}
+}
+
+// access walks the hierarchy and charges stall cycles with bounded
+// overlap.
+func (c *CPU) access(line uint64) {
+	if c.L1.Access(line) {
+		return // L1 hits are covered by the issue-width cost
+	}
+	var lat int
+	if c.L2.Access(line) {
+		lat = c.HW.L2Lat
+	} else if c.LLC.Access(line) {
+		lat = c.HW.LLCLat
+	} else {
+		lat = c.HW.MemLat
+	}
+	// Overlap model: misses within one ROB window of the group leader,
+	// with no intervening mispredict, overlap up to the line-fill-buffer
+	// count. The group leader pays full latency; followers pay the
+	// pipelined fill cost.
+	window := c.Instructions - c.groupStartInstr
+	if !c.groupBroken && c.groupSize > 0 && c.groupSize < c.HW.LineFillBuffers &&
+		window < uint64(c.HW.ROB) {
+		c.groupSize++
+		c.MemStallCycles += uint64(lat / c.HW.LineFillBuffers)
+		return
+	}
+	c.groupStartInstr = c.Instructions
+	c.groupSize = 1
+	c.groupBroken = false
+	c.MemStallCycles += uint64(lat)
+}
+
+// Cycles returns total modeled cycles: issue cost + memory stalls +
+// branch-mispredict penalties.
+func (c *CPU) Cycles() uint64 {
+	return c.Instructions/uint64(c.HW.IssueWidth) + c.MemStallCycles + c.BranchStallCycles
+}
+
+// IPC returns modeled instructions per cycle.
+func (c *CPU) IPC() float64 {
+	cy := c.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(cy)
+}
+
+// Counters is one row of Table 1 / the SSB counter table, normalized per
+// tuple.
+type Counters struct {
+	Query      string
+	Engine     string
+	Cycles     float64
+	IPC        float64
+	Instr      float64
+	L1Miss     float64
+	LLCMiss    float64
+	BranchMiss float64
+	MemStall   float64
+}
+
+// PerTuple normalizes the CPU's counters by the number of scanned tuples
+// (§3.4).
+func (c *CPU) PerTuple(query, engine string, tuples int64) Counters {
+	n := float64(tuples)
+	return Counters{
+		Query:      query,
+		Engine:     engine,
+		Cycles:     float64(c.Cycles()) / n,
+		IPC:        c.IPC(),
+		Instr:      float64(c.Instructions) / n,
+		L1Miss:     float64(c.L1.Misses) / n,
+		LLCMiss:    float64(c.LLC.Misses) / n,
+		BranchMiss: float64(c.BP.Misses) / n,
+		MemStall:   float64(c.MemStallCycles) / n,
+	}
+}

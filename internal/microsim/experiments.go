@@ -1,0 +1,104 @@
+package microsim
+
+import (
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+)
+
+// TracedTPCH runs the traced twin of one TPC-H query on a fresh CPU and
+// returns per-tuple counters (one row of Table 1).
+func TracedTPCH(db *storage.Database, hw HW, engine, query string) Counters {
+	c := NewCPU(hw)
+	switch engine + "/" + query {
+	case "typer/Q1":
+		TyperQ1Traced(db, c)
+	case "typer/Q6":
+		TyperQ6Traced(db, c)
+	case "typer/Q3":
+		TyperQ3Traced(db, c)
+	case "typer/Q9":
+		TyperQ9Traced(db, c)
+	case "typer/Q18":
+		TyperQ18Traced(db, c)
+	case "tectorwise/Q1":
+		TWQ1Traced(db, c)
+	case "tectorwise/Q6":
+		TWQ6Traced(db, c)
+	case "tectorwise/Q3":
+		TWQ3Traced(db, c)
+	case "tectorwise/Q9":
+		TWQ9Traced(db, c)
+	case "tectorwise/Q18":
+		TWQ18Traced(db, c)
+	default:
+		panic("microsim: unknown traced query " + engine + "/" + query)
+	}
+	tuples := db.TotalTuples(queries.ScannedTables[query]...)
+	return c.PerTuple(query, engine, tuples)
+}
+
+// TracedSSB runs the traced twin of one SSB query.
+func TracedSSB(db *storage.Database, hw HW, engine, query string) Counters {
+	c := NewCPU(hw)
+	switch engine {
+	case "typer":
+		TyperSSBTraced(db, c, query)
+	case "tectorwise":
+		TWSSBTraced(db, c, query)
+	default:
+		panic("microsim: unknown engine " + engine)
+	}
+	tuples := db.TotalTuples(queries.ScannedTables[query]...)
+	return c.PerTuple(query, engine, tuples)
+}
+
+// Table1 produces the modeled counter rows of Table 1 (TPC-H, one
+// thread) in paper order.
+func Table1(db *storage.Database, hw HW) []Counters {
+	var rows []Counters
+	for _, q := range queries.TPCHQueries {
+		rows = append(rows, TracedTPCH(db, hw, "typer", q))
+		rows = append(rows, TracedTPCH(db, hw, "tectorwise", q))
+	}
+	return rows
+}
+
+// SSBTable produces the modeled counter rows of the §4.4 SSB table.
+func SSBTable(db *storage.Database, hw HW) []Counters {
+	var rows []Counters
+	for _, q := range queries.SSBQueries {
+		rows = append(rows, TracedSSB(db, hw, "typer", q))
+		rows = append(rows, TracedSSB(db, hw, "tectorwise", q))
+	}
+	return rows
+}
+
+// Fig4Row is one point of the Figure 4 memory-stall plot.
+type Fig4Row struct {
+	Query          string
+	Engine         string
+	ScaleFactor    float64
+	CyclesPerTuple float64
+	StallPerTuple  float64
+}
+
+// Fig4 sweeps scale factors and reports cycles and memory-stall cycles
+// per tuple for every query × engine, reproducing the stacked bars of
+// Figure 4. gen generates a database at a scale factor (injected to keep
+// microsim independent of the generators).
+func Fig4(gen func(sf float64) *storage.Database, hw HW, sfs []float64) []Fig4Row {
+	var rows []Fig4Row
+	for _, sf := range sfs {
+		db := gen(sf)
+		for _, q := range queries.TPCHQueries {
+			for _, eng := range []string{"typer", "tectorwise"} {
+				ctr := TracedTPCH(db, hw, eng, q)
+				rows = append(rows, Fig4Row{
+					Query: q, Engine: eng, ScaleFactor: sf,
+					CyclesPerTuple: ctr.Cycles, StallPerTuple: ctr.MemStall,
+				})
+			}
+		}
+	}
+	return rows
+}

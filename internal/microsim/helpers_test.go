@@ -1,0 +1,10 @@
+package microsim
+
+import (
+	"paradigms/internal/ssb"
+	"paradigms/internal/storage"
+)
+
+type dbType = storage.Database
+
+func ssbGen(sf float64) *dbType { return ssb.Generate(sf, 0) }

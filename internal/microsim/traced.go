@@ -1,0 +1,101 @@
+package microsim
+
+import (
+	"unsafe"
+
+	"paradigms/internal/hashtable"
+)
+
+// Shared tracing helpers used by the traced query twins. The twins run
+// the engines' algorithms single-threaded (Table 1 and the SSB table are
+// measured at one thread) against real data and real hash tables, so the
+// cache simulator sees genuine addresses and chain lengths; only the
+// instruction weights are model constants.
+
+// Instruction weights of the two hash functions (§4.1): Mix64 (Typer's
+// low-latency hash; stands in for CRC) and Murmur2 (Tectorwise).
+const (
+	HashOpsTyper = 8
+	HashOpsTW    = 15
+	// loopOps models loop control (induction increment + bound check).
+	loopOps = 2
+)
+
+// Branch site identifiers (arbitrary but distinct static "PCs").
+const (
+	siteFilter uint32 = 100 + iota*8
+	siteBucket
+	siteHashEq
+	siteKeyEq
+	siteChain
+	siteAggHit
+	siteHaving
+)
+
+// tracedProbe walks one probe of ht for (hash, key): directory load, tag
+// check, then chain walk comparing stored hash and the 64-bit key in
+// payload word 0. Returns the first matching entry (0 if none) and
+// charges all events to c. each() — when non-nil — is invoked for every
+// match so multi-match joins can keep walking.
+func tracedProbe(c *CPU, ht *hashtable.Table, h, key uint64, each func(ref hashtable.Ref)) hashtable.Ref {
+	c.Ops(2) // mask + index arithmetic
+	c.Load(ht.DirWordAddr(h), 8)
+	w := ht.LookupDirWord(h)
+	ref := hashtable.DecodeDirWord(w, h, true)
+	c.Ops(2) // tag extraction + test
+	c.Branch(siteBucket, ref != 0)
+	var first hashtable.Ref
+	for ref != 0 {
+		c.Load(ht.EntryAddr(ref), 16) // header: next + hash
+		hashEq := ht.Hash(ref) == h
+		c.Ops(1)
+		c.Branch(siteHashEq, hashEq)
+		if hashEq {
+			c.Load(ht.PayloadAddr(ref), 8)
+			keyEq := ht.Word(ref, 0) == key
+			c.Ops(1)
+			c.Branch(siteKeyEq, keyEq)
+			if keyEq {
+				if first == 0 {
+					first = ref
+				}
+				if each != nil {
+					each(ref)
+				} else {
+					return ref
+				}
+			}
+		}
+		ref = ht.Next(ref)
+		c.Ops(1)
+		c.Branch(siteChain, ref != 0)
+	}
+	return first
+}
+
+// tracedInsert allocates and links one entry with the given payload
+// words, charging stores.
+func tracedInsert(c *CPU, ht *hashtable.Table, h uint64, payload ...uint64) hashtable.Ref {
+	sh := ht.Shard(0)
+	ref, _ := sh.Alloc(ht, h)
+	c.Ops(4) // bump allocation + bookkeeping
+	c.Store(ht.EntryAddr(ref), 16)
+	for i, p := range payload {
+		ht.SetWord(ref, i, p)
+	}
+	c.Store(ht.PayloadAddr(ref), 8*len(payload))
+	c.Ops(2)
+	c.Store(ht.DirWordAddr(h), 8) // link into directory
+	ht.Insert(ref, h)
+	return ref
+}
+
+// loadCol charges a load of one column element.
+func loadCol[T any](c *CPU, col []T, i int) {
+	c.Load(unsafe.Pointer(&col[i]), int(unsafe.Sizeof(col[0])))
+}
+
+// storeVec charges a store into a vector buffer element.
+func storeVec[T any](c *CPU, buf []T, i int) {
+	c.Store(unsafe.Pointer(&buf[i]), int(unsafe.Sizeof(buf[0])))
+}

@@ -1,0 +1,298 @@
+package microsim
+
+import (
+	"unsafe"
+
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+// Traced twins for the SSB queries (§4.4). All four queries share one
+// shape — lineorder probing a chain of filtered dimension hash tables,
+// then a small aggregation — so the twins are parameterized by a
+// dimension list. The engine difference is expressed exactly as in the
+// TPC-H twins: Typer fuses everything into one loop with branching
+// filters and the low-latency hash; Tectorwise runs per-vector primitive
+// passes with predicated selections, materialized intermediates, and
+// Murmur2.
+
+// ssbDim describes one dimension join of an SSB query.
+type ssbDim struct {
+	rows      int
+	filter    func(i int) bool   // dimension row qualifies
+	key       func(i int) uint64 // dimension join key
+	payload   func(i int) uint64 // carried attribute (0 if none)
+	factKey   func(i int) uint64 // fact-side join key
+	factCol   unsafe.Pointer     // fact column base address (for tracing)
+	factWidth int
+}
+
+// ssbPlan returns the dimension chain and fact cardinality of one SSB
+// query against db.
+func ssbPlan(db *storage.Database, query string) (dims []ssbDim, factRows int, preFilter func(c *CPU, engineTW bool, i int) bool) {
+	date := db.Rel("date")
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	lo := db.Rel("lineorder")
+	od := lo.Date("lo_orderdate")
+	factRows = lo.Rows()
+
+	dateDim := func(filter func(i int) bool) ssbDim {
+		return ssbDim{
+			rows:    date.Rows(),
+			filter:  filter,
+			key:     func(i int) uint64 { return uint64(uint32(dk[i])) },
+			payload: func(i int) uint64 { return uint64(uint32(dy[i])) },
+			factKey: func(i int) uint64 { return uint64(uint32(od[i])) },
+			factCol: unsafe.Pointer(&od[0]), factWidth: 4,
+		}
+	}
+	keyedDim := func(rel *storage.Relation, keyName string, filter func(i int) bool,
+		payload func(i int) uint64, factKeys []int32) ssbDim {
+		keys := rel.Int32(keyName)
+		return ssbDim{
+			rows:    rel.Rows(),
+			filter:  filter,
+			key:     func(i int) uint64 { return uint64(uint32(keys[i])) },
+			payload: payload,
+			factKey: func(i int) uint64 { return uint64(uint32(factKeys[i])) },
+			factCol: unsafe.Pointer(&factKeys[0]), factWidth: 4,
+		}
+	}
+
+	switch query {
+	case "Q1.1":
+		disc := lo.Numeric("lo_discount")
+		qty := lo.Numeric("lo_quantity")
+		dims = []ssbDim{dateDim(func(i int) bool { return dy[i] == queries.SSBQ11Year })}
+		preFilter = func(c *CPU, engineTW bool, i int) bool {
+			// Three predicates on the fact table before the join.
+			c.Load(unsafe.Pointer(&disc[i]), 8)
+			c.Load(unsafe.Pointer(&qty[i]), 8)
+			pass := disc[i] >= queries.SSBQ11DiscLo && disc[i] <= queries.SSBQ11DiscHi &&
+				qty[i] < queries.SSBQ11Qty
+			if engineTW {
+				c.Ops(6) // predicated selection primitives
+			} else {
+				c.Ops(3)
+				c.Branch(siteFilter, pass)
+			}
+			return pass
+		}
+	case "Q2.1":
+		part := db.Rel("part")
+		cat := part.Int32("p_category")
+		brand := part.Int32("p_brand1")
+		supp := db.Rel("supplier")
+		sregion := supp.Int32("s_region")
+		dims = []ssbDim{
+			keyedDim(part, "p_partkey",
+				func(i int) bool { return cat[i] == queries.SSBQ21Categ },
+				func(i int) uint64 { return uint64(uint32(brand[i])) },
+				lo.Int32("lo_partkey")),
+			keyedDim(supp, "s_suppkey",
+				func(i int) bool { return sregion[i] == queries.SSBQ21Region },
+				nil, lo.Int32("lo_suppkey")),
+			dateDim(func(i int) bool { return true }),
+		}
+	case "Q3.1":
+		cust := db.Rel("customer")
+		cregion := cust.Int32("c_region")
+		cnation := cust.Int32("c_nation")
+		supp := db.Rel("supplier")
+		sregion := supp.Int32("s_region")
+		snation := supp.Int32("s_nation")
+		dims = []ssbDim{
+			keyedDim(cust, "c_custkey",
+				func(i int) bool { return cregion[i] == queries.SSBQ31Region },
+				func(i int) uint64 { return uint64(uint32(cnation[i])) },
+				lo.Int32("lo_custkey")),
+			keyedDim(supp, "s_suppkey",
+				func(i int) bool { return sregion[i] == queries.SSBQ31Region },
+				func(i int) uint64 { return uint64(uint32(snation[i])) },
+				lo.Int32("lo_suppkey")),
+			dateDim(func(i int) bool { return dy[i] >= queries.SSBQ31YearLo && dy[i] <= queries.SSBQ31YearHi }),
+		}
+	case "Q4.1":
+		cust := db.Rel("customer")
+		cregion := cust.Int32("c_region")
+		cnation := cust.Int32("c_nation")
+		supp := db.Rel("supplier")
+		sregion := supp.Int32("s_region")
+		part := db.Rel("part")
+		mfgr := part.Int32("p_mfgr")
+		dims = []ssbDim{
+			keyedDim(cust, "c_custkey",
+				func(i int) bool { return cregion[i] == queries.SSBQ41Region },
+				func(i int) uint64 { return uint64(uint32(cnation[i])) },
+				lo.Int32("lo_custkey")),
+			keyedDim(supp, "s_suppkey",
+				func(i int) bool { return sregion[i] == queries.SSBQ41Region },
+				nil, lo.Int32("lo_suppkey")),
+			keyedDim(part, "p_partkey",
+				func(i int) bool { return mfgr[i] >= queries.SSBQ41MfgrLo && mfgr[i] <= queries.SSBQ41MfgrHi },
+				nil, lo.Int32("lo_partkey")),
+			dateDim(func(i int) bool { return true }),
+		}
+	default:
+		panic("microsim: unknown SSB query " + query)
+	}
+	return dims, factRows, preFilter
+}
+
+// buildSSBDims materializes the dimension hash tables, charging build
+// cost with the given engine's hash weight.
+func buildSSBDims(c *CPU, dims []ssbDim, hashOps int, hash func(uint64) uint64) []*hashtable.Table {
+	hts := make([]*hashtable.Table, len(dims))
+	for d, dim := range dims {
+		n := 0
+		for i := 0; i < dim.rows; i++ {
+			if dim.filter(i) {
+				n++
+			}
+		}
+		ht := hashtable.New(2, 1)
+		ht.Prepare(n)
+		for i := 0; i < dim.rows; i++ {
+			c.Ops(loopOps + 2)
+			pass := dim.filter(i)
+			c.Branch(siteFilter, pass)
+			if !pass {
+				continue
+			}
+			key := dim.key(i)
+			var payload uint64
+			if dim.payload != nil {
+				payload = dim.payload(i)
+			}
+			c.Ops(hashOps)
+			tracedInsert(c, ht, hash(key), key, payload)
+		}
+		hts[d] = ht
+	}
+	return hts
+}
+
+// TyperSSBTraced traces one SSB query under the compiled model.
+func TyperSSBTraced(db *storage.Database, c *CPU, query string) {
+	dims, factRows, preFilter := ssbPlan(db, query)
+	hts := buildSSBDims(c, dims, HashOpsTyper, hashtable.Mix64)
+	htAgg := hashtable.New(2, 1)
+	htAgg.Prepare(1024)
+	for i := 0; i < factRows; i++ {
+		c.Ops(loopOps)
+		if preFilter != nil && !preFilter(c, false, i) {
+			continue
+		}
+		gkey := uint64(0)
+		matched := true
+		for d := range dims {
+			// Load fact key column, hash, probe.
+			c.Load(unsafe.Add(dims[d].factCol, i*dims[d].factWidth), dims[d].factWidth)
+			key := dims[d].factKey(i)
+			h := typerHash(c, key)
+			ref := tracedProbe(c, hts[d], h, key, nil)
+			if ref == 0 {
+				matched = false
+				break
+			}
+			c.Load(unsafe.Add(hts[d].PayloadAddr(ref), 8), 8)
+			gkey = gkey<<8 ^ hts[d].Word(ref, 1)
+			c.Ops(2)
+		}
+		if !matched {
+			continue
+		}
+		// Load measure columns + aggregate.
+		c.Ops(3)
+		gh := typerHash(c, gkey)
+		gref := tracedProbe(c, htAgg, gh, gkey, nil)
+		c.Branch(siteAggHit, gref != 0)
+		if gref == 0 {
+			tracedInsert(c, htAgg, gh, gkey, 0)
+			continue
+		}
+		c.Load(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+		c.Ops(1)
+		c.Store(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+	}
+}
+
+// TWSSBTraced traces one SSB query under the vectorized model.
+func TWSSBTraced(db *storage.Database, c *CPU, query string) {
+	dims, factRows, preFilter := ssbPlan(db, query)
+	hts := buildSSBDims(c, dims, HashOpsTW, hashtable.Murmur2)
+	b := newTWBufs(twVec)
+	agg := newTWAgg(1024, 1)
+	lo := db.Rel("lineorder")
+	_ = lo
+	pos := make([]int32, twVec)
+	for base := 0; base < factRows; base += twVec {
+		n := min(twVec, factRows-base)
+		// Pre-filter (predicated selection primitives).
+		k := 0
+		if preFilter != nil {
+			for i := 0; i < n; i++ {
+				c.Ops(loopOps)
+				pos[k] = int32(i)
+				storeVec(c, pos, k)
+				if preFilter(c, true, base+i) {
+					k++
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				pos[i] = int32(i)
+			}
+			k = n
+		}
+		if k == 0 {
+			continue
+		}
+		// Probe each dimension in turn, densifying positions between.
+		for d := range dims {
+			for i := 0; i < k; i++ {
+				c.Ops(loopOps)
+				p := base + int(pos[i])
+				c.Load(unsafe.Add(dims[d].factCol, p*dims[d].factWidth), dims[d].factWidth)
+				b.keys[i] = dims[d].factKey(p)
+				storeVec(c, b.keys, i)
+			}
+			twHash(c, b.keys, b.hashes, k)
+			nm := twProbe(c, hts[d], b, k)
+			if nm == 0 {
+				k = 0
+				break
+			}
+			twGather(c, hts[d], b, 1, nm) // payload attribute
+			for i := 0; i < nm; i++ {
+				c.Ops(loopOps + 1)
+				c.Load(unsafe.Pointer(&b.mPos[i]), 4)
+				pos[i] = pos[b.mPos[i]]
+				storeVec(c, pos, i)
+			}
+			k = nm
+		}
+		if k == 0 {
+			continue
+		}
+		// Group keys from gathered payloads (modeled as the last gather
+		// result) + measure fetch + aggregate.
+		for i := 0; i < k; i++ {
+			c.Ops(loopOps + 2)
+			b.keys[i] = uint64(b.v1[i])
+			storeVec(c, b.keys, i)
+		}
+		twHash(c, b.keys, b.hashes, k)
+		for i := 0; i < k; i++ {
+			c.Ops(loopOps)
+			c.Load(unsafe.Pointer(&pos[i]), 4)
+			storeVec(c, b.v1, i)
+		}
+		agg.consume(c, b, k)
+	}
+}
+
+var _ = types.Date(0)

@@ -1,0 +1,105 @@
+package microsim
+
+import (
+	"testing"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/tpch"
+)
+
+// All traced twins must run to completion and produce internally
+// consistent counters on every platform profile.
+func TestAllTracedTwinsRun(t *testing.T) {
+	db := tpch.Generate(0.01, 0)
+	ssbDB := ssbGen(0.01)
+	for _, hw := range Platforms {
+		for _, q := range queries.TPCHQueries {
+			for _, eng := range []string{"typer", "tectorwise"} {
+				ctr := TracedTPCH(db, hw, eng, q)
+				checkCounters(t, hw.Name+"/"+eng+"/"+q, ctr)
+			}
+		}
+		for _, q := range queries.SSBQueries {
+			for _, eng := range []string{"typer", "tectorwise"} {
+				ctr := TracedSSB(ssbDB, hw, eng, q)
+				checkCounters(t, hw.Name+"/"+eng+"/"+q, ctr)
+			}
+		}
+	}
+}
+
+func checkCounters(t *testing.T, name string, c Counters) {
+	t.Helper()
+	if c.Instr <= 0 || c.Cycles <= 0 {
+		t.Errorf("%s: empty counters %+v", name, c)
+	}
+	if c.IPC <= 0 || c.IPC > 6 {
+		t.Errorf("%s: implausible IPC %.2f", name, c.IPC)
+	}
+	if c.L1Miss < c.LLCMiss {
+		t.Errorf("%s: LLC misses (%.3f) exceed L1 misses (%.3f)", name, c.LLCMiss, c.L1Miss)
+	}
+	if c.MemStall > c.Cycles {
+		t.Errorf("%s: stalls (%.1f) exceed cycles (%.1f)", name, c.MemStall, c.Cycles)
+	}
+}
+
+// The twins must be reproducible: same database, same instruction and
+// branch counts exactly; cache misses may vary sub-percent because fresh
+// hash-table allocations land at different heap addresses (and therefore
+// different cache sets) on each run.
+func TestTracedTwinsReproducible(t *testing.T) {
+	db := tpch.Generate(0.01, 0)
+	a := TracedTPCH(db, Skylake, "typer", "Q3")
+	b := TracedTPCH(db, Skylake, "typer", "Q3")
+	if a.Instr != b.Instr || a.BranchMiss != b.BranchMiss {
+		t.Errorf("instruction/branch counters differ:\n%+v\n%+v", a, b)
+	}
+	close := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		d := x - y
+		if d < 0 {
+			d = -d
+		}
+		return d <= 0.01*(x+y)/2+1e-9
+	}
+	if !close(a.L1Miss, b.L1Miss) || !close(a.Cycles, b.Cycles) || !close(a.MemStall, b.MemStall) {
+		t.Errorf("cache counters drift beyond 1%%:\n%+v\n%+v", a, b)
+	}
+}
+
+// SSB twins: instruction relationship between the engines mirrors the
+// paper (TW materializes more).
+func TestSSBTwinShape(t *testing.T) {
+	db := ssbGen(0.05)
+	for _, q := range queries.SSBQueries {
+		ty := TracedSSB(db, Skylake, "typer", q)
+		tww := TracedSSB(db, Skylake, "tectorwise", q)
+		if tww.Instr <= ty.Instr {
+			t.Errorf("%s: TW instr (%.1f) should exceed Typer (%.1f)", q, tww.Instr, ty.Instr)
+		}
+		if tww.BranchMiss >= ty.BranchMiss {
+			t.Errorf("%s: TW branch misses (%.3f) should be below Typer (%.3f)",
+				q, tww.BranchMiss, ty.BranchMiss)
+		}
+		if tww.MemStall >= ty.MemStall*1.2 {
+			t.Errorf("%s: TW stall (%.1f) should not exceed Typer (%.1f) by much",
+				q, tww.MemStall, ty.MemStall)
+		}
+	}
+}
+
+// Bigger data ⇒ at least as many cache misses per tuple on join queries.
+func TestFig4Monotonicity(t *testing.T) {
+	small := tpch.Generate(0.02, 0)
+	large := tpch.Generate(0.2, 0)
+	for _, eng := range []string{"typer", "tectorwise"} {
+		s := TracedTPCH(small, Skylake, eng, "Q3")
+		l := TracedTPCH(large, Skylake, eng, "Q3")
+		if l.MemStall < s.MemStall*0.9 {
+			t.Errorf("%s Q3: stalls shrank with scale: %.2f -> %.2f", eng, s.MemStall, l.MemStall)
+		}
+	}
+}

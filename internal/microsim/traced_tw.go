@@ -1,0 +1,792 @@
+package microsim
+
+import (
+	"bytes"
+	"unsafe"
+
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+// Traced twins of the Tectorwise queries: vector-at-a-time passes over
+// real vector buffers. Selections are predicated (no data-dependent
+// branches — §2.1), every primitive materializes its output vector
+// (loads and stores the cache model sees), and probes run the
+// find-candidates / check / advance loop of Figure 2b.
+
+const twVec = 1000
+
+// twBufs is one worker's vector-buffer arena for tracing.
+type twBufs struct {
+	sel    []int32
+	pos    []int32
+	keys   []uint64
+	hashes []uint64
+	cand   []hashtable.Ref
+	candP  []int32
+	mRefs  []hashtable.Ref
+	mPos   []int32
+	refs   []hashtable.Ref
+	v1     []int64
+	v2     []int64
+}
+
+func newTWBufs(capacity int) *twBufs {
+	return &twBufs{
+		sel:    make([]int32, capacity),
+		pos:    make([]int32, capacity),
+		keys:   make([]uint64, capacity),
+		hashes: make([]uint64, capacity),
+		cand:   make([]hashtable.Ref, capacity),
+		candP:  make([]int32, capacity),
+		mRefs:  make([]hashtable.Ref, capacity),
+		mPos:   make([]int32, capacity),
+		refs:   make([]hashtable.Ref, capacity),
+		v1:     make([]int64, capacity),
+		v2:     make([]int64, capacity),
+	}
+}
+
+// twSel traces a predicated selection primitive over col[base:base+n].
+func twSel[T any](c *CPU, col []T, base, n int, pred func(T) bool, res []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps)
+		loadCol(c, col, base+i)
+		res[k] = int32(i)
+		storeVec(c, res, k)
+		c.Ops(2) // compare + predicated cursor advance
+		if pred(col[base+i]) {
+			k++
+		}
+	}
+	return k
+}
+
+// twSelSel traces a secondary (sparse) selection primitive.
+func twSelSel[T any](c *CPU, col []T, base int, sel []int32, pred func(T) bool, res []int32) int {
+	k := 0
+	for _, s := range sel {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&sel[0]), 4)
+		loadCol(c, col, base+int(s))
+		res[k] = s
+		storeVec(c, res, k)
+		c.Ops(2)
+		if pred(col[base+int(s)]) {
+			k++
+		}
+	}
+	return k
+}
+
+// twWidenKeys traces key widening: keys[i] = widen(col[base+sel[i]]).
+func twWidenKeys[T ~int32](c *CPU, col []T, base int, sel []int32, keys []uint64) {
+	for i, s := range sel {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&sel[i]), 4)
+		loadCol(c, col, base+int(s))
+		keys[i] = uint64(uint32(col[base+int(s)]))
+		storeVec(c, keys, i)
+	}
+}
+
+// twWidenDense traces dense key widening.
+func twWidenDense[T ~int32](c *CPU, col []T, base, n int, keys []uint64) {
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps)
+		loadCol(c, col, base+i)
+		keys[i] = uint64(uint32(col[base+i]))
+		storeVec(c, keys, i)
+	}
+}
+
+// twHash traces the Murmur2 hash primitive.
+func twHash(c *CPU, keys, hashes []uint64, n int) {
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps + HashOpsTW)
+		c.Load(unsafe.Pointer(&keys[i]), 8)
+		hashes[i] = hashtable.Murmur2(keys[i])
+		storeVec(c, hashes, i)
+	}
+}
+
+// twProbe traces the find-candidates / check-keys / advance loop and
+// returns the number of matches.
+func twProbe(c *CPU, ht *hashtable.Table, b *twBufs, n int) int {
+	// findCandidates: predicated, no data-dependent branches.
+	nc := 0
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps + 2)
+		c.Load(unsafe.Pointer(&b.hashes[i]), 8)
+		c.Load(ht.DirWordAddr(b.hashes[i]), 8)
+		ref := hashtable.DecodeDirWord(ht.LookupDirWord(b.hashes[i]), b.hashes[i], true)
+		c.Ops(3) // tag test + predicated append
+		b.cand[nc] = ref
+		b.candP[nc] = int32(i)
+		storeVec(c, b.cand, nc)
+		storeVec(c, b.candP, nc)
+		if ref != 0 {
+			nc++
+		}
+	}
+	nm := 0
+	for nc > 0 {
+		// checkKeys.
+		for i := 0; i < nc; i++ {
+			c.Ops(loopOps)
+			c.Load(unsafe.Pointer(&b.cand[i]), 8)
+			c.Load(unsafe.Pointer(&b.candP[i]), 4)
+			ref := b.cand[i]
+			p := b.candP[i]
+			c.Load(ht.EntryAddr(ref), 16)
+			hit := ht.Hash(ref) == b.hashes[p]
+			c.Ops(1)
+			c.Branch(siteHashEq, hit)
+			if hit {
+				c.Load(ht.PayloadAddr(ref), 8)
+				c.Ops(1)
+				hit = ht.Word(ref, 0) == b.keys[p]
+				c.Branch(siteKeyEq, hit)
+			}
+			c.Ops(2) // predicated match append
+			if hit {
+				b.mRefs[nm] = ref
+				b.mPos[nm] = p
+				storeVec(c, b.mRefs, nm)
+				storeVec(c, b.mPos, nm)
+				nm++
+			}
+		}
+		// advance chains, compacting survivors (predicated).
+		k := 0
+		for i := 0; i < nc; i++ {
+			c.Ops(loopOps + 2)
+			c.Load(ht.EntryAddr(b.cand[i]), 8)
+			next := ht.Next(b.cand[i])
+			b.cand[k] = next
+			b.candP[k] = b.candP[i]
+			storeVec(c, b.cand, k)
+			storeVec(c, b.candP, k)
+			if next != 0 {
+				k++
+			}
+		}
+		nc = k
+	}
+	return nm
+}
+
+// twGather traces gathering payload word w of each match into v1.
+func twGather(c *CPU, ht *hashtable.Table, b *twBufs, w, n int) {
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&b.mRefs[i]), 8)
+		c.Load(unsafe.Add(ht.PayloadAddr(b.mRefs[i]), 8*w), 8)
+		b.v1[i] = int64(ht.Word(b.mRefs[i], w))
+		storeVec(c, b.v1, i)
+	}
+}
+
+// twBuild traces the bulk materialization of n build rows (alloc +
+// scatter hash, key, payloadWords extra words).
+func twBuild(c *CPU, ht *hashtable.Table, b *twBufs, n, payloadWords int) {
+	sh := ht.Shard(0)
+	base := sh.AllocN(ht, n)
+	c.Ops(6)
+	for i := 0; i < n; i++ {
+		ref := ht.RefAt(base, i)
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&b.hashes[i]), 8)
+		ht.SetHash(ref, b.hashes[i])
+		c.Store(ht.EntryAddr(ref), 16)
+		ht.SetWord(ref, 0, b.keys[i])
+		c.Load(unsafe.Pointer(&b.keys[i]), 8)
+		c.Store(ht.PayloadAddr(ref), 8)
+		for wWord := 1; wWord < payloadWords; wWord++ {
+			c.Ops(loopOps)
+			c.Load(unsafe.Pointer(&b.v1[i]), 8)
+			c.Store(unsafe.Add(ht.PayloadAddr(ref), 8*wWord), 8)
+		}
+	}
+}
+
+// twInsertAll links all materialized rows into the directory.
+func twInsertAll(c *CPU, ht *hashtable.Table) {
+	ht.Prepare(ht.Rows())
+	ht.ForEach(func(ref hashtable.Ref) {
+		c.Ops(loopOps + 4)
+		c.Load(ht.EntryAddr(ref), 16)
+		h := ht.Hash(ref)
+		c.Load(ht.DirWordAddr(h), 8)
+		c.Store(ht.DirWordAddr(h), 8)
+		c.Store(ht.EntryAddr(ref), 8)
+	})
+	// Re-link for real (ForEach above only modeled the cost; Insert
+	// mutates next pointers, so do the actual linking afterwards).
+	refs := make([]hashtable.Ref, 0, ht.Rows())
+	ht.ForEach(func(ref hashtable.Ref) { refs = append(refs, ref) })
+	for _, ref := range refs {
+		ht.Insert(ref, ht.Hash(ref))
+	}
+}
+
+// twAgg traces the vectorized group-by phase-one passes.
+type twAgg struct {
+	ht    *hashtable.Table
+	nAggs int
+}
+
+func newTWAgg(expected, nAggs int) *twAgg {
+	ht := hashtable.New(1+nAggs, 1)
+	ht.Prepare(expected)
+	return &twAgg{ht: ht, nAggs: nAggs}
+}
+
+// consume traces find-groups, handle-misses, and one update pass per
+// aggregate for n tuples with keys/hashes in b.
+func (a *twAgg) consume(c *CPU, b *twBufs, n int) {
+	ht := a.ht
+	// findGroups.
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&b.keys[i]), 8)
+		c.Load(unsafe.Pointer(&b.hashes[i]), 8)
+		h := b.hashes[i]
+		key := b.keys[i]
+		c.Ops(2)
+		c.Load(ht.DirWordAddr(h), 8)
+		ref := hashtable.DecodeDirWord(ht.LookupDirWord(h), h, true)
+		c.Ops(2)
+		for ref != 0 {
+			c.Load(ht.EntryAddr(ref), 16)
+			hit := ht.Hash(ref) == h
+			c.Ops(1)
+			c.Branch(siteHashEq, hit)
+			if hit {
+				c.Load(ht.PayloadAddr(ref), 8)
+				c.Ops(1)
+				if ht.Word(ref, 0) == key {
+					break
+				}
+			}
+			ref = ht.Next(ref)
+			c.Ops(1)
+			c.Branch(siteChain, ref != 0)
+		}
+		b.refs[i] = ref
+		storeVec(c, b.refs, i)
+	}
+	// handleMisses (sequential insert of new groups).
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps + 1)
+		if b.refs[i] != 0 {
+			continue
+		}
+		h := b.hashes[i]
+		key := b.keys[i]
+		// Re-probe (an earlier miss may have inserted it).
+		ref := hashtable.DecodeDirWord(ht.LookupDirWord(h), h, true)
+		c.Load(ht.DirWordAddr(h), 8)
+		c.Ops(2)
+		for ref != 0 {
+			c.Load(ht.EntryAddr(ref), 16)
+			if ht.Hash(ref) == h {
+				c.Load(ht.PayloadAddr(ref), 8)
+				if ht.Word(ref, 0) == key {
+					break
+				}
+			}
+			c.Ops(2)
+			ref = ht.Next(ref)
+		}
+		if ref == 0 {
+			ref = tracedInsert(c, ht, h, key)
+			for w := 1; w <= a.nAggs; w++ {
+				ht.SetWord(ref, w, 0)
+			}
+			c.Store(unsafe.Add(ht.PayloadAddr(ref), 8), 8*a.nAggs)
+		}
+		b.refs[i] = ref
+		storeVec(c, b.refs, i)
+	}
+	// One update pass per aggregate column.
+	for agg := 1; agg <= a.nAggs; agg++ {
+		for i := 0; i < n; i++ {
+			c.Ops(loopOps + 1)
+			c.Load(unsafe.Pointer(&b.refs[i]), 8)
+			c.Load(unsafe.Pointer(&b.v1[i]), 8)
+			ref := b.refs[i]
+			c.Load(unsafe.Add(a.ht.PayloadAddr(ref), 8*agg), 8)
+			c.Store(unsafe.Add(a.ht.PayloadAddr(ref), 8*agg), 8)
+		}
+	}
+}
+
+// twFetch traces a fetch/projection primitive: out[i] = f(col[base+sel[i]]).
+func twFetch[T any](c *CPU, col []T, base int, sel []int32, out []int64) {
+	for i, s := range sel {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&sel[i]), 4)
+		loadCol(c, col, base+int(s))
+		storeVec(c, out, i)
+	}
+}
+
+// twMapArith traces one dense arithmetic map primitive over n tuples
+// (two input vectors, one output, opsPerElem ALU operations).
+func twMapArith(c *CPU, n, opsPerElem int, v1, v2 []int64) {
+	for i := 0; i < n; i++ {
+		c.Ops(loopOps + opsPerElem)
+		c.Load(unsafe.Pointer(&v1[i]), 8)
+		c.Load(unsafe.Pointer(&v2[i]), 8)
+		storeVec(c, v1, i)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Query twins.
+// ---------------------------------------------------------------------
+
+// TWQ1Traced traces TPC-H Q1 under the vectorized model.
+func TWQ1Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+	cutoff := queries.Q1Cutoff
+
+	b := newTWBufs(twVec)
+	agg := newTWAgg(8, 6)
+	for base := 0; base < li.Rows(); base += twVec {
+		n := min(twVec, li.Rows()-base)
+		k := twSel(c, ship, base, n, func(d types.Date) bool { return d <= cutoff }, b.sel)
+		if k == 0 {
+			continue
+		}
+		sel := b.sel[:k]
+		// Pack (returnflag, linestatus) group keys.
+		for i, s := range sel {
+			c.Ops(loopOps + 2)
+			loadCol(c, rf, base+int(s))
+			loadCol(c, ls, base+int(s))
+			b.keys[i] = uint64(rf[base+int(s)])<<8 | uint64(ls[base+int(s)])
+			storeVec(c, b.keys, i)
+		}
+		twHash(c, b.keys, b.hashes, k)
+		// Aggregate-input materialization: qty, extprice, disc price,
+		// charge, discount — each its own primitive pass.
+		twFetch(c, qty, base, sel, b.v1)
+		twFetch(c, ext, base, sel, b.v1)
+		twFetch(c, disc, base, sel, b.v2)
+		twMapArith(c, k, 2, b.v1, b.v2) // e * (100-d)
+		twFetch(c, tax, base, sel, b.v2)
+		twMapArith(c, k, 2, b.v1, b.v2) // (e*(100-d)) * (100+t)
+		agg.consume(c, b, k)
+	}
+}
+
+// TWQ6Traced traces TPC-H Q6.
+func TWQ6Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+
+	b := newTWBufs(twVec)
+	sel2 := make([]int32, twVec)
+	for base := 0; base < li.Rows(); base += twVec {
+		n := min(twVec, li.Rows()-base)
+		k := twSel(c, ship, base, n, func(d types.Date) bool { return d >= queries.Q6DateLo }, b.sel)
+		k = twSelSel(c, ship, base, b.sel[:k], func(d types.Date) bool { return d < queries.Q6DateHi }, sel2)
+		k = twSelSel(c, disc, base, sel2[:k], func(d types.Numeric) bool { return d >= queries.Q6DiscLo && d <= queries.Q6DiscHi }, b.sel)
+		k = twSelSel(c, qty, base, b.sel[:k], func(q types.Numeric) bool { return q < queries.Q6Quantity }, sel2)
+		if k == 0 {
+			continue
+		}
+		// rev = ext*disc over survivors, then sum.
+		for i, s := range sel2[:k] {
+			c.Ops(loopOps + 1)
+			loadCol(c, ext, base+int(s))
+			loadCol(c, disc, base+int(s))
+			storeVec(c, b.v1, i)
+		}
+		for i := 0; i < k; i++ {
+			c.Ops(loopOps + 1)
+			c.Load(unsafe.Pointer(&b.v1[i]), 8)
+		}
+	}
+}
+
+// TWQ3Traced traces TPC-H Q3.
+func TWQ3Traced(db *storage.Database, c *CPU) {
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	ckeys := cust.Int32("c_custkey")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	li := db.Rel("lineitem")
+	lkeys := li.Int32("l_orderkey")
+	lship := li.Date("l_shipdate")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	cutoff := queries.Q3Date
+
+	b := newTWBufs(twVec)
+	htCust := hashtable.New(1, 1)
+	// Pipeline 1: customer σ(segment) → HT_cust.
+	for base := 0; base < cust.Rows(); base += twVec {
+		n := min(twVec, cust.Rows()-base)
+		k := 0
+		for i := 0; i < n; i++ {
+			c.Ops(loopOps + 3)
+			c.Load(unsafe.Pointer(&seg.Bytes[seg.Offsets[base+i]]), 8)
+			b.sel[k] = int32(i)
+			storeVec(c, b.sel, k)
+			if string(seg.Get(base+i)) == queries.Q3Segment {
+				k++
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		twWidenKeys(c, ckeys, base, b.sel[:k], b.keys)
+		twHash(c, b.keys, b.hashes, k)
+		twBuild(c, htCust, b, k, 1)
+	}
+	twInsertAll(c, htCust)
+
+	// Pipeline 2: orders σ(date) ⋉ HT_cust → HT_ord.
+	htOrd := hashtable.New(2, 1)
+	for base := 0; base < ord.Rows(); base += twVec {
+		n := min(twVec, ord.Rows()-base)
+		k := twSel(c, odate, base, n, func(d types.Date) bool { return d < cutoff }, b.sel)
+		if k == 0 {
+			continue
+		}
+		twWidenKeys(c, ocust, base, b.sel[:k], b.keys)
+		twHash(c, b.keys, b.hashes, k)
+		nm := twProbe(c, htCust, b, k)
+		if nm == 0 {
+			continue
+		}
+		// Compose match positions back to the window, widen orderkeys,
+		// rehash, materialize build rows.
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 1)
+			c.Load(unsafe.Pointer(&b.mPos[i]), 4)
+			b.pos[i] = b.sel[b.mPos[i]]
+			storeVec(c, b.pos, i)
+		}
+		twWidenKeys(c, okeys, base, b.pos[:nm], b.keys)
+		twHash(c, b.keys, b.hashes, nm)
+		twFetch(c, odate, base, b.pos[:nm], b.v1)
+		twBuild(c, htOrd, b, nm, 2)
+	}
+	twInsertAll(c, htOrd)
+
+	// Pipeline 3: lineitem σ(shipdate) ⋈ HT_ord → Γ(orderkey).
+	agg := newTWAgg(htOrd.Rows(), 2)
+	for base := 0; base < li.Rows(); base += twVec {
+		n := min(twVec, li.Rows()-base)
+		k := twSel(c, lship, base, n, func(d types.Date) bool { return d > cutoff }, b.sel)
+		if k == 0 {
+			continue
+		}
+		twWidenKeys(c, lkeys, base, b.sel[:k], b.keys)
+		twHash(c, b.keys, b.hashes, k)
+		nm := twProbe(c, htOrd, b, k)
+		if nm == 0 {
+			continue
+		}
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 1)
+			c.Load(unsafe.Pointer(&b.mPos[i]), 4)
+			b.pos[i] = b.sel[b.mPos[i]]
+			storeVec(c, b.pos, i)
+		}
+		twFetch(c, lext, base, b.pos[:nm], b.v1)
+		twFetch(c, ldisc, base, b.pos[:nm], b.v2)
+		twMapArith(c, nm, 2, b.v1, b.v2)
+		twGather(c, htOrd, b, 1, nm) // carry (date, prio)
+		// Group keys = matched probe keys/hashes, densified.
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 1)
+			p := b.mPos[i]
+			c.Load(unsafe.Pointer(&b.keys[p]), 8)
+			c.Load(unsafe.Pointer(&b.hashes[p]), 8)
+			b.keys[i] = b.keys[p]
+			b.hashes[i] = b.hashes[p]
+			storeVec(c, b.keys, i)
+			storeVec(c, b.hashes, i)
+		}
+		agg.consume(c, b, nm)
+	}
+}
+
+// TWQ9Traced traces TPC-H Q9.
+func TWQ9Traced(db *storage.Database, c *CPU) {
+	part := db.Rel("part")
+	pnames := part.String("p_name")
+	pkeys := part.Int32("p_partkey")
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snation := supp.Int32("s_nationkey")
+	ps := db.Rel("partsupp")
+	pspk := ps.Int32("ps_partkey")
+	pssk := ps.Int32("ps_suppkey")
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	odate := ord.Date("o_orderdate")
+	needle := []byte(queries.Q9Color)
+
+	b := newTWBufs(twVec * 8)
+	// HT_part (green).
+	htPart := hashtable.New(1, 1)
+	for base := 0; base < part.Rows(); base += twVec {
+		n := min(twVec, part.Rows()-base)
+		k := 0
+		for i := 0; i < n; i++ {
+			name := pnames.Get(base + i)
+			c.Ops(loopOps + len(name)/2)
+			c.Load(unsafe.Pointer(&pnames.Offsets[base+i]), 8)
+			c.Load(unsafe.Pointer(&name[0]), len(name))
+			b.sel[k] = int32(i)
+			storeVec(c, b.sel, k)
+			if bytes.Contains(name, needle) {
+				k++
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		twWidenKeys(c, pkeys, base, b.sel[:k], b.keys)
+		twHash(c, b.keys, b.hashes, k)
+		twBuild(c, htPart, b, k, 1)
+	}
+	twInsertAll(c, htPart)
+
+	// HT_supp (suppkey → nation).
+	htSupp := hashtable.New(2, 1)
+	for base := 0; base < supp.Rows(); base += twVec {
+		n := min(twVec, supp.Rows()-base)
+		twWidenDense(c, skeys, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		twFetch(c, snation, base, vecIota(b.sel, n), b.v1)
+		twBuild(c, htSupp, b, n, 2)
+	}
+	twInsertAll(c, htSupp)
+
+	// HT_ps ((partkey,suppkey) → cost), filtered by HT_part.
+	htPS := hashtable.New(2, 1)
+	for base := 0; base < ps.Rows(); base += twVec {
+		n := min(twVec, ps.Rows()-base)
+		twWidenDense(c, pspk, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		nm := twProbe(c, htPart, b, n)
+		if nm == 0 {
+			continue
+		}
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 3)
+			p := b.mPos[i]
+			loadCol(c, pspk, base+int(p))
+			loadCol(c, pssk, base+int(p))
+			b.keys[i] = uint64(uint32(pspk[base+int(p)])) | uint64(uint32(pssk[base+int(p)]))<<32
+			storeVec(c, b.keys, i)
+		}
+		twHash(c, b.keys, b.hashes, nm)
+		twBuild(c, htPS, b, nm, 2)
+	}
+	twInsertAll(c, htPS)
+
+	// Lineitem pipeline → HT_line (orderkey → nation, amount).
+	htLine := hashtable.New(3, 1)
+	for base := 0; base < li.Rows(); base += twVec {
+		n := min(twVec, li.Rows()-base)
+		twWidenDense(c, lpk, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		nm1 := twProbe(c, htPart, b, n)
+		if nm1 == 0 {
+			continue
+		}
+		copy(b.pos, b.mPos[:nm1]) // window positions of green lineitems
+		for i := 0; i < nm1; i++ {
+			c.Ops(loopOps + 3)
+			p := b.pos[i]
+			loadCol(c, lpk, base+int(p))
+			loadCol(c, lsk, base+int(p))
+			b.keys[i] = uint64(uint32(lpk[base+int(p)])) | uint64(uint32(lsk[base+int(p)]))<<32
+			storeVec(c, b.keys, i)
+		}
+		twHash(c, b.keys, b.hashes, nm1)
+		nm2 := twProbe(c, htPS, b, nm1)
+		if nm2 == 0 {
+			continue
+		}
+		twGather(c, htPS, b, 1, nm2) // cost
+		for i := 0; i < nm2; i++ {
+			c.Ops(loopOps + 1)
+			b.pos[i] = b.pos[b.mPos[i]]
+			storeVec(c, b.pos, i)
+		}
+		twWidenKeys(c, lsk, base, b.pos[:nm2], b.keys)
+		twHash(c, b.keys, b.hashes, nm2)
+		nm3 := twProbe(c, htSupp, b, nm2)
+		if nm3 == 0 {
+			continue
+		}
+		twGather(c, htSupp, b, 1, nm3) // nation
+		for i := 0; i < nm3; i++ {
+			c.Ops(loopOps + 1)
+			b.pos[i] = b.pos[b.mPos[i]]
+			storeVec(c, b.pos, i)
+		}
+		twFetch(c, lext, base, b.pos[:nm3], b.v1)
+		twFetch(c, ldisc, base, b.pos[:nm3], b.v2)
+		twMapArith(c, nm3, 2, b.v1, b.v2)
+		twFetch(c, lqty, base, b.pos[:nm3], b.v2)
+		twMapArith(c, nm3, 2, b.v1, b.v2)
+		twWidenKeys(c, lok, base, b.pos[:nm3], b.keys)
+		twHash(c, b.keys, b.hashes, nm3)
+		twBuild(c, htLine, b, nm3, 3)
+	}
+	twInsertAll(c, htLine)
+
+	// Orders ⋈ HT_line (multi-match) → Γ(year, nation).
+	agg := newTWAgg(256, 1)
+	for base := 0; base < ord.Rows(); base += twVec {
+		n := min(twVec, ord.Rows()-base)
+		twWidenDense(c, okeys, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		nm := twProbe(c, htLine, b, n)
+		if nm == 0 {
+			continue
+		}
+		twGather(c, htLine, b, 2, nm) // amounts
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 7) // year extraction + pack
+			p := b.mPos[i]
+			loadCol(c, odate, base+int(p))
+			c.Load(unsafe.Add(htLine.PayloadAddr(b.mRefs[i]), 8), 8) // nation
+			b.keys[i] = uint64(uint32(odate[base+int(p)].Year())) | htLine.Word(b.mRefs[i], 1)<<32
+			storeVec(c, b.keys, i)
+		}
+		twHash(c, b.keys, b.hashes, nm)
+		agg.consume(c, b, nm)
+	}
+}
+
+// TWQ18Traced traces TPC-H Q18.
+func TWQ18Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	minQty := int64(queries.Q18Quantity)
+
+	b := newTWBufs(twVec)
+	// Γ(lineitem by orderkey).
+	agg := newTWAgg(ord.Rows(), 1)
+	for base := 0; base < li.Rows(); base += twVec {
+		n := min(twVec, li.Rows()-base)
+		twWidenDense(c, lok, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		twFetch(c, lqty, base, vecIota(b.sel, n), b.v1)
+		// Real aggregation so the HAVING pass sees genuine sums.
+		for i := 0; i < n; i++ {
+			key := b.keys[i]
+			h := b.hashes[i]
+			ref := agg.ht.Lookup(h)
+			for ; ref != 0; ref = agg.ht.Next(ref) {
+				if agg.ht.Hash(ref) == h && agg.ht.Word(ref, 0) == key {
+					break
+				}
+			}
+			if ref == 0 {
+				ref, _ = agg.ht.Shard(0).Alloc(agg.ht, h)
+				agg.ht.SetWord(ref, 0, key)
+				agg.ht.SetWord(ref, 1, 0)
+				agg.ht.Insert(ref, h)
+			}
+			agg.ht.SetWord(ref, 1, agg.ht.Word(ref, 1)+uint64(lqty[base+i]))
+		}
+		agg.consume(c, b, n)
+	}
+	// HAVING + HT_big.
+	htBig := hashtable.New(2, 1)
+	htBig.Prepare(64)
+	agg.ht.ForEach(func(ref hashtable.Ref) {
+		c.Ops(loopOps)
+		c.Load(agg.ht.PayloadAddr(ref), 16)
+		pass := int64(agg.ht.Word(ref, 1)) > minQty
+		c.Branch(siteHaving, pass)
+		if pass {
+			key := agg.ht.Word(ref, 0)
+			c.Ops(HashOpsTW)
+			tracedInsert(c, htBig, hashtable.Murmur2(key), key, agg.ht.Word(ref, 1))
+		}
+	})
+	// Orders ⋈ HT_big → HT_match.
+	htMatch := hashtable.New(4, 1)
+	for base := 0; base < ord.Rows(); base += twVec {
+		n := min(twVec, ord.Rows()-base)
+		twWidenDense(c, okeys, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		nm := twProbe(c, htBig, b, n)
+		if nm == 0 {
+			continue
+		}
+		twWidenKeys(c, ocust, base, b.mPos[:nm], b.keys)
+		twHash(c, b.keys, b.hashes, nm)
+		twGather(c, htBig, b, 1, nm)
+		twBuild(c, htMatch, b, nm, 4)
+	}
+	twInsertAll(c, htMatch)
+	// Customer ⋈ HT_match.
+	for base := 0; base < cust.Rows(); base += twVec {
+		n := min(twVec, cust.Rows()-base)
+		twWidenDense(c, ckeys, base, n, b.keys)
+		twHash(c, b.keys, b.hashes, n)
+		nm := twProbe(c, htMatch, b, n)
+		for i := 0; i < nm; i++ {
+			c.Ops(loopOps + 4)
+			c.Load(htMatch.PayloadAddr(b.mRefs[i]), 32)
+		}
+	}
+}
+
+// vecIota fills sel[0:n] with 0..n-1 (no tracing — plan constant setup).
+func vecIota(sel []int32, n int) []int32 {
+	for i := 0; i < n; i++ {
+		sel[i] = int32(i)
+	}
+	return sel[:n]
+}

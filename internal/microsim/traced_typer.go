@@ -1,0 +1,412 @@
+package microsim
+
+import (
+	"bytes"
+	"unsafe"
+
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+)
+
+// Traced twins of the Typer queries: the same fused tuple-at-a-time
+// pipelines as internal/typer, single-threaded, emitting every load,
+// store, ALU group, and data-dependent branch into the modeled CPU.
+// Results are not returned — the engines' own tests prove correctness;
+// the twins exist to expose the memory-access and branch structure of the
+// algorithms to the cache and pipeline models.
+
+func typerHash(c *CPU, k uint64) uint64 {
+	c.Ops(HashOpsTyper)
+	return hashtable.Mix64(k)
+}
+
+// TyperQ1Traced traces TPC-H Q1 under the compiled model.
+func TyperQ1Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+	cutoff := queries.Q1Cutoff
+
+	ht := hashtable.New(7, 1)
+	ht.Prepare(8)
+	for i := range ship {
+		c.Ops(loopOps)
+		loadCol(c, ship, i)
+		pass := ship[i] <= cutoff
+		c.Branch(siteFilter, pass)
+		if !pass {
+			continue
+		}
+		loadCol(c, rf, i)
+		loadCol(c, ls, i)
+		key := uint64(rf[i])<<8 | uint64(ls[i])
+		c.Ops(2)
+		h := typerHash(c, key)
+		ref := tracedProbe(c, ht, h, key, nil)
+		if ref == 0 {
+			ref = tracedInsert(c, ht, h, key, 0, 0, 0, 0, 0, 0)
+		}
+		// Load inputs, update the six aggregates in place.
+		loadCol(c, qty, i)
+		loadCol(c, ext, i)
+		loadCol(c, disc, i)
+		loadCol(c, tax, i)
+		c.Ops(8) // fixed-point arithmetic for disc price and charge
+		c.Load(unsafe.Add(ht.PayloadAddr(ref), 8), 48)
+		c.Ops(6)
+		c.Store(unsafe.Add(ht.PayloadAddr(ref), 8), 48)
+	}
+}
+
+// TyperQ6Traced traces TPC-H Q6.
+func TyperQ6Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	for i := range ship {
+		c.Ops(loopOps)
+		loadCol(c, ship, i)
+		ok := ship[i] >= queries.Q6DateLo
+		c.Branch(siteFilter, ok)
+		if !ok {
+			continue
+		}
+		ok = ship[i] < queries.Q6DateHi
+		c.Ops(1)
+		c.Branch(siteFilter+1, ok)
+		if !ok {
+			continue
+		}
+		loadCol(c, disc, i)
+		ok = disc[i] >= queries.Q6DiscLo && disc[i] <= queries.Q6DiscHi
+		c.Ops(2)
+		c.Branch(siteFilter+2, ok)
+		if !ok {
+			continue
+		}
+		loadCol(c, qty, i)
+		ok = qty[i] < queries.Q6Quantity
+		c.Ops(1)
+		c.Branch(siteFilter+3, ok)
+		if !ok {
+			continue
+		}
+		loadCol(c, ext, i)
+		c.Ops(2) // multiply + accumulate in register
+	}
+}
+
+// TyperQ3Traced traces TPC-H Q3.
+func TyperQ3Traced(db *storage.Database, c *CPU) {
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	ckeys := cust.Int32("c_custkey")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	li := db.Rel("lineitem")
+	lkeys := li.Int32("l_orderkey")
+	lship := li.Date("l_shipdate")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	cutoff := queries.Q3Date
+
+	// Pipeline 1: σ(customer) → HT_cust.
+	htCust := hashtable.New(1, 1)
+	nBuild := 0
+	for i := 0; i < cust.Rows(); i++ {
+		if string(seg.Get(i)) == queries.Q3Segment {
+			nBuild++
+		}
+	}
+	htCust.Prepare(nBuild)
+	for i := 0; i < cust.Rows(); i++ {
+		c.Ops(loopOps)
+		c.Load(unsafe.Pointer(&seg.Bytes[seg.Offsets[i]]), 8)
+		c.Ops(3) // length check + word compare
+		pass := string(seg.Get(i)) == queries.Q3Segment
+		c.Branch(siteFilter, pass)
+		if !pass {
+			continue
+		}
+		loadCol(c, ckeys, i)
+		key := uint64(uint32(ckeys[i]))
+		h := typerHash(c, key)
+		tracedInsert(c, htCust, h, key)
+	}
+
+	// Pipeline 2: σ(orders) ⋉ HT_cust → HT_ord.
+	htOrd := hashtable.New(2, 1)
+	htOrd.Prepare(nBuild * ord.Rows() / cust.Rows()) // ≈ qualifying orders
+	for i := 0; i < ord.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, odate, i)
+		pass := odate[i] < cutoff
+		c.Branch(siteFilter+1, pass)
+		if !pass {
+			continue
+		}
+		loadCol(c, ocust, i)
+		ck := uint64(uint32(ocust[i]))
+		h := typerHash(c, ck)
+		if tracedProbe(c, htCust, h, ck, nil) != 0 {
+			loadCol(c, okeys, i)
+			key := uint64(uint32(okeys[i]))
+			h2 := typerHash(c, key)
+			tracedInsert(c, htOrd, h2, key, 0)
+		}
+	}
+
+	// Pipeline 3: σ(lineitem) ⋈ HT_ord → Γ(orderkey).
+	htAgg := hashtable.New(3, 1)
+	htAgg.Prepare(htOrd.Rows())
+	for i := 0; i < li.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, lship, i)
+		pass := lship[i] > cutoff
+		c.Branch(siteFilter+2, pass)
+		if !pass {
+			continue
+		}
+		loadCol(c, lkeys, i)
+		key := uint64(uint32(lkeys[i]))
+		h := typerHash(c, key)
+		if tracedProbe(c, htOrd, h, key, nil) == 0 {
+			continue
+		}
+		loadCol(c, lext, i)
+		loadCol(c, ldisc, i)
+		c.Ops(3) // revenue arithmetic
+		gref := tracedProbe(c, htAgg, h, key, nil)
+		c.Branch(siteAggHit, gref != 0)
+		if gref == 0 {
+			tracedInsert(c, htAgg, h, key, 0, 0)
+		} else {
+			c.Load(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+			c.Ops(1)
+			c.Store(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+		}
+	}
+}
+
+// TyperQ9Traced traces TPC-H Q9.
+func TyperQ9Traced(db *storage.Database, c *CPU) {
+	part := db.Rel("part")
+	pnames := part.String("p_name")
+	pkeys := part.Int32("p_partkey")
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snation := supp.Int32("s_nationkey")
+	ps := db.Rel("partsupp")
+	pspk := ps.Int32("ps_partkey")
+	pssk := ps.Int32("ps_suppkey")
+	pscost := ps.Numeric("ps_supplycost")
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	odate := ord.Date("o_orderdate")
+	needle := []byte(queries.Q9Color)
+
+	// HT_part over green parts.
+	htPart := hashtable.New(1, 1)
+	nGreen := 0
+	for i := 0; i < part.Rows(); i++ {
+		if bytes.Contains(pnames.Get(i), needle) {
+			nGreen++
+		}
+	}
+	htPart.Prepare(nGreen)
+	for i := 0; i < part.Rows(); i++ {
+		c.Ops(loopOps)
+		name := pnames.Get(i)
+		c.Load(unsafe.Pointer(&pnames.Offsets[i]), 8)
+		c.Load(unsafe.Pointer(&name[0]), len(name))
+		c.Ops(len(name) / 2) // substring scan
+		pass := bytes.Contains(name, needle)
+		c.Branch(siteFilter, pass)
+		if !pass {
+			continue
+		}
+		loadCol(c, pkeys, i)
+		key := uint64(uint32(pkeys[i]))
+		tracedInsert(c, htPart, typerHash(c, key), key)
+	}
+	// HT_supp.
+	htSupp := hashtable.New(2, 1)
+	htSupp.Prepare(supp.Rows())
+	for i := 0; i < supp.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, skeys, i)
+		loadCol(c, snation, i)
+		key := uint64(uint32(skeys[i]))
+		tracedInsert(c, htSupp, typerHash(c, key), key, uint64(uint32(snation[i])))
+	}
+	// HT_ps over green partsupps.
+	htPS := hashtable.New(2, 1)
+	htPS.Prepare(nGreen * 4)
+	for i := 0; i < ps.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, pspk, i)
+		pk := uint64(uint32(pspk[i]))
+		h := typerHash(c, pk)
+		if tracedProbe(c, htPart, h, pk, nil) == 0 {
+			continue
+		}
+		loadCol(c, pssk, i)
+		loadCol(c, pscost, i)
+		key := pk | uint64(uint32(pssk[i]))<<32
+		c.Ops(2)
+		tracedInsert(c, htPS, typerHash(c, key), key, uint64(pscost[i]))
+	}
+	// Lineitem pipeline → HT_line.
+	htLine := hashtable.New(3, 1)
+	htLine.Prepare(li.Rows() * (nGreen + 1) / (part.Rows() + 1))
+	for i := 0; i < li.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, lpk, i)
+		pk := uint64(uint32(lpk[i]))
+		h := typerHash(c, pk)
+		if tracedProbe(c, htPart, h, pk, nil) == 0 {
+			continue
+		}
+		loadCol(c, lsk, i)
+		psKey := pk | uint64(uint32(lsk[i]))<<32
+		c.Ops(2)
+		pref := tracedProbe(c, htPS, typerHash(c, psKey), psKey, nil)
+		if pref == 0 {
+			continue
+		}
+		c.Load(unsafe.Add(htPS.PayloadAddr(pref), 8), 8) // cost
+		sk := uint64(uint32(lsk[i]))
+		sref := tracedProbe(c, htSupp, typerHash(c, sk), sk, nil)
+		if sref == 0 {
+			continue
+		}
+		c.Load(unsafe.Add(htSupp.PayloadAddr(sref), 8), 8) // nation
+		loadCol(c, lok, i)
+		loadCol(c, lqty, i)
+		loadCol(c, lext, i)
+		loadCol(c, ldisc, i)
+		c.Ops(5) // amount arithmetic
+		key := uint64(uint32(lok[i]))
+		tracedInsert(c, htLine, typerHash(c, key), key,
+			htSupp.Word(sref, 1), uint64(int64(lext[i])*(100-int64(ldisc[i]))))
+	}
+	// Orders probe (multi-match) → Γ(year, nation).
+	htAgg := hashtable.New(2, 1)
+	htAgg.Prepare(256)
+	for i := 0; i < ord.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, okeys, i)
+		key := uint64(uint32(okeys[i]))
+		h := typerHash(c, key)
+		first := true
+		tracedProbe(c, htLine, h, key, func(ref hashtable.Ref) {
+			if first {
+				loadCol(c, odate, i)
+				c.Ops(6) // year extraction
+				first = false
+			}
+			c.Load(unsafe.Add(htLine.PayloadAddr(ref), 8), 16) // nation, amount
+			gkey := uint64(uint32(odate[i].Year())) | htLine.Word(ref, 1)<<32
+			c.Ops(2)
+			gh := typerHash(c, gkey)
+			gref := tracedProbe(c, htAgg, gh, gkey, nil)
+			c.Branch(siteAggHit, gref != 0)
+			if gref == 0 {
+				tracedInsert(c, htAgg, gh, gkey, 0)
+				return
+			}
+			c.Load(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+			c.Ops(1)
+			c.Store(unsafe.Add(htAgg.PayloadAddr(gref), 8), 8)
+		})
+	}
+}
+
+// TyperQ18Traced traces TPC-H Q18.
+func TyperQ18Traced(db *storage.Database, c *CPU) {
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	minQty := int64(queries.Q18Quantity)
+
+	// Γ(lineitem by orderkey): the 1.5M·SF-group aggregation.
+	htAgg := hashtable.New(2, 1)
+	htAgg.Prepare(ord.Rows())
+	for i := 0; i < li.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, lok, i)
+		loadCol(c, lqty, i)
+		key := uint64(uint32(lok[i]))
+		h := typerHash(c, key)
+		ref := tracedProbe(c, htAgg, h, key, nil)
+		c.Branch(siteAggHit, ref != 0)
+		if ref == 0 {
+			tracedInsert(c, htAgg, h, key, uint64(lqty[i]))
+			continue
+		}
+		c.Load(unsafe.Add(htAgg.PayloadAddr(ref), 8), 8)
+		c.Ops(1)
+		htAgg.SetWord(ref, 1, htAgg.Word(ref, 1)+uint64(lqty[i]))
+		c.Store(unsafe.Add(htAgg.PayloadAddr(ref), 8), 8)
+	}
+	// HAVING scan over the groups.
+	htBig := hashtable.New(2, 1)
+	htBig.Prepare(64)
+	htAgg.ForEach(func(ref hashtable.Ref) {
+		c.Ops(loopOps)
+		c.Load(htAgg.PayloadAddr(ref), 16)
+		pass := int64(htAgg.Word(ref, 1)) > minQty
+		c.Branch(siteHaving, pass)
+		if pass {
+			key := htAgg.Word(ref, 0)
+			tracedInsert(c, htBig, typerHash(c, key), key, htAgg.Word(ref, 1))
+		}
+	})
+	// Orders ⋈ HT_big → HT_match.
+	htMatch := hashtable.New(4, 1)
+	htMatch.Prepare(htBig.Rows())
+	for i := 0; i < ord.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, okeys, i)
+		key := uint64(uint32(okeys[i]))
+		h := typerHash(c, key)
+		if ref := tracedProbe(c, htBig, h, key, nil); ref != 0 {
+			loadCol(c, ocust, i)
+			ck := uint64(uint32(ocust[i]))
+			tracedInsert(c, htMatch, typerHash(c, ck), ck, 0, 0, htBig.Word(ref, 1))
+		}
+	}
+	// Customer ⋈ HT_match → output.
+	for i := 0; i < cust.Rows(); i++ {
+		c.Ops(loopOps)
+		loadCol(c, ckeys, i)
+		ck := uint64(uint32(ckeys[i]))
+		h := typerHash(c, ck)
+		tracedProbe(c, htMatch, h, ck, func(ref hashtable.Ref) {
+			c.Load(htMatch.PayloadAddr(ref), 32)
+			c.Ops(4) // emit row
+		})
+	}
+}

@@ -1,0 +1,151 @@
+package queries
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"paradigms/internal/tpch"
+)
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(values []int32, kRaw uint8) bool {
+		k := int(kRaw)%20 + 1
+		less := func(a, b int32) bool { return a < b }
+		tk := NewTopK[int32](k, less)
+		for _, v := range values {
+			tk.Offer(v)
+		}
+		got := tk.Sorted()
+		want := append([]int32(nil), values...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKMerge(t *testing.T) {
+	less := func(a, b int) bool { return a > b } // keep largest
+	a := NewTopK[int](3, less)
+	b := NewTopK[int](3, less)
+	rng := rand.New(rand.NewSource(7))
+	all := make([]int, 0, 100)
+	for i := 0; i < 50; i++ {
+		v1, v2 := rng.Intn(1000), rng.Intn(1000)
+		a.Offer(v1)
+		b.Offer(v2)
+		all = append(all, v1, v2)
+	}
+	a.Merge(b)
+	got := a.Sorted()
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	for i := 0; i < 3; i++ {
+		if got[i] != all[i] {
+			t.Fatalf("merged top-3[%d] = %d, want %d", i, got[i], all[i])
+		}
+	}
+}
+
+func TestTopKZero(t *testing.T) {
+	tk := NewTopK[int](0, func(a, b int) bool { return a < b })
+	tk.Offer(1)
+	if len(tk.Sorted()) != 0 {
+		t.Fatal("k=0 retained rows")
+	}
+}
+
+func TestReferenceQ1SmokeShape(t *testing.T) {
+	db := tpch.Generate(0.01, 0)
+	res := RefQ1(db)
+	if len(res) != 4 {
+		t.Fatalf("Q1 groups = %d, want 4 (AF, NF, NO, RF)", len(res))
+	}
+	// Canonical group order and plausibility.
+	wantKeys := [][2]byte{{'A', 'F'}, {'N', 'F'}, {'N', 'O'}, {'R', 'F'}}
+	for i, w := range wantKeys {
+		if res[i].ReturnFlag != w[0] || res[i].LineStatus != w[1] {
+			t.Errorf("group %d = %c%c, want %c%c", i, res[i].ReturnFlag, res[i].LineStatus, w[0], w[1])
+		}
+		if res[i].Count == 0 || res[i].SumBase <= 0 || res[i].SumDisc <= 0 {
+			t.Errorf("group %d has empty aggregates: %+v", i, res[i])
+		}
+		// avg(qty) must be ≈25.5 (uniform 1..50).
+		avgQty := float64(res[i].SumQty) / float64(res[i].Count) / 100
+		if avgQty < 23 || avgQty > 28 {
+			t.Errorf("group %d avg qty = %.2f", i, avgQty)
+		}
+	}
+}
+
+func TestReferenceQ3Q18Ordering(t *testing.T) {
+	db := tpch.Generate(0.02, 0)
+	q3 := RefQ3(db)
+	if len(q3) == 0 || len(q3) > 10 {
+		t.Fatalf("Q3 rows = %d", len(q3))
+	}
+	for i := 1; i < len(q3); i++ {
+		if Q3Less(q3[i], q3[i-1]) {
+			t.Fatalf("Q3 rows out of order at %d", i)
+		}
+	}
+	q18 := RefQ18(db)
+	for i := 1; i < len(q18); i++ {
+		if Q18Less(q18[i], q18[i-1]) {
+			t.Fatalf("Q18 rows out of order at %d", i)
+		}
+	}
+	// Q18 having-filter: every retained group exceeds 300.
+	for _, r := range q18 {
+		if r.SumQty <= int64(Q18Quantity) {
+			t.Fatalf("Q18 row %+v violates HAVING", r)
+		}
+	}
+}
+
+func TestReferenceQ9Groups(t *testing.T) {
+	db := tpch.Generate(0.02, 0)
+	q9 := RefQ9(db)
+	if len(q9) == 0 {
+		t.Fatal("Q9 returned no groups")
+	}
+	// Years within order date range, nations valid.
+	for _, r := range q9 {
+		if r.Year < 1992 || r.Year > 1998 {
+			t.Errorf("Q9 year %d", r.Year)
+		}
+		if r.Nation < 0 || r.Nation > 24 {
+			t.Errorf("Q9 nation %d", r.Nation)
+		}
+	}
+	// All 25 nations × 7 years possible; expect a healthy fraction.
+	if len(q9) < 25 {
+		t.Errorf("Q9 groups = %d, expected ≥ 25", len(q9))
+	}
+}
+
+func TestScannedTablesCoverAllQueries(t *testing.T) {
+	for _, q := range TPCHQueries {
+		if len(ScannedTables[q]) == 0 {
+			t.Errorf("no scanned tables for %s", q)
+		}
+	}
+	for _, q := range SSBQueries {
+		if len(ScannedTables[q]) == 0 {
+			t.Errorf("no scanned tables for %s", q)
+		}
+	}
+}

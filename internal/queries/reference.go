@@ -1,0 +1,488 @@
+package queries
+
+import (
+	"bytes"
+	"sort"
+
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+// This file contains straightforward single-threaded reference
+// implementations of every query, written with Go maps and independent of
+// both engines' data structures. They are the correctness oracle for the
+// cross-engine equivalence tests and are deliberately naive.
+
+// RefQ1 computes TPC-H Q1.
+func RefQ1(db *storage.Database) Q1Result {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+
+	type key struct{ f, s byte }
+	groups := make(map[key]*Q1Row)
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] > Q1Cutoff {
+			continue
+		}
+		k := key{rf[i], ls[i]}
+		g := groups[k]
+		if g == nil {
+			g = &Q1Row{ReturnFlag: k.f, LineStatus: k.s}
+			groups[k] = g
+		}
+		e, d, t := int64(ext[i]), int64(disc[i]), int64(tax[i])
+		g.SumQty += int64(qty[i])
+		g.SumBase += e
+		g.SumDisc += e * (100 - d)
+		g.SumCharge += e * (100 - d) * (100 + t)
+		g.SumDiscnt += d
+		g.Count++
+	}
+	out := make(Q1Result, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	SortQ1(out)
+	return out
+}
+
+// RefQ6 computes TPC-H Q6.
+func RefQ6(db *storage.Database) Q6Result {
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	var sum int64
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] >= Q6DateLo && ship[i] < Q6DateHi &&
+			disc[i] >= Q6DiscLo && disc[i] <= Q6DiscHi && qty[i] < Q6Quantity {
+			sum += int64(ext[i]) * int64(disc[i])
+		}
+	}
+	return Q6Result(sum)
+}
+
+// RefQ3 computes TPC-H Q3.
+func RefQ3(db *storage.Database) Q3Result {
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	ckeys := cust.Int32("c_custkey")
+	building := make(map[int32]bool)
+	for i := 0; i < cust.Rows(); i++ {
+		if string(seg.Get(i)) == Q3Segment {
+			building[ckeys[i]] = true
+		}
+	}
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	oprio := ord.Int32("o_shippriority")
+	type oinfo struct {
+		date types.Date
+		prio int32
+	}
+	qualifying := make(map[int32]oinfo)
+	for i := 0; i < ord.Rows(); i++ {
+		if odate[i] < Q3Date && building[ocust[i]] {
+			qualifying[okeys[i]] = oinfo{odate[i], oprio[i]}
+		}
+	}
+	li := db.Rel("lineitem")
+	lkeys := li.Int32("l_orderkey")
+	ship := li.Date("l_shipdate")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	revenue := make(map[int32]int64)
+	for i := 0; i < li.Rows(); i++ {
+		if ship[i] > Q3Date {
+			if _, ok := qualifying[lkeys[i]]; ok {
+				revenue[lkeys[i]] += int64(ext[i]) * (100 - int64(disc[i]))
+			}
+		}
+	}
+	rows := make(Q3Result, 0, len(revenue))
+	for ok, rev := range revenue {
+		info := qualifying[ok]
+		rows = append(rows, Q3Row{OrderKey: ok, Revenue: rev, OrderDate: info.date, ShipPriority: info.prio})
+	}
+	SortQ3(rows)
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	return rows
+}
+
+// RefQ9 computes TPC-H Q9.
+func RefQ9(db *storage.Database) Q9Result {
+	part := db.Rel("part")
+	names := part.String("p_name")
+	pkeys := part.Int32("p_partkey")
+	green := make(map[int32]bool)
+	needle := []byte(Q9Color)
+	for i := 0; i < part.Rows(); i++ {
+		if bytes.Contains(names.Get(i), needle) {
+			green[pkeys[i]] = true
+		}
+	}
+	supp := db.Rel("supplier")
+	snation := make(map[int32]int32)
+	skeys := supp.Int32("s_suppkey")
+	snat := supp.Int32("s_nationkey")
+	for i := 0; i < supp.Rows(); i++ {
+		snation[skeys[i]] = snat[i]
+	}
+	ps := db.Rel("partsupp")
+	pspk := ps.Int32("ps_partkey")
+	pssk := ps.Int32("ps_suppkey")
+	pscost := ps.Numeric("ps_supplycost")
+	cost := make(map[[2]int32]int64)
+	for i := 0; i < ps.Rows(); i++ {
+		cost[[2]int32{pspk[i], pssk[i]}] = int64(pscost[i])
+	}
+	ord := db.Rel("orders")
+	oyear := make(map[int32]int32)
+	okeys := ord.Int32("o_orderkey")
+	odate := ord.Date("o_orderdate")
+	for i := 0; i < ord.Rows(); i++ {
+		oyear[okeys[i]] = int32(odate[i].Year())
+	}
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	lok := li.Int32("l_orderkey")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	type key struct{ nation, year int32 }
+	profit := make(map[key]int64)
+	for i := 0; i < li.Rows(); i++ {
+		if !green[lpk[i]] {
+			continue
+		}
+		// Scales: ext(2)·disc-complement(2) → 4; cost(2)·qty(2) → 4.
+		amount := int64(ext[i])*(100-int64(disc[i])) - cost[[2]int32{lpk[i], lsk[i]}]*int64(qty[i])
+		k := key{snation[lsk[i]], oyear[lok[i]]}
+		profit[k] += amount
+	}
+	out := make(Q9Result, 0, len(profit))
+	for k, v := range profit {
+		out = append(out, Q9Row{Nation: k.nation, Year: k.year, Profit: v})
+	}
+	SortQ9(out)
+	return out
+}
+
+// RefQ18 computes TPC-H Q18.
+func RefQ18(db *storage.Database) Q18Result {
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	qty := li.Numeric("l_quantity")
+	sums := make(map[int32]int64)
+	for i := 0; i < li.Rows(); i++ {
+		sums[lok[i]] += int64(qty[i])
+	}
+	big := make(map[int32]int64)
+	for ok, s := range sums {
+		if s > int64(Q18Quantity) {
+			big[ok] = s
+		}
+	}
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	ototal := ord.Numeric("o_totalprice")
+	rows := make(Q18Result, 0, len(big))
+	for i := 0; i < ord.Rows(); i++ {
+		if s, ok := big[okeys[i]]; ok {
+			rows = append(rows, Q18Row{
+				CustKey:    ocust[i],
+				OrderKey:   okeys[i],
+				OrderDate:  odate[i],
+				TotalPrice: ototal[i],
+				SumQty:     s,
+			})
+		}
+	}
+	SortQ18(rows)
+	if len(rows) > 100 {
+		rows = rows[:100]
+	}
+	return rows
+}
+
+// RefSSBQ11 computes SSB Q1.1.
+func RefSSBQ11(db *storage.Database) SSBQ11Result {
+	date := db.Rel("date")
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	year := make(map[types.Date]int32, date.Rows())
+	for i := 0; i < date.Rows(); i++ {
+		year[dk[i]] = dy[i]
+	}
+	lo := db.Rel("lineorder")
+	od := lo.Date("lo_orderdate")
+	disc := lo.Numeric("lo_discount")
+	qty := lo.Numeric("lo_quantity")
+	ext := lo.Numeric("lo_extendedprice")
+	var sum int64
+	for i := 0; i < lo.Rows(); i++ {
+		if year[od[i]] == SSBQ11Year && disc[i] >= SSBQ11DiscLo && disc[i] <= SSBQ11DiscHi && qty[i] < SSBQ11Qty {
+			sum += int64(ext[i]) * int64(disc[i])
+		}
+	}
+	return SSBQ11Result(sum)
+}
+
+// RefSSBQ21 computes SSB Q2.1.
+func RefSSBQ21(db *storage.Database) SSBQ21Result {
+	part := db.Rel("part")
+	brand := make(map[int32]int32)
+	pk := part.Int32("p_partkey")
+	cat := part.Int32("p_category")
+	br := part.Int32("p_brand1")
+	for i := 0; i < part.Rows(); i++ {
+		if cat[i] == SSBQ21Categ {
+			brand[pk[i]] = br[i]
+		}
+	}
+	supp := db.Rel("supplier")
+	amer := make(map[int32]bool)
+	sk := supp.Int32("s_suppkey")
+	sr := supp.Int32("s_region")
+	for i := 0; i < supp.Rows(); i++ {
+		if sr[i] == SSBQ21Region {
+			amer[sk[i]] = true
+		}
+	}
+	date := db.Rel("date")
+	year := make(map[types.Date]int32, date.Rows())
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	for i := 0; i < date.Rows(); i++ {
+		year[dk[i]] = dy[i]
+	}
+	lo := db.Rel("lineorder")
+	lopk := lo.Int32("lo_partkey")
+	losk := lo.Int32("lo_suppkey")
+	lod := lo.Date("lo_orderdate")
+	rev := lo.Numeric("lo_revenue")
+	type key struct{ year, brand int32 }
+	sums := make(map[key]int64)
+	for i := 0; i < lo.Rows(); i++ {
+		b, okp := brand[lopk[i]]
+		if !okp || !amer[losk[i]] {
+			continue
+		}
+		sums[key{year[lod[i]], b}] += int64(rev[i])
+	}
+	out := make(SSBQ21Result, 0, len(sums))
+	for k, v := range sums {
+		out = append(out, SSBQ21Row{Year: k.year, Brand: k.brand, Revenue: v})
+	}
+	SortSSBQ21(out)
+	return out
+}
+
+// RefSSBQ31 computes SSB Q3.1.
+func RefSSBQ31(db *storage.Database) SSBQ31Result {
+	cust := db.Rel("customer")
+	cnation := make(map[int32]int32)
+	ck := cust.Int32("c_custkey")
+	cr := cust.Int32("c_region")
+	cn := cust.Int32("c_nation")
+	for i := 0; i < cust.Rows(); i++ {
+		if cr[i] == SSBQ31Region {
+			cnation[ck[i]] = cn[i]
+		}
+	}
+	supp := db.Rel("supplier")
+	snation := make(map[int32]int32)
+	sk := supp.Int32("s_suppkey")
+	sr := supp.Int32("s_region")
+	sn := supp.Int32("s_nation")
+	for i := 0; i < supp.Rows(); i++ {
+		if sr[i] == SSBQ31Region {
+			snation[sk[i]] = sn[i]
+		}
+	}
+	date := db.Rel("date")
+	year := make(map[types.Date]int32, date.Rows())
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	for i := 0; i < date.Rows(); i++ {
+		year[dk[i]] = dy[i]
+	}
+	lo := db.Rel("lineorder")
+	lock := lo.Int32("lo_custkey")
+	losk := lo.Int32("lo_suppkey")
+	lod := lo.Date("lo_orderdate")
+	rev := lo.Numeric("lo_revenue")
+	type key struct{ cn, sn, year int32 }
+	sums := make(map[key]int64)
+	for i := 0; i < lo.Rows(); i++ {
+		cnat, okc := cnation[lock[i]]
+		if !okc {
+			continue
+		}
+		snat, oks := snation[losk[i]]
+		if !oks {
+			continue
+		}
+		y := year[lod[i]]
+		if y < SSBQ31YearLo || y > SSBQ31YearHi {
+			continue
+		}
+		sums[key{cnat, snat, y}] += int64(rev[i])
+	}
+	out := make(SSBQ31Result, 0, len(sums))
+	for k, v := range sums {
+		out = append(out, SSBQ31Row{CNation: k.cn, SNation: k.sn, Year: k.year, Revenue: v})
+	}
+	SortSSBQ31(out)
+	return out
+}
+
+// RefSSBQ41 computes SSB Q4.1.
+func RefSSBQ41(db *storage.Database) SSBQ41Result {
+	cust := db.Rel("customer")
+	cnation := make(map[int32]int32)
+	ck := cust.Int32("c_custkey")
+	cr := cust.Int32("c_region")
+	cn := cust.Int32("c_nation")
+	for i := 0; i < cust.Rows(); i++ {
+		if cr[i] == SSBQ41Region {
+			cnation[ck[i]] = cn[i]
+		}
+	}
+	supp := db.Rel("supplier")
+	amer := make(map[int32]bool)
+	sk := supp.Int32("s_suppkey")
+	sr := supp.Int32("s_region")
+	for i := 0; i < supp.Rows(); i++ {
+		if sr[i] == SSBQ41Region {
+			amer[sk[i]] = true
+		}
+	}
+	part := db.Rel("part")
+	okPart := make(map[int32]bool)
+	pk := part.Int32("p_partkey")
+	mfgr := part.Int32("p_mfgr")
+	for i := 0; i < part.Rows(); i++ {
+		if mfgr[i] >= SSBQ41MfgrLo && mfgr[i] <= SSBQ41MfgrHi {
+			okPart[pk[i]] = true
+		}
+	}
+	date := db.Rel("date")
+	year := make(map[types.Date]int32, date.Rows())
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	for i := 0; i < date.Rows(); i++ {
+		year[dk[i]] = dy[i]
+	}
+	lo := db.Rel("lineorder")
+	lock := lo.Int32("lo_custkey")
+	losk := lo.Int32("lo_suppkey")
+	lopk := lo.Int32("lo_partkey")
+	lod := lo.Date("lo_orderdate")
+	rev := lo.Numeric("lo_revenue")
+	cost := lo.Numeric("lo_supplycost")
+	type key struct{ year, cn int32 }
+	sums := make(map[key]int64)
+	for i := 0; i < lo.Rows(); i++ {
+		cnat, okc := cnation[lock[i]]
+		if !okc || !amer[losk[i]] || !okPart[lopk[i]] {
+			continue
+		}
+		sums[key{year[lod[i]], cnat}] += int64(rev[i]) - int64(cost[i])
+	}
+	out := make(SSBQ41Result, 0, len(sums))
+	for k, v := range sums {
+		out = append(out, SSBQ41Row{Year: k.year, CNation: k.cn, Profit: v})
+	}
+	SortSSBQ41(out)
+	return out
+}
+
+// TopK maintains the k smallest elements under less (a max-heap of the
+// current worst). Both engines use it for Q3's top-10 and Q18's top-100;
+// "smallest" under the query's ORDER BY comparator means the best rows.
+type TopK[T any] struct {
+	k    int
+	less func(a, b T) bool
+	heap []T // max-heap: heap[0] is the worst retained row
+}
+
+// NewTopK creates a TopK keeping the k best rows under less.
+func NewTopK[T any](k int, less func(a, b T) bool) *TopK[T] {
+	return &TopK[T]{k: k, less: less}
+}
+
+// Offer considers a row.
+func (t *TopK[T]) Offer(v T) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, v)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if t.k == 0 || !t.less(v, t.heap[0]) {
+		return
+	}
+	t.heap[0] = v
+	t.down(0)
+}
+
+// Merge offers every retained row of other.
+func (t *TopK[T]) Merge(other *TopK[T]) {
+	for _, v := range other.heap {
+		t.Offer(v)
+	}
+}
+
+// Sorted returns the retained rows ordered best-first.
+func (t *TopK[T]) Sorted() []T {
+	out := make([]T, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool { return t.less(out[i], out[j]) })
+	return out
+}
+
+func (t *TopK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// max-heap under less: parent must not be less than child
+		if t.less(t.heap[parent], t.heap[i]) {
+			t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+			i = parent
+		} else {
+			return
+		}
+	}
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.less(t.heap[largest], t.heap[l]) {
+			largest = l
+		}
+		if r < n && t.less(t.heap[largest], t.heap[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}

@@ -1,0 +1,151 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paradigms/internal/hashtable"
+)
+
+func TestSelectVariantsAgree(t *testing.T) {
+	f := func(data []int32, bound int32) bool {
+		o1 := make([]int32, len(data))
+		o2 := make([]int32, len(data))
+		o3 := make([]int32, len(data))
+		k1 := SelectBranching(data, bound, o1)
+		k2 := SelectPredicated(data, bound, o2)
+		k3 := SelectSWAR(data, bound, o3)
+		if k1 != k2 || k1 != k3 {
+			return false
+		}
+		for i := 0; i < k1; i++ {
+			if o1[i] != o2[i] || o1[i] != o3[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectSWAREdgeValues(t *testing.T) {
+	data := []int32{-1 << 31, 1<<31 - 1, 0, -1, 1, 42, -42}
+	for _, bound := range []int32{-1 << 31, -1, 0, 1, 42, 1<<31 - 1} {
+		o1 := make([]int32, len(data))
+		o2 := make([]int32, len(data))
+		k1 := SelectBranching(data, bound, o1)
+		k2 := SelectSWAR(data, bound, o2)
+		if k1 != k2 {
+			t.Fatalf("bound %d: count %d vs %d", bound, k1, k2)
+		}
+		for i := 0; i < k1; i++ {
+			if o1[i] != o2[i] {
+				t.Fatalf("bound %d: position %d differs", bound, i)
+			}
+		}
+	}
+}
+
+func TestSparseVariantsAgree(t *testing.T) {
+	f := func(dataRaw []int32, bound int32) bool {
+		if len(dataRaw) == 0 {
+			return true
+		}
+		sel := make([]int32, 0, len(dataRaw))
+		for i := 0; i < len(dataRaw); i += 2 {
+			sel = append(sel, int32(i))
+		}
+		o1 := make([]int32, len(dataRaw))
+		o2 := make([]int32, len(dataRaw))
+		k1 := SelectSparsePredicated(dataRaw, bound, sel, o1)
+		k2 := SelectSparseUnrolled(dataRaw, bound, sel, o2)
+		if k1 != k2 {
+			return false
+		}
+		for i := 0; i < k1; i++ {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashVariantsAgree(t *testing.T) {
+	keys := make([]uint64, 1003)
+	for i := range keys {
+		keys[i] = rand.Uint64()
+	}
+	o1 := make([]uint64, len(keys))
+	o2 := make([]uint64, len(keys))
+	HashScalar(keys, o1)
+	HashUnrolled(keys, o2)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("hash %d differs", i)
+		}
+	}
+}
+
+func TestGatherVariantsAgree(t *testing.T) {
+	table := make([]uint64, 4096)
+	for i := range table {
+		table[i] = uint64(i * 3)
+	}
+	idx := make([]int32, 999)
+	for i := range idx {
+		idx[i] = int32(rand.Intn(len(table)))
+	}
+	o1 := make([]uint64, len(idx))
+	o2 := make([]uint64, len(idx))
+	GatherScalar(table, idx, o1)
+	GatherUnrolled(table, idx, o2)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("gather %d differs", i)
+		}
+	}
+}
+
+func TestProbeVariantsAgree(t *testing.T) {
+	ht := hashtable.New(1, 1)
+	sh := ht.Shard(0)
+	for i := uint64(0); i < 5000; i += 2 { // even keys present
+		ref, _ := sh.Alloc(ht, hashtable.Murmur2(i))
+		ht.SetWord(ref, 0, i)
+	}
+	ht.Finalize()
+	keys := make([]uint64, 1001)
+	for i := range keys {
+		keys[i] = uint64(rand.Intn(6000))
+	}
+	m1 := make([]int32, len(keys))
+	m2 := make([]int32, len(keys))
+	n1 := ProbeScalar(ht, keys, m1)
+	n2 := ProbeUnrolled(ht, keys, m2)
+	if n1 != n2 {
+		t.Fatalf("match counts differ: %d vs %d", n1, n2)
+	}
+	for i := 0; i < n1; i++ {
+		if m1[i] != m2[i] {
+			t.Fatalf("match %d differs", i)
+		}
+	}
+	// Every even key < 5000 must match, odd keys must not.
+	matched := map[int32]bool{}
+	for i := 0; i < n1; i++ {
+		matched[m1[i]] = true
+	}
+	for i, k := range keys {
+		want := k%2 == 0 && k < 5000
+		if matched[int32(i)] != want {
+			t.Fatalf("key %d match = %v, want %v", k, matched[int32(i)], want)
+		}
+	}
+}

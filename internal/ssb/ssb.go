@@ -1,0 +1,255 @@
+// Package ssb generates deterministic Star Schema Benchmark data (§4.4 of
+// the paper) in the columnar format of internal/storage.
+//
+// SSB denormalizes TPC-H into one fact table (lineorder) and four
+// dimensions (date, customer, supplier, part). The paper runs Q1.1, Q2.1,
+// Q3.1, and Q4.1, all dominated by hash joins of lineorder against
+// filtered dimensions. Dimension attributes that the four queries filter
+// or group on are stored as small integer codes (region, nation, mfgr,
+// category, brand1) plus name heaps where output needs them; this keeps
+// both engines' work identical while avoiding free-text columns no query
+// touches (see DESIGN.md S7).
+package ssb
+
+import (
+	"fmt"
+	"runtime"
+
+	"paradigms/internal/storage"
+	"paradigms/internal/tpch"
+	"paradigms/internal/types"
+)
+
+// Base cardinalities at scale factor 1 (SSB specification).
+const (
+	baseLineorder = 6_000_000
+	baseCustomer  = 30_000
+	baseSupplier  = 2_000
+	basePart      = 200_000
+)
+
+// Region codes (index into tpch.Regions): 0=AFRICA 1=AMERICA 2=ASIA
+// 3=EUROPE 4=MIDDLE EAST.
+const (
+	RegionAfrica = iota
+	RegionAmerica
+	RegionAsia
+	RegionEurope
+	RegionMiddleEast
+)
+
+var (
+	dateLo = types.MakeDate(1992, 1, 1)
+	dateHi = types.MakeDate(1998, 12, 31)
+	// Order dates span dbgen's order interval.
+	orderDateHi = types.MakeDate(1998, 8, 2)
+)
+
+const (
+	seedLineorder = 0x55b0001
+	seedCustomer  = 0x55b0002
+	seedSupplier  = 0x55b0003
+	seedPart      = 0x55b0004
+)
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base)*sf + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds an SSB database at the given scale factor.
+func Generate(sf float64, workers int) *storage.Database {
+	if sf <= 0 {
+		panic(fmt.Sprintf("ssb: invalid scale factor %v", sf))
+	}
+	db := storage.NewDatabase("ssb", sf)
+	db.Add(genDate())
+	db.Add(genCustomer(scaled(baseCustomer, sf)))
+	db.Add(genSupplier(scaled(baseSupplier, sf)))
+	nPart := partCount(sf)
+	db.Add(genPart(nPart))
+	db.Add(genLineorder(scaled(baseLineorder, sf), scaled(baseCustomer, sf),
+		scaled(baseSupplier, sf), nPart, workers))
+	return db
+}
+
+// partCount follows the SSB rule P = 200,000 × (1 + log2 SF) for SF ≥ 1
+// and scales linearly below 1.
+func partCount(sf float64) int {
+	if sf >= 1 {
+		n := 1
+		for s := sf; s >= 2; s /= 2 {
+			n++
+		}
+		return basePart * n
+	}
+	return scaled(basePart, sf)
+}
+
+func genDate() *storage.Relation {
+	n := int(dateHi-dateLo) + 1
+	keys := make([]types.Date, n)
+	years := make([]int32, n)
+	months := make([]int32, n)
+	for i := 0; i < n; i++ {
+		d := dateLo + types.Date(i)
+		keys[i] = d
+		y, m, _ := d.Civil()
+		years[i] = int32(y)
+		months[i] = int32(m)
+	}
+	rel := storage.NewRelation("date")
+	rel.AddDate("d_datekey", keys)
+	rel.AddInt32("d_year", years)
+	rel.AddInt32("d_monthnum", months)
+	return rel
+}
+
+func genCustomer(n int) *storage.Relation {
+	keys := make([]int32, n)
+	nations := make([]int32, n)
+	regions := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := rng(seedCustomer, uint64(i+1))
+		keys[i] = int32(i + 1)
+		nat := int32(r % uint64(len(tpch.Nations)))
+		nations[i] = nat
+		regions[i] = tpch.Nations[nat].Region
+	}
+	rel := storage.NewRelation("customer")
+	rel.AddInt32("c_custkey", keys)
+	rel.AddInt32("c_nation", nations)
+	rel.AddInt32("c_region", regions)
+	return rel
+}
+
+func genSupplier(n int) *storage.Relation {
+	keys := make([]int32, n)
+	nations := make([]int32, n)
+	regions := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := rng(seedSupplier, uint64(i+1))
+		keys[i] = int32(i + 1)
+		nat := int32(r % uint64(len(tpch.Nations)))
+		nations[i] = nat
+		regions[i] = tpch.Nations[nat].Region
+	}
+	rel := storage.NewRelation("supplier")
+	rel.AddInt32("s_suppkey", keys)
+	rel.AddInt32("s_nation", nations)
+	rel.AddInt32("s_region", regions)
+	return rel
+}
+
+func genPart(n int) *storage.Relation {
+	keys := make([]int32, n)
+	mfgrs := make([]int32, n)
+	categories := make([]int32, n)
+	brands := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := rng(seedPart, uint64(i+1))
+		keys[i] = int32(i + 1)
+		mfgr := int32(r%5) + 1                   // MFGR#1..5
+		cat := mfgr*10 + int32((r>>8)%5) + 1     // MFGR#11..55
+		brand := cat*100 + int32((r>>16)%40) + 1 // MFGR#1101..5540
+		mfgrs[i] = mfgr
+		categories[i] = cat
+		brands[i] = brand
+	}
+	rel := storage.NewRelation("part")
+	rel.AddInt32("p_partkey", keys)
+	rel.AddInt32("p_mfgr", mfgrs)
+	rel.AddInt32("p_category", categories)
+	rel.AddInt32("p_brand1", brands)
+	return rel
+}
+
+func genLineorder(n, nCust, nSupp, nPart, workers int) *storage.Relation {
+	orderdates := make([]types.Date, n)
+	custkeys := make([]int32, n)
+	partkeys := make([]int32, n)
+	suppkeys := make([]int32, n)
+	quantities := make([]types.Numeric, n)
+	extprices := make([]types.Numeric, n)
+	discounts := make([]types.Numeric, n)
+	revenues := make([]types.Numeric, n)
+	supplycosts := make([]types.Numeric, n)
+
+	span := int(orderDateHi-dateLo) + 1
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st := rng(seedLineorder, uint64(i+1))
+			next := func() uint64 { st = mix(st); return st }
+			orderdates[i] = dateLo + types.Date(next()%uint64(span))
+			custkeys[i] = int32(next()%uint64(nCust)) + 1
+			pk := int(next()%uint64(nPart)) + 1
+			partkeys[i] = int32(pk)
+			suppkeys[i] = int32(next()%uint64(nSupp)) + 1
+			qty := int64(next()%50) + 1
+			quantities[i] = types.Numeric(qty * types.NumericScale)
+			price := 90000 + (int64(pk)/10)%20001 + 100*(int64(pk)%1000)
+			ext := qty * price
+			extprices[i] = types.Numeric(ext)
+			disc := int64(next() % 11)
+			discounts[i] = types.Numeric(disc)
+			revenues[i] = types.Numeric(ext * (100 - disc) / 100)
+			supplycosts[i] = types.Numeric(6 * price / 10)
+		}
+	})
+
+	rel := storage.NewRelation("lineorder")
+	rel.AddDate("lo_orderdate", orderdates)
+	rel.AddInt32("lo_custkey", custkeys)
+	rel.AddInt32("lo_partkey", partkeys)
+	rel.AddInt32("lo_suppkey", suppkeys)
+	rel.AddNumeric("lo_quantity", quantities)
+	rel.AddNumeric("lo_extendedprice", extprices)
+	rel.AddNumeric("lo_discount", discounts)
+	rel.AddNumeric("lo_revenue", revenues)
+	rel.AddNumeric("lo_supplycost", supplycosts)
+	return rel
+}
+
+// mix is splitmix64 (same generator as tpch's; duplicated to keep the
+// packages independent of each other's unexported API).
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func rng(seed, key uint64) uint64 { return mix(seed ^ mix(key)) }
+
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n < 4096 {
+		fn(0, n)
+		return
+	}
+	done := make(chan struct{}, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(lo int) {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo < n {
+				fn(lo, hi)
+			}
+			done <- struct{}{}
+		}(w * chunk)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,155 @@
+package ssb
+
+import (
+	"testing"
+
+	"paradigms/internal/tpch"
+	"paradigms/internal/types"
+)
+
+func TestCardinalities(t *testing.T) {
+	db := Generate(0.01, 4)
+	if got := db.Rel("customer").Rows(); got != 300 {
+		t.Errorf("customer rows = %d", got)
+	}
+	if got := db.Rel("supplier").Rows(); got != 20 {
+		t.Errorf("supplier rows = %d", got)
+	}
+	if got := db.Rel("part").Rows(); got != 2000 {
+		t.Errorf("part rows = %d", got)
+	}
+	if got := db.Rel("lineorder").Rows(); got != 60000 {
+		t.Errorf("lineorder rows = %d", got)
+	}
+	// Date dimension covers 1992-01-01..1998-12-31 = 2557 days.
+	if got := db.Rel("date").Rows(); got != 2557 {
+		t.Errorf("date rows = %d, want 2557", got)
+	}
+}
+
+func TestPartCountLogScaling(t *testing.T) {
+	cases := map[float64]int{
+		0.5: 100000,
+		1:   200000,
+		2:   400000,
+		4:   600000,
+		8:   800000,
+	}
+	for sf, want := range cases {
+		if got := partCount(sf); got != want {
+			t.Errorf("partCount(%v) = %d, want %d", sf, got, want)
+		}
+	}
+}
+
+func TestDimensionCodes(t *testing.T) {
+	db := Generate(0.01, 0)
+	part := db.Rel("part")
+	mfgr := part.Int32("p_mfgr")
+	cat := part.Int32("p_category")
+	brand := part.Int32("p_brand1")
+	for i := 0; i < part.Rows(); i++ {
+		if mfgr[i] < 1 || mfgr[i] > 5 {
+			t.Fatalf("mfgr[%d]=%d", i, mfgr[i])
+		}
+		if cat[i]/10 != mfgr[i] || cat[i]%10 < 1 || cat[i]%10 > 5 {
+			t.Fatalf("category[%d]=%d inconsistent with mfgr %d", i, cat[i], mfgr[i])
+		}
+		if brand[i]/100 != cat[i] || brand[i]%100 < 1 || brand[i]%100 > 40 {
+			t.Fatalf("brand[%d]=%d inconsistent with category %d", i, brand[i], cat[i])
+		}
+	}
+	for _, rel := range []string{"customer", "supplier"} {
+		r := db.Rel(rel)
+		prefix := rel[:1]
+		nat := r.Int32(prefix + "_nation")
+		reg := r.Int32(prefix + "_region")
+		for i := 0; i < r.Rows(); i++ {
+			if nat[i] < 0 || int(nat[i]) >= len(tpch.Nations) {
+				t.Fatalf("%s nation[%d]=%d", rel, i, nat[i])
+			}
+			if reg[i] != tpch.Nations[nat[i]].Region {
+				t.Fatalf("%s region[%d]=%d inconsistent with nation %d", rel, i, reg[i], nat[i])
+			}
+		}
+	}
+}
+
+func TestRevenueConsistent(t *testing.T) {
+	db := Generate(0.01, 0)
+	lo := db.Rel("lineorder")
+	ext := lo.Numeric("lo_extendedprice")
+	disc := lo.Numeric("lo_discount")
+	rev := lo.Numeric("lo_revenue")
+	for i := 0; i < lo.Rows(); i++ {
+		want := int64(ext[i]) * (100 - int64(disc[i])) / 100
+		if int64(rev[i]) != want {
+			t.Fatalf("revenue[%d] = %d, want %d", i, rev[i], want)
+		}
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	db := Generate(0.01, 0)
+	lo := db.Rel("lineorder")
+	nCust := int32(db.Rel("customer").Rows())
+	nSupp := int32(db.Rel("supplier").Rows())
+	nPart := int32(db.Rel("part").Rows())
+	dates := lo.Date("lo_orderdate")
+	for i := 0; i < lo.Rows(); i++ {
+		if ck := lo.Int32("lo_custkey")[i]; ck < 1 || ck > nCust {
+			t.Fatalf("custkey[%d]=%d", i, ck)
+		}
+		if sk := lo.Int32("lo_suppkey")[i]; sk < 1 || sk > nSupp {
+			t.Fatalf("suppkey[%d]=%d", i, sk)
+		}
+		if pk := lo.Int32("lo_partkey")[i]; pk < 1 || pk > nPart {
+			t.Fatalf("partkey[%d]=%d", i, pk)
+		}
+		if dates[i] < dateLo || dates[i] > dateHi {
+			t.Fatalf("orderdate[%d]=%v", i, dates[i])
+		}
+	}
+}
+
+func TestQ11SelectivityShape(t *testing.T) {
+	// Q1.1: year=1993 (~1/7), discount 1..3 (3/11), quantity < 25 (24/50)
+	// → ≈1.9% of lineorder.
+	db := Generate(0.05, 0)
+	lo := db.Rel("lineorder")
+	dates := lo.Date("lo_orderdate")
+	disc := lo.Numeric("lo_discount")
+	qty := lo.Numeric("lo_quantity")
+	y93lo, y93hi := types.MakeDate(1993, 1, 1), types.MakeDate(1994, 1, 1)
+	matched := 0
+	for i := 0; i < lo.Rows(); i++ {
+		if dates[i] >= y93lo && dates[i] < y93hi && disc[i] >= 1 && disc[i] <= 3 && qty[i] < 25*types.NumericScale {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(lo.Rows())
+	if frac < 0.012 || frac > 0.028 {
+		t.Errorf("Q1.1 selectivity = %.4f, want ≈0.02", frac)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(0.01, 1)
+	b := Generate(0.01, 8)
+	la, lb := a.Rel("lineorder"), b.Rel("lineorder")
+	ra, rb := la.Numeric("lo_revenue"), lb.Numeric("lo_revenue")
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("revenue[%d] differs across worker counts", i)
+		}
+	}
+}
+
+func TestGeneratePanicsOnBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(-1, 1)
+}

@@ -1,0 +1,65 @@
+// Package tpch generates deterministic TPC-H data in the columnar format
+// of internal/storage.
+//
+// This is a from-scratch dbgen equivalent (substitution S7 in DESIGN.md):
+// it reproduces the table cardinalities, key structure, and the value
+// distributions that the studied queries (Q1, Q6, Q3, Q9, Q18) depend on —
+// date ranges, discount/quantity/tax distributions, market segments,
+// part-name color words, the partsupp supplier assignment formula, and
+// order/lineitem fan-out. Free-text columns that no studied query touches
+// (comments, addresses, phones) are omitted to keep memory proportional
+// to what the experiments scan; the paper normalizes counters per scanned
+// tuple, so omitted columns do not affect any reported metric.
+//
+// Generation is deterministic for a given scale factor, independent of
+// the number of generator workers: every row derives its randomness from
+// a counter-based hash of (table seed, entity key), not from a shared
+// sequential stream.
+package tpch
+
+// splitmix64 is the counter-based generator underlying all row
+// randomness. It passes BigCrush when used as a stream and, used as a
+// hash of (seed ^ key), gives dbgen-grade per-row independence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rng is a small deterministic PRNG seeded per entity.
+type rng struct{ state uint64 }
+
+func newRNG(tableSeed, key uint64) rng {
+	return rng{state: splitmix64(tableSeed ^ splitmix64(key))}
+}
+
+func (r *rng) next() uint64 {
+	r.state = splitmix64(r.state)
+	return r.state
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform int in [lo, hi] (inclusive), matching
+// dbgen's RANDOM(lo, hi) convention.
+func (r *rng) rangeInt(lo, hi int) int {
+	return lo + r.intn(hi-lo+1)
+}
+
+// Table seeds: arbitrary but fixed so that datasets are bit-identical
+// across runs and worker counts.
+const (
+	seedOrders   = 0x5eed0001
+	seedLineitem = 0x5eed0002
+	seedCustomer = 0x5eed0003
+	seedPart     = 0x5eed0004
+	seedSupplier = 0x5eed0005
+	seedPartsupp = 0x5eed0006
+)

@@ -1,0 +1,425 @@
+package tpch
+
+import (
+	"fmt"
+	"runtime"
+
+	"paradigms/internal/exec"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+// Base cardinalities at scale factor 1 (TPC-H specification §4.2.5).
+const (
+	baseSupplier     = 10_000
+	baseCustomer     = 150_000
+	basePart         = 200_000
+	baseOrders       = 1_500_000
+	suppliersPerPart = 4
+)
+
+// currentDate is dbgen's CURRENTDATE constant (1995-06-17), used to derive
+// l_returnflag and l_linestatus.
+var currentDate = types.MakeDate(1995, 6, 17)
+
+var (
+	orderDateLo = types.MakeDate(1992, 1, 1)
+	orderDateHi = types.MakeDate(1998, 8, 2)
+)
+
+// Segments are the five c_mktsegment values.
+var Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// Nations are the 25 TPC-H nations; index is n_nationkey, value.region is
+// n_regionkey.
+var Nations = []struct {
+	Name   string
+	Region int32
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+// Regions are the five TPC-H regions; index is r_regionkey.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// ColorWords is dbgen's 92-word P_NAME vocabulary. Q9's predicate
+// p_name LIKE '%green%' selects parts whose five-word name includes
+// "green" (≈5/92 ≈ 5.4% of parts).
+var ColorWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished",
+	"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk",
+	"cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+	"floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+	"green", "grey", "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+	"lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+	"maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+	"navajo", "navy", "olive", "orange", "orchid", "pale", "papaya",
+	"peach", "peru", "pink", "plum", "powder", "puff", "purple", "red",
+	"rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell",
+	"sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+	"thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base)*sf + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds a complete TPC-H database instance at the given scale
+// factor using up to workers goroutines (0 selects GOMAXPROCS). The
+// result is bit-identical for a given scale factor regardless of the
+// worker count.
+func Generate(sf float64, workers int) *storage.Database {
+	if sf <= 0 {
+		panic(fmt.Sprintf("tpch: invalid scale factor %v", sf))
+	}
+	db := storage.NewDatabase("tpch", sf)
+
+	nSupp := scaled(baseSupplier, sf)
+	nCust := scaled(baseCustomer, sf)
+	nPart := scaled(basePart, sf)
+	nOrders := scaled(baseOrders, sf)
+
+	db.Add(genRegion())
+	db.Add(genNation())
+	db.Add(genSupplier(nSupp, workers))
+	db.Add(genCustomer(nCust, workers))
+	part := genPart(nPart, workers)
+	db.Add(part)
+	db.Add(genPartsupp(nPart, nSupp, workers))
+	orders, counts := genOrdersSkeleton(nOrders, nCust, workers)
+	lineitem, totalprice := genLineitem(orders, counts, nPart, nSupp, part.Numeric("p_retailprice"), workers)
+	orders.AddNumeric("o_totalprice", totalprice)
+	db.Add(orders)
+	db.Add(lineitem)
+	return db
+}
+
+func genRegion() *storage.Relation {
+	r := storage.NewRelation("region")
+	keys := make([]int32, len(Regions))
+	names := storage.NewStringHeap(len(Regions), 8)
+	for i, n := range Regions {
+		keys[i] = int32(i)
+		names.AppendString(n)
+	}
+	r.AddInt32("r_regionkey", keys)
+	r.AddString("r_name", names)
+	return r
+}
+
+func genNation() *storage.Relation {
+	r := storage.NewRelation("nation")
+	keys := make([]int32, len(Nations))
+	regions := make([]int32, len(Nations))
+	names := storage.NewStringHeap(len(Nations), 10)
+	for i, n := range Nations {
+		keys[i] = int32(i)
+		regions[i] = n.Region
+		names.AppendString(n.Name)
+	}
+	r.AddInt32("n_nationkey", keys)
+	r.AddString("n_name", names)
+	r.AddInt32("n_regionkey", regions)
+	return r
+}
+
+func genSupplier(n, workers int) *storage.Relation {
+	keys := make([]int32, n)
+	nations := make([]int32, n)
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := i + 1
+			r := newRNG(seedSupplier, uint64(key))
+			keys[i] = int32(key)
+			nations[i] = int32(r.intn(len(Nations)))
+		}
+	})
+	rel := storage.NewRelation("supplier")
+	rel.AddInt32("s_suppkey", keys)
+	rel.AddInt32("s_nationkey", nations)
+	return rel
+}
+
+func genCustomer(n, workers int) *storage.Relation {
+	keys := make([]int32, n)
+	nations := make([]int32, n)
+	segIdx := make([]uint8, n)
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := i + 1
+			r := newRNG(seedCustomer, uint64(key))
+			keys[i] = int32(key)
+			nations[i] = int32(r.intn(len(Nations)))
+			segIdx[i] = uint8(r.intn(len(Segments)))
+		}
+	})
+	// String columns are appended sequentially (heaps are contiguous).
+	segs := storage.NewStringHeap(n, 10)
+	names := storage.NewStringHeap(n, 18)
+	var buf [18]byte
+	for i := 0; i < n; i++ {
+		segs.AppendString(Segments[segIdx[i]])
+		names.Append(customerName(buf[:0], i+1))
+	}
+	rel := storage.NewRelation("customer")
+	rel.AddInt32("c_custkey", keys)
+	rel.AddInt32("c_nationkey", nations)
+	rel.AddString("c_mktsegment", segs)
+	rel.AddString("c_name", names)
+	return rel
+}
+
+// customerName appends "Customer#%09d" to buf.
+func customerName(buf []byte, key int) []byte {
+	return fmt.Appendf(buf, "Customer#%09d", key)
+}
+
+// retailPriceCents implements dbgen's P_RETAILPRICE formula; the result is
+// already in cents (scale-2).
+func retailPriceCents(partkey int) int64 {
+	pk := int64(partkey)
+	return 90000 + (pk/10)%20001 + 100*(pk%1000)
+}
+
+func genPart(n, workers int) *storage.Relation {
+	keys := make([]int32, n)
+	prices := make([]types.Numeric, n)
+	// Word choices are precomputed in parallel; heap assembly is serial.
+	words := make([][5]uint8, n)
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := i + 1
+			r := newRNG(seedPart, uint64(key))
+			keys[i] = int32(key)
+			prices[i] = types.Numeric(retailPriceCents(key))
+			// Five distinct color words, chosen by rejection (92 words, so
+			// collisions are rare).
+			var chosen [5]uint8
+			for w := 0; w < 5; {
+				c := uint8(r.intn(len(ColorWords)))
+				dup := false
+				for j := 0; j < w; j++ {
+					if chosen[j] == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					chosen[w] = c
+					w++
+				}
+			}
+			words[i] = chosen
+		}
+	})
+	names := storage.NewStringHeap(n, 36)
+	for i := 0; i < n; i++ {
+		var buf []byte
+		buf = names.Bytes
+		for w, c := range words[i] {
+			if w > 0 {
+				buf = append(buf, ' ')
+			}
+			buf = append(buf, ColorWords[c]...)
+		}
+		names.Bytes = buf
+		names.Offsets = append(names.Offsets, uint32(len(buf)))
+	}
+	rel := storage.NewRelation("part")
+	rel.AddInt32("p_partkey", keys)
+	rel.AddString("p_name", names)
+	rel.AddNumeric("p_retailprice", prices)
+	return rel
+}
+
+// partSupplier implements dbgen's PS_SUPPKEY formula: supplier j (0..3)
+// for a part, guaranteeing l_suppkey ∈ the part's four partsupp rows.
+func partSupplier(partkey, j, nSupp int) int32 {
+	s := int64(nSupp)
+	pk := int64(partkey)
+	return int32((pk+int64(j)*(s/suppliersPerPart+(pk-1)/s))%s + 1)
+}
+
+func genPartsupp(nPart, nSupp, workers int) *storage.Relation {
+	n := nPart * suppliersPerPart
+	partkeys := make([]int32, n)
+	suppkeys := make([]int32, n)
+	costs := make([]types.Numeric, n)
+	parallelRanges(nPart, workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			partkey := p + 1
+			r := newRNG(seedPartsupp, uint64(partkey))
+			for j := 0; j < suppliersPerPart; j++ {
+				i := p*suppliersPerPart + j
+				partkeys[i] = int32(partkey)
+				suppkeys[i] = partSupplier(partkey, j, nSupp)
+				costs[i] = types.Numeric(r.rangeInt(100, 100000)) // $1.00..$1000.00
+			}
+		}
+	})
+	rel := storage.NewRelation("partsupp")
+	rel.AddInt32("ps_partkey", partkeys)
+	rel.AddInt32("ps_suppkey", suppkeys)
+	rel.AddNumeric("ps_supplycost", costs)
+	return rel
+}
+
+// genOrdersSkeleton generates the orders table except o_totalprice (which
+// depends on lineitems) and returns per-order lineitem counts.
+func genOrdersSkeleton(nOrders, nCust, workers int) (*storage.Relation, []int32) {
+	keys := make([]int32, nOrders)
+	custkeys := make([]int32, nOrders)
+	dates := make([]types.Date, nOrders)
+	prios := make([]int32, nOrders)
+	counts := make([]int32, nOrders)
+	dateSpan := int(orderDateHi-orderDateLo) + 1
+	// dbgen never references customers with custkey ≡ 0 (mod 3); map a
+	// uniform draw onto the allowed two-thirds.
+	allowed := nCust / 3 * 2
+	if allowed < 1 {
+		allowed = 1
+	}
+	parallelRanges(nOrders, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			key := i + 1
+			r := newRNG(seedOrders, uint64(key))
+			keys[i] = int32(key)
+			base := r.intn(allowed)
+			ck := base/2*3 + 1 + base%2
+			if ck > nCust { // tiny scale factors
+				ck = 1
+			}
+			custkeys[i] = int32(ck)
+			dates[i] = orderDateLo + types.Date(r.intn(dateSpan))
+			prios[i] = 0
+			counts[i] = int32(r.rangeInt(1, 7))
+		}
+	})
+	rel := storage.NewRelation("orders")
+	rel.AddInt32("o_orderkey", keys)
+	rel.AddInt32("o_custkey", custkeys)
+	rel.AddDate("o_orderdate", dates)
+	rel.AddInt32("o_shippriority", prios)
+	return rel, counts
+}
+
+func genLineitem(orders *storage.Relation, counts []int32, nPart, nSupp int,
+	retail []types.Numeric, workers int) (*storage.Relation, []types.Numeric) {
+
+	nOrders := len(counts)
+	offsets := make([]int64, nOrders+1)
+	var total int64
+	for i, c := range counts {
+		offsets[i] = total
+		total += int64(c)
+	}
+	offsets[nOrders] = total
+	n := int(total)
+
+	orderkeys := make([]int32, n)
+	partkeys := make([]int32, n)
+	suppkeys := make([]int32, n)
+	quantities := make([]types.Numeric, n)
+	extprices := make([]types.Numeric, n)
+	discounts := make([]types.Numeric, n)
+	taxes := make([]types.Numeric, n)
+	returnflags := make([]byte, n)
+	linestatus := make([]byte, n)
+	shipdates := make([]types.Date, n)
+	totalprice := make([]types.Numeric, nOrders)
+
+	odates := orders.Date("o_orderdate")
+	okeys := orders.Int32("o_orderkey")
+
+	parallelRanges(nOrders, workers, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			r := newRNG(seedLineitem, uint64(okeys[o]))
+			odate := odates[o]
+			var orderTotal int64
+			for li := offsets[o]; li < offsets[o+1]; li++ {
+				pk := r.rangeInt(1, nPart)
+				j := r.intn(suppliersPerPart)
+				qty := int64(r.rangeInt(1, 50))
+				disc := int64(r.rangeInt(0, 10))
+				tax := int64(r.rangeInt(0, 8))
+				ship := odate + types.Date(r.rangeInt(1, 121))
+				receipt := ship + types.Date(r.rangeInt(1, 30))
+
+				orderkeys[li] = okeys[o]
+				partkeys[li] = int32(pk)
+				suppkeys[li] = partSupplier(pk, j, nSupp)
+				quantities[li] = types.Numeric(qty * types.NumericScale)
+				ext := qty * int64(retail[pk-1])
+				extprices[li] = types.Numeric(ext)
+				discounts[li] = types.Numeric(disc)
+				taxes[li] = types.Numeric(tax)
+				shipdates[li] = ship
+				if receipt <= currentDate {
+					if r.intn(2) == 0 {
+						returnflags[li] = 'R'
+					} else {
+						returnflags[li] = 'A'
+					}
+				} else {
+					returnflags[li] = 'N'
+				}
+				if ship <= currentDate {
+					linestatus[li] = 'F'
+				} else {
+					linestatus[li] = 'O'
+				}
+				// o_totalprice contribution: extprice*(1-disc)*(1+tax).
+				orderTotal += ext * (100 - disc) / 100 * (100 + tax) / 100
+			}
+			totalprice[o] = types.Numeric(orderTotal)
+		}
+	})
+
+	rel := storage.NewRelation("lineitem")
+	rel.AddInt32("l_orderkey", orderkeys)
+	rel.AddInt32("l_partkey", partkeys)
+	rel.AddInt32("l_suppkey", suppkeys)
+	rel.AddNumeric("l_quantity", quantities)
+	rel.AddNumeric("l_extendedprice", extprices)
+	rel.AddNumeric("l_discount", discounts)
+	rel.AddNumeric("l_tax", taxes)
+	rel.AddByte("l_returnflag", returnflags)
+	rel.AddByte("l_linestatus", linestatus)
+	rel.AddDate("l_shipdate", shipdates)
+	return rel, totalprice
+}
+
+// parallelRanges splits [0, n) into contiguous ranges, one per worker.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n < 4096 || w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	exec.Parallel(w, func(worker int) {
+		lo := worker * chunk
+		if lo >= n {
+			return
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

@@ -1,0 +1,341 @@
+package tpch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paradigms/internal/types"
+)
+
+func TestCardinalities(t *testing.T) {
+	db := Generate(0.01, 4)
+	expect := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 100,
+		"customer": 1500,
+		"part":     2000,
+		"partsupp": 8000,
+		"orders":   15000,
+	}
+	for name, want := range expect {
+		if got := db.Rel(name).Rows(); got != want {
+			t.Errorf("%s rows = %d, want %d", name, got, want)
+		}
+	}
+	// Lineitem is 1..7 per order, average 4.
+	li := db.Rel("lineitem").Rows()
+	if li < 15000*1 || li > 15000*7 {
+		t.Fatalf("lineitem rows = %d out of range", li)
+	}
+	avg := float64(li) / 15000
+	if avg < 3.7 || avg > 4.3 {
+		t.Errorf("lineitem fanout avg = %.2f, want ≈4", avg)
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	a := Generate(0.005, 1)
+	b := Generate(0.005, 7)
+	for _, rel := range []string{"orders", "lineitem", "part", "customer", "supplier", "partsupp"} {
+		ra, rb := a.Rel(rel), b.Rel(rel)
+		if ra.Rows() != rb.Rows() {
+			t.Fatalf("%s rows differ: %d vs %d", rel, ra.Rows(), rb.Rows())
+		}
+		for _, col := range ra.Columns() {
+			cb := rb.Column(col.Name)
+			switch {
+			case col.I32 != nil:
+				for i := range col.I32 {
+					if col.I32[i] != cb.I32[i] {
+						t.Fatalf("%s.%s[%d] differs", rel, col.Name, i)
+					}
+				}
+			case col.Num != nil:
+				for i := range col.Num {
+					if col.Num[i] != cb.Num[i] {
+						t.Fatalf("%s.%s[%d] differs", rel, col.Name, i)
+					}
+				}
+			case col.Dat != nil:
+				for i := range col.Dat {
+					if col.Dat[i] != cb.Dat[i] {
+						t.Fatalf("%s.%s[%d] differs", rel, col.Name, i)
+					}
+				}
+			case col.B != nil:
+				if !bytes.Equal(col.B, cb.B) {
+					t.Fatalf("%s.%s differs", rel, col.Name)
+				}
+			case col.Str != nil:
+				if !bytes.Equal(col.Str.Bytes, cb.Str.Bytes) {
+					t.Fatalf("%s.%s heap differs", rel, col.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestQ6SelectivityShape(t *testing.T) {
+	// Q6 selects shipdate in 1994, discount in [0.05,0.07], qty < 24:
+	// roughly 0.9–2.5% of lineitem (dbgen: ~1.9% at SF 1).
+	db := Generate(0.05, 0)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	disc := li.Numeric("l_discount")
+	qty := li.Numeric("l_quantity")
+	lo, hi := types.MakeDate(1994, 1, 1), types.MakeDate(1995, 1, 1)
+	matched := 0
+	for i := range ship {
+		if ship[i] >= lo && ship[i] < hi && disc[i] >= 5 && disc[i] <= 7 && qty[i] < 24*types.NumericScale {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(ship))
+	if frac < 0.012 || frac > 0.028 {
+		t.Errorf("Q6 selectivity = %.4f, want ≈0.019", frac)
+	}
+}
+
+func TestQ1SelectivityShape(t *testing.T) {
+	db := Generate(0.05, 0)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	cutoff := types.MakeDate(1998, 9, 2)
+	matched := 0
+	for i := range ship {
+		if ship[i] <= cutoff {
+			matched++
+		}
+	}
+	frac := float64(matched) / float64(len(ship))
+	if frac < 0.97 || frac > 0.995 {
+		t.Errorf("Q1 selectivity = %.4f, want ≈0.985", frac)
+	}
+}
+
+func TestQ3BuildCardinalityShape(t *testing.T) {
+	// Orders before 1995-03-15 from BUILDING customers ≈ 147K·SF (§3.3).
+	db := Generate(0.05, 0)
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	building := make(map[int32]bool)
+	keys := cust.Int32("c_custkey")
+	for i := 0; i < cust.Rows(); i++ {
+		if string(seg.Get(i)) == "BUILDING" {
+			building[keys[i]] = true
+		}
+	}
+	segFrac := float64(len(building)) / float64(cust.Rows())
+	if segFrac < 0.17 || segFrac > 0.23 {
+		t.Errorf("BUILDING fraction = %.3f, want ≈0.2", segFrac)
+	}
+	ord := db.Rel("orders")
+	odate := ord.Date("o_orderdate")
+	ocust := ord.Int32("o_custkey")
+	cutoff := types.MakeDate(1995, 3, 15)
+	qualifying := 0
+	for i := 0; i < ord.Rows(); i++ {
+		if odate[i] < cutoff && building[ocust[i]] {
+			qualifying++
+		}
+	}
+	// Paper: 147K at SF 1 → 7350 at SF 0.05; allow ±15%.
+	want := 147000.0 * 0.05
+	if f := float64(qualifying); f < 0.85*want || f > 1.15*want {
+		t.Errorf("Q3 build cardinality = %d, want ≈%.0f", qualifying, want)
+	}
+}
+
+func TestQ9GreenPartsShape(t *testing.T) {
+	db := Generate(0.05, 0)
+	part := db.Rel("part")
+	names := part.String("p_name")
+	green := 0
+	for i := 0; i < part.Rows(); i++ {
+		if bytes.Contains(names.Get(i), []byte("green")) {
+			green++
+		}
+	}
+	frac := float64(green) / float64(part.Rows())
+	// 5 words from 92 → ≈5.4%.
+	if frac < 0.04 || frac > 0.07 {
+		t.Errorf("green part fraction = %.4f, want ≈0.054", frac)
+	}
+}
+
+func TestPartsuppConsistentWithLineitem(t *testing.T) {
+	// Every (l_partkey, l_suppkey) must exist in partsupp — Q9 depends on
+	// this foreign key.
+	db := Generate(0.01, 0)
+	ps := db.Rel("partsupp")
+	pairs := make(map[[2]int32]bool, ps.Rows())
+	pk := ps.Int32("ps_partkey")
+	sk := ps.Int32("ps_suppkey")
+	for i := 0; i < ps.Rows(); i++ {
+		pairs[[2]int32{pk[i], sk[i]}] = true
+	}
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	for i := 0; i < li.Rows(); i++ {
+		if !pairs[[2]int32{lpk[i], lsk[i]}] {
+			t.Fatalf("lineitem %d references missing partsupp (%d,%d)", i, lpk[i], lsk[i])
+		}
+	}
+	// Each part has exactly 4 distinct suppliers.
+	perPart := make(map[int32]map[int32]bool)
+	for i := 0; i < ps.Rows(); i++ {
+		m := perPart[pk[i]]
+		if m == nil {
+			m = make(map[int32]bool)
+			perPart[pk[i]] = m
+		}
+		m[sk[i]] = true
+	}
+	for p, m := range perPart {
+		if len(m) != 4 {
+			t.Fatalf("part %d has %d distinct suppliers, want 4", p, len(m))
+		}
+	}
+}
+
+func TestOrdersCustkeysValid(t *testing.T) {
+	db := Generate(0.01, 0)
+	ord := db.Rel("orders")
+	nCust := db.Rel("customer").Rows()
+	for i, ck := range ord.Int32("o_custkey") {
+		if ck < 1 || int(ck) > nCust {
+			t.Fatalf("order %d has custkey %d out of range", i, ck)
+		}
+		if ck%3 == 0 {
+			t.Fatalf("order %d references custkey %d ≡ 0 (mod 3)", i, ck)
+		}
+	}
+}
+
+func TestReturnFlagsAndStatus(t *testing.T) {
+	db := Generate(0.01, 0)
+	li := db.Rel("lineitem")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+	ship := li.Date("l_shipdate")
+	counts := map[byte]int{}
+	for i := range rf {
+		counts[rf[i]]++
+		switch rf[i] {
+		case 'R', 'A', 'N':
+		default:
+			t.Fatalf("bad returnflag %c", rf[i])
+		}
+		if ship[i] <= currentDate && ls[i] != 'F' {
+			t.Fatalf("shipped %v but linestatus %c", ship[i], ls[i])
+		}
+		if ship[i] > currentDate && ls[i] != 'O' {
+			t.Fatalf("future ship %v but linestatus %c", ship[i], ls[i])
+		}
+	}
+	for _, flag := range []byte{'R', 'A', 'N'} {
+		if counts[flag] == 0 {
+			t.Errorf("returnflag %c never generated", flag)
+		}
+	}
+	// R and A are a coin flip over the same subset: within 10%.
+	r, a := float64(counts['R']), float64(counts['A'])
+	if r/a < 0.9 || r/a > 1.1 {
+		t.Errorf("R/A ratio = %.2f, want ≈1", r/a)
+	}
+}
+
+func TestPartNameWordsDistinct(t *testing.T) {
+	db := Generate(0.01, 0)
+	names := db.Rel("part").String("p_name")
+	for i := 0; i < 200; i++ {
+		words := strings.Split(string(names.Get(i)), " ")
+		if len(words) != 5 {
+			t.Fatalf("part %d name %q has %d words", i, names.Get(i), len(words))
+		}
+		seen := map[string]bool{}
+		for _, w := range words {
+			if seen[w] {
+				t.Fatalf("part %d name %q repeats %q", i, names.Get(i), w)
+			}
+			seen[w] = true
+		}
+	}
+}
+
+func TestDiscountAndQuantityRanges(t *testing.T) {
+	db := Generate(0.01, 0)
+	li := db.Rel("lineitem")
+	for i, d := range li.Numeric("l_discount") {
+		if d < 0 || d > 10 {
+			t.Fatalf("discount[%d] = %d", i, d)
+		}
+	}
+	for i, q := range li.Numeric("l_quantity") {
+		if q < 100 || q > 5000 {
+			t.Fatalf("quantity[%d] = %d", i, q)
+		}
+	}
+	for i, x := range li.Numeric("l_tax") {
+		if x < 0 || x > 8 {
+			t.Fatalf("tax[%d] = %d", i, x)
+		}
+	}
+}
+
+func TestColorWordCount(t *testing.T) {
+	if len(ColorWords) != 92 {
+		t.Fatalf("ColorWords has %d entries, dbgen has 92", len(ColorWords))
+	}
+	seen := map[string]bool{}
+	for _, w := range ColorWords {
+		if seen[w] {
+			t.Fatalf("duplicate color word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestGeneratePanicsOnBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sf=0")
+		}
+	}()
+	Generate(0, 1)
+}
+
+func TestOrderDatesInRange(t *testing.T) {
+	db := Generate(0.01, 0)
+	for i, d := range db.Rel("orders").Date("o_orderdate") {
+		if d < orderDateLo || d > orderDateHi {
+			t.Fatalf("orderdate[%d] = %v out of range", i, d)
+		}
+	}
+}
+
+func TestTotalPriceConsistent(t *testing.T) {
+	db := Generate(0.005, 0)
+	ord := db.Rel("orders")
+	li := db.Rel("lineitem")
+	// Recompute o_totalprice for the first orders and compare.
+	sums := make(map[int32]int64)
+	lok := li.Int32("l_orderkey")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	for i := range lok {
+		e := int64(ext[i])
+		sums[lok[i]] += e * (100 - int64(disc[i])) / 100 * (100 + int64(tax[i])) / 100
+	}
+	okeys := ord.Int32("o_orderkey")
+	tp := ord.Numeric("o_totalprice")
+	for i := 0; i < 100; i++ {
+		if int64(tp[i]) != sums[okeys[i]] {
+			t.Fatalf("o_totalprice[%d] = %d, recomputed %d", i, tp[i], sums[okeys[i]])
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package tw
+
+import (
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+)
+
+// Vectorized hash-join machinery, following Figure 2b of the paper: the
+// probe side is processed with findCandidates / compare / advance
+// primitives over candidate vectors; the build side is materialized with
+// bulk-allocate + scatter primitives and published with the shared
+// two-barrier protocol.
+
+// FindCandidates looks up the directory for each of the n probe hashes
+// and compacts the non-empty chain heads into cand, recording each
+// candidate's originating probe position in candPos. The 16-bit Bloom
+// tags filter definite misses here (§3.2).
+func FindCandidates(ht *hashtable.Table, hashes []uint64, n int, cand []hashtable.Ref, candPos []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		ref := ht.Lookup(hashes[i])
+		cand[k] = ref
+		candPos[k] = int32(i)
+		if ref != 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// CheckKeysU64 compares each candidate entry's stored hash and 64-bit key
+// (payload word 0) against the probe key at its position; hits are
+// appended to (matchRefs, matchPos) starting at nm. Returns the new match
+// count. Candidates remain for chain advancement regardless of hit, so
+// multi-match joins find every duplicate.
+func CheckKeysU64(ht *hashtable.Table, cand []hashtable.Ref, candPos []int32, nc int,
+	keys, hashes []uint64, matchRefs []hashtable.Ref, matchPos []int32, nm int) int {
+	for i := 0; i < nc; i++ {
+		p := candPos[i]
+		ref := cand[i]
+		if ht.Hash(ref) == hashes[p] && ht.Word(ref, 0) == keys[p] {
+			matchRefs[nm] = ref
+			matchPos[nm] = p
+			nm++
+		}
+	}
+	return nm
+}
+
+// NextCandidates advances every candidate along its collision chain and
+// compacts the survivors.
+func NextCandidates(ht *hashtable.Table, cand []hashtable.Ref, candPos []int32, nc int) int {
+	k := 0
+	for i := 0; i < nc; i++ {
+		ref := ht.Next(cand[i])
+		cand[k] = ref
+		candPos[k] = candPos[i]
+		if ref != 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// Probe runs the full candidate loop for one vector of n probe keys and
+// returns the match count. It is the operator control logic of Figure 2b;
+// all per-tuple work happens in the three primitives above.
+func Probe(ht *hashtable.Table, keys, hashes []uint64, n int,
+	cand []hashtable.Ref, candPos []int32,
+	matchRefs []hashtable.Ref, matchPos []int32) int {
+	nc := FindCandidates(ht, hashes, n, cand, candPos)
+	nm := 0
+	for nc > 0 {
+		nm = CheckKeysU64(ht, cand, candPos, nc, keys, hashes, matchRefs, matchPos, nm)
+		nc = NextCandidates(ht, cand, candPos, nc)
+	}
+	return nm
+}
+
+// ScatterHashes stores hashes into n freshly AllocN'd rows.
+func ScatterHashes(ht *hashtable.Table, base hashtable.Ref, hashes []uint64, n int) {
+	for i := 0; i < n; i++ {
+		ht.SetHash(ht.RefAt(base, i), hashes[i])
+	}
+}
+
+// ScatterWord stores vals into payload word w of n consecutive rows.
+func ScatterWord(ht *hashtable.Table, base hashtable.Ref, w int, vals []uint64, n int) {
+	for i := 0; i < n; i++ {
+		ht.SetWord(ht.RefAt(base, i), w, vals[i])
+	}
+}
+
+// ScatterWordI64 stores int64 vals into payload word w of n rows.
+func ScatterWordI64(ht *hashtable.Table, base hashtable.Ref, w int, vals []int64, n int) {
+	for i := 0; i < n; i++ {
+		ht.SetWord(ht.RefAt(base, i), w, uint64(vals[i]))
+	}
+}
+
+// BuildBarrier publishes a shared hash table after all workers have
+// materialized their build rows: barrier → size directory → every worker
+// inserts its shard → barrier.
+func BuildBarrier(ht *hashtable.Table, bar *exec.Barrier, w int) {
+	bar.Wait(func() { ht.Prepare(ht.Rows()) })
+	ht.InsertShard(w)
+	bar.Wait(nil)
+}

@@ -1,0 +1,147 @@
+package tw
+
+import (
+	"testing"
+
+	"paradigms/internal/hashtable"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+func TestStringSelectionPrimitives(t *testing.T) {
+	heap := storage.NewStringHeap(6, 10)
+	for _, s := range []string{"BUILDING", "MACHINERY", "BUILDING", "dark green lace", "green", "HOUSEHOLD"} {
+		heap.AppendString(s)
+	}
+	res := make([]int32, 6)
+	k := SelEqString(heap, 0, 6, "BUILDING", res)
+	if k != 2 || res[0] != 0 || res[1] != 2 {
+		t.Fatalf("SelEqString = %d %v", k, res[:k])
+	}
+	// Windowed: base 2, n 4 → positions relative to window.
+	k = SelEqString(heap, 2, 4, "BUILDING", res)
+	if k != 1 || res[0] != 0 {
+		t.Fatalf("windowed SelEqString = %d %v", k, res[:k])
+	}
+	k = SelContainsString(heap, 0, 6, []byte("green"), res)
+	if k != 2 || res[0] != 3 || res[1] != 4 {
+		t.Fatalf("SelContainsString = %d %v", k, res[:k])
+	}
+}
+
+func TestWidenAndCopyPrimitives(t *testing.T) {
+	col := []int32{5, -1, 7}
+	keys := make([]uint64, 3)
+	MapWiden(col, 3, keys)
+	if keys[1] != uint64(uint32(0xffffffff)) {
+		t.Errorf("MapWiden sign handling: %x", keys[1])
+	}
+	MapWidenSel(col, []int32{2, 0}, keys)
+	if keys[0] != 7 || keys[1] != 5 {
+		t.Errorf("MapWidenSel = %v", keys[:2])
+	}
+	nums := []types.Numeric{100, 200}
+	out := make([]int64, 2)
+	MapCopyI64(nums, 2, out)
+	if out[0] != 100 || out[1] != 200 {
+		t.Errorf("MapCopyI64 = %v", out)
+	}
+}
+
+func TestPackPrimitives(t *testing.T) {
+	years := []int64{1995, 1996}
+	nations := []uint64{7, 9}
+	res := make([]uint64, 2)
+	MapPackLoHi(years, nations, 2, res)
+	if res[0] != 1995|7<<32 || res[1] != 1996|9<<32 {
+		t.Errorf("MapPackLoHi = %x", res)
+	}
+	cn := []uint64{3, 4}
+	sn := []uint64{5, 6}
+	yr := []uint64{1992, 1993}
+	MapPack3(cn, sn, yr, 2, res)
+	if res[0] != 3<<40|5<<32|1992 {
+		t.Errorf("MapPack3 = %x", res[0])
+	}
+	// Unpack round trip.
+	if int32(res[1]>>40&0xff) != 4 || int32(res[1]>>32&0xff) != 6 || int32(uint32(res[1])) != 1993 {
+		t.Errorf("MapPack3 unpack failed: %x", res[1])
+	}
+}
+
+func TestFetchU64AndGather(t *testing.T) {
+	vals := []uint64{10, 20, 30, 40}
+	res := make([]uint64, 2)
+	FetchU64(vals, []int32{3, 1}, res)
+	if res[0] != 40 || res[1] != 20 {
+		t.Errorf("FetchU64 = %v", res)
+	}
+	ht := hashtable.New(2, 1)
+	sh := ht.Shard(0)
+	var refs []hashtable.Ref
+	for i := uint64(0); i < 4; i++ {
+		ref, _ := sh.Alloc(ht, Hash(i))
+		ht.SetWord(ref, 0, i)
+		ht.SetWord(ref, 1, i*100)
+		refs = append(refs, ref)
+	}
+	out := make([]uint64, 4)
+	GatherWord(ht, refs, 1, 4, out)
+	for i := range out {
+		if out[i] != uint64(i)*100 {
+			t.Fatalf("GatherWord[%d] = %d", i, out[i])
+		}
+	}
+	outI := make([]int64, 4)
+	GatherWordI64(ht, refs, 1, 4, outI)
+	if outI[3] != 300 {
+		t.Errorf("GatherWordI64 = %v", outI)
+	}
+}
+
+func TestScatterAndRefAt(t *testing.T) {
+	ht := hashtable.New(2, 1)
+	sh := ht.Shard(0)
+	base := sh.AllocN(ht, 3)
+	hashes := []uint64{Hash(1), Hash(2), Hash(3)}
+	keys := []uint64{1, 2, 3}
+	vals := []int64{-10, -20, -30}
+	ScatterHashes(ht, base, hashes, 3)
+	ScatterWord(ht, base, 0, keys, 3)
+	ScatterWordI64(ht, base, 1, vals, 3)
+	for i := 0; i < 3; i++ {
+		ref := ht.RefAt(base, i)
+		if ht.Hash(ref) != hashes[i] || ht.Word(ref, 0) != keys[i] || int64(ht.Word(ref, 1)) != vals[i] {
+			t.Fatalf("row %d corrupt", i)
+		}
+	}
+}
+
+func TestMapHashVariantsConsistent(t *testing.T) {
+	col := []int32{10, 20, 30, 40}
+	dense := make([]uint64, 4)
+	MapHash(col, dense)
+	sparse := make([]uint64, 2)
+	MapHashSel(col, []int32{1, 3}, sparse)
+	if sparse[0] != dense[1] || sparse[1] != dense[3] {
+		t.Error("MapHashSel inconsistent with MapHash")
+	}
+	keys := []uint64{uint64(uint32(col[0]))}
+	direct := make([]uint64, 1)
+	MapHashU64(keys, direct)
+	if direct[0] != dense[0] {
+		t.Error("MapHashU64 inconsistent with MapHash")
+	}
+}
+
+func TestSelGESelEmptyAndFull(t *testing.T) {
+	col := []int64{1, 2, 3}
+	res := make([]int32, 3)
+	if k := SelGESel(col, 10, nil, res); k != 0 {
+		t.Errorf("empty input sel produced %d", k)
+	}
+	sel := []int32{0, 1, 2}
+	if k := SelGESel(col, 0, sel, res); k != 3 {
+		t.Errorf("full match = %d", k)
+	}
+}

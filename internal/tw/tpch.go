@@ -1,0 +1,733 @@
+package tw
+
+import (
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+	"paradigms/internal/vector"
+)
+
+// Vectorized plans for the TPC-H subset. Each query function builds one
+// operator pipeline per worker (private buffers, shared hash tables /
+// dispatchers / barriers) and drives it vector-at-a-time.
+
+func vecOrDefault(v int) int {
+	if v <= 0 {
+		return vector.DefaultSize
+	}
+	return v
+}
+
+// Q1 executes TPC-H Q1 with the given worker count and vector size.
+func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
+	w := workers(nWorkers)
+	vec := vecOrDefault(vecSize)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+	cutoff := queries.Q1Cutoff
+
+	disp := exec.NewDispatcher(li.Rows(), 0)
+	ops := []hashtable.AggOp{hashtable.OpSum, hashtable.OpSum, hashtable.OpSum,
+		hashtable.OpSum, hashtable.OpSum, hashtable.OpSum}
+	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	results := make([]queries.Q1Result, w)
+
+	exec.Parallel(w, func(wid int) {
+		scan := NewScan(disp, vec)
+		bufs := vector.NewBuffers(vec)
+		sel := bufs.Sel()
+		keys := bufs.Ref()
+		hashes := bufs.Ref()
+		vQty := bufs.I64()
+		vBase := bufs.I64()
+		vDisc := bufs.I64()
+		vCharge := bufs.I64()
+		vDiscnt := bufs.I64()
+		t100 := bufs.I64()
+		tTax := bufs.I64()
+		ones := bufs.I64()
+		for i := range ones {
+			ones[i] = 1
+		}
+		vals := [][]int64{vQty, vBase, vDisc, vCharge, vDiscnt, ones}
+		gb := NewGroupBy(spill, wid, ops, vec)
+
+		for {
+			n := scan.Next()
+			if n == 0 {
+				break
+			}
+			b := scan.Base
+			nSel := SelLE(ship[b:b+n], cutoff, sel)
+			if nSel == 0 {
+				continue
+			}
+			s := sel[:nSel]
+			MapPack2x8Sel(rf[b:b+n], ls[b:b+n], s, keys)
+			MapHashU64(keys[:nSel], hashes)
+			FetchI64(qty[b:b+n], s, vQty)
+			FetchI64(ext[b:b+n], s, vBase)
+			MapRsubConstSel(disc[b:b+n], 100, s, t100)
+			MapMul(vBase, t100, nSel, vDisc)
+			FetchI64(tax[b:b+n], s, tTax)
+			MapAddConst(tTax, 100, nSel, tTax)
+			MapMul(vDisc, tTax, nSel, vCharge)
+			FetchI64(disc[b:b+n], s, vDiscnt)
+			gb.Consume(nSel, keys, hashes, vals)
+		}
+		gb.Flush()
+		bar.Wait(nil)
+
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
+				results[wid] = append(results[wid], queries.Q1Row{
+					ReturnFlag: byte(row[1] >> 8),
+					LineStatus: byte(row[1]),
+					SumQty:     int64(row[2]),
+					SumBase:    int64(row[3]),
+					SumDisc:    int64(row[4]),
+					SumCharge:  int64(row[5]),
+					SumDiscnt:  int64(row[6]),
+					Count:      int64(row[7]),
+				})
+			})
+		}
+	})
+
+	var out queries.Q1Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortQ1(out)
+	return out
+}
+
+// Q6 executes TPC-H Q6: a selection cascade followed by a fused
+// multiply-sum over the survivors.
+func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
+	w := workers(nWorkers)
+	vec := vecOrDefault(vecSize)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+
+	disp := exec.NewDispatcher(li.Rows(), 0)
+	partial := make([]int64, w)
+	exec.Parallel(w, func(wid int) {
+		scan := NewScan(disp, vec)
+		bufs := vector.NewBuffers(vec)
+		sel1 := bufs.Sel()
+		sel2 := bufs.Sel()
+		prod := bufs.I64()
+		var sum int64
+		for {
+			n := scan.Next()
+			if n == 0 {
+				break
+			}
+			b := scan.Base
+			// Selection cascade: each predicate is one primitive; from the
+			// second on, they consume a selection vector (§5.1).
+			k := SelGE(ship[b:b+n], queries.Q6DateLo, sel1)
+			k = SelLTSel(ship[b:b+n], queries.Q6DateHi, sel1[:k], sel2)
+			k = SelGESel(disc[b:b+n], queries.Q6DiscLo, sel2[:k], sel1)
+			k = SelLESel(disc[b:b+n], queries.Q6DiscHi, sel1[:k], sel2)
+			k = SelLTSel(qty[b:b+n], queries.Q6Quantity, sel2[:k], sel1)
+			if k == 0 {
+				continue
+			}
+			MapMulColsSel(ext[b:b+n], disc[b:b+n], sel1[:k], prod)
+			sum += SumI64(prod, k)
+		}
+		partial[wid] = sum
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return queries.Q6Result(total)
+}
+
+// Q3 executes TPC-H Q3.
+func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
+	w := workers(nWorkers)
+	vec := vecOrDefault(vecSize)
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	ckeys := cust.Int32("c_custkey")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	oprio := ord.Int32("o_shippriority")
+	li := db.Rel("lineitem")
+	lkeys := li.Int32("l_orderkey")
+	lship := li.Date("l_shipdate")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	cutoff := queries.Q3Date
+
+	htCust := hashtable.New(1, w)
+	htOrd := hashtable.New(2, w)
+	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	ops := []hashtable.AggOp{hashtable.OpSum, hashtable.OpFirst}
+	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	tops := make([]*queries.TopK[queries.Q3Row], w)
+
+	exec.Parallel(w, func(wid int) {
+		bufs := vector.NewBuffers(vec)
+		sel := bufs.Sel()
+		absPos := bufs.Sel()
+		keys := bufs.Ref()
+		hashes := bufs.Ref()
+		keys2 := bufs.Ref()
+		hashes2 := bufs.Ref()
+		cand := make([]hashtable.Ref, vec)
+		candPos := bufs.Sel()
+		mRefs := make([]hashtable.Ref, vec)
+		mPos := bufs.Sel()
+		dp := bufs.Ref()
+		e2 := bufs.I64()
+		d2 := bufs.I64()
+		rev := bufs.I64()
+		dpI64 := bufs.I64()
+		gkeys := bufs.Ref()
+		ghashes := bufs.Ref()
+
+		// Pipeline 1: customer σ(mktsegment) → materialize HT_cust rows.
+		scanC := NewScan(dispCust, vec)
+		shC := htCust.Shard(wid)
+		for {
+			n := scanC.Next()
+			if n == 0 {
+				break
+			}
+			b := scanC.Base
+			k := SelEqString(seg, b, n, queries.Q3Segment, sel)
+			if k == 0 {
+				continue
+			}
+			MapWidenSel(ckeys[b:b+n], sel[:k], keys)
+			MapHashU64(keys[:k], hashes)
+			base := shC.AllocN(htCust, k)
+			ScatterHashes(htCust, base, hashes, k)
+			ScatterWord(htCust, base, 0, keys, k)
+		}
+		BuildBarrier(htCust, bar, wid)
+
+		// Pipeline 2: orders σ(orderdate) ⋉ HT_cust → materialize HT_ord.
+		scanO := NewScan(dispOrd, vec)
+		shO := htOrd.Shard(wid)
+		for {
+			n := scanO.Next()
+			if n == 0 {
+				break
+			}
+			b := scanO.Base
+			k := SelLT(odate[b:b+n], cutoff, sel)
+			if k == 0 {
+				continue
+			}
+			MapWidenSel(ocust[b:b+n], sel[:k], keys)
+			MapHashU64(keys[:k], hashes)
+			nm := Probe(htCust, keys, hashes, k, cand, candPos, mRefs, mPos)
+			if nm == 0 {
+				continue
+			}
+			ComposePos(sel, mPos[:nm], absPos)
+			MapWidenSel(okeys[b:b+n], absPos[:nm], keys2)
+			MapHashU64(keys2[:nm], hashes2)
+			MapPack2x32Sel(odate[b:b+n], oprio[b:b+n], absPos[:nm], dp)
+			base := shO.AllocN(htOrd, nm)
+			ScatterHashes(htOrd, base, hashes2, nm)
+			ScatterWord(htOrd, base, 0, keys2, nm)
+			ScatterWord(htOrd, base, 1, dp, nm)
+		}
+		BuildBarrier(htOrd, bar, wid)
+
+		// Pipeline 3: lineitem σ(shipdate) ⋈ HT_ord → Γ(orderkey).
+		scanL := NewScan(dispLine, vec)
+		gb := NewGroupBy(spill, wid, ops, vec)
+		vals := [][]int64{rev, dpI64}
+		for {
+			n := scanL.Next()
+			if n == 0 {
+				break
+			}
+			b := scanL.Base
+			k := SelGT(lship[b:b+n], cutoff, sel)
+			if k == 0 {
+				continue
+			}
+			MapWidenSel(lkeys[b:b+n], sel[:k], keys)
+			MapHashU64(keys[:k], hashes)
+			nm := Probe(htOrd, keys, hashes, k, cand, candPos, mRefs, mPos)
+			if nm == 0 {
+				continue
+			}
+			ComposePos(sel, mPos[:nm], absPos)
+			FetchI64(lext[b:b+n], absPos[:nm], e2)
+			MapRsubConstSel(ldisc[b:b+n], 100, absPos[:nm], d2)
+			MapMul(e2, d2, nm, rev)
+			GatherWordI64(htOrd, mRefs, 1, nm, dpI64)
+			FetchU64(keys, mPos[:nm], gkeys)
+			FetchU64(hashes, mPos[:nm], ghashes)
+			gb.Consume(nm, gkeys, ghashes, vals)
+		}
+		gb.Flush()
+		bar.Wait(nil)
+
+		top := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
+		tops[wid] = top
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
+				top.Offer(queries.Q3Row{
+					OrderKey:     int32(uint32(row[1])),
+					Revenue:      int64(row[2]),
+					OrderDate:    types.Date(uint32(row[3])),
+					ShipPriority: int32(uint32(row[3] >> 32)),
+				})
+			})
+		}
+	})
+
+	final := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
+	for _, t := range tops {
+		final.Merge(t)
+	}
+	return final.Sorted()
+}
+
+// Q9 executes TPC-H Q9.
+func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
+	w := workers(nWorkers)
+	vec := vecOrDefault(vecSize)
+	part := db.Rel("part")
+	pnames := part.String("p_name")
+	pkeys := part.Int32("p_partkey")
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snation := supp.Int32("s_nationkey")
+	ps := db.Rel("partsupp")
+	pspk := ps.Int32("ps_partkey")
+	pssk := ps.Int32("ps_suppkey")
+	pscost := ps.Numeric("ps_supplycost")
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	odate := ord.Date("o_orderdate")
+	needle := []byte(queries.Q9Color)
+
+	htPart := hashtable.New(1, w)
+	htSupp := hashtable.New(2, w)
+	htPS := hashtable.New(2, w)
+	htLine := hashtable.New(3, w)
+	dispPart := exec.NewDispatcher(part.Rows(), 0)
+	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
+	dispPS := exec.NewDispatcher(ps.Rows(), 0)
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	ops := []hashtable.AggOp{hashtable.OpSum}
+	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	results := make([]queries.Q9Result, w)
+
+	// lineitem fan-out per order is at most 7.
+	const maxFanout = 8
+
+	exec.Parallel(w, func(wid int) {
+		bufs := vector.NewBuffers(vec)
+		sel := bufs.Sel()
+		keys := bufs.Ref()
+		hashes := bufs.Ref()
+		keys2 := bufs.Ref()
+		hashes2 := bufs.Ref()
+		keys3 := bufs.Ref()
+		hashes3 := bufs.Ref()
+		keys4 := bufs.Ref()
+		hashes4 := bufs.Ref()
+		cand := make([]hashtable.Ref, vec)
+		candPos := bufs.Sel()
+		m1Refs := make([]hashtable.Ref, vec)
+		m1Pos := bufs.Sel()
+		m2Refs := make([]hashtable.Ref, vec)
+		m2Pos := bufs.Sel()
+		m3Refs := make([]hashtable.Ref, vec)
+		m3Pos := bufs.Sel()
+		abs2 := bufs.Sel()
+		abs3 := bufs.Sel()
+		cost2 := bufs.I64()
+		cost3 := bufs.I64()
+		nation3 := bufs.Ref()
+		e3 := bufs.I64()
+		d3 := bufs.I64()
+		rev3 := bufs.I64()
+		q3v := bufs.I64()
+		cq3 := bufs.I64()
+		amount3 := bufs.I64()
+
+		// Pipeline 1: part σ(name contains green) → HT_part.
+		scanP := NewScan(dispPart, vec)
+		shP := htPart.Shard(wid)
+		for {
+			n := scanP.Next()
+			if n == 0 {
+				break
+			}
+			b := scanP.Base
+			k := SelContainsString(pnames, b, n, needle, sel)
+			if k == 0 {
+				continue
+			}
+			MapWidenSel(pkeys[b:b+n], sel[:k], keys)
+			MapHashU64(keys[:k], hashes)
+			base := shP.AllocN(htPart, k)
+			ScatterHashes(htPart, base, hashes, k)
+			ScatterWord(htPart, base, 0, keys, k)
+		}
+		BuildBarrier(htPart, bar, wid)
+
+		// Pipeline 2: supplier → HT_supp (suppkey → nationkey).
+		scanS := NewScan(dispSupp, vec)
+		shS := htSupp.Shard(wid)
+		for {
+			n := scanS.Next()
+			if n == 0 {
+				break
+			}
+			b := scanS.Base
+			MapWiden(skeys[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			MapWiden(snation[b:b+n], n, keys2) // nation payload
+			base := shS.AllocN(htSupp, n)
+			ScatterHashes(htSupp, base, hashes, n)
+			ScatterWord(htSupp, base, 0, keys, n)
+			ScatterWord(htSupp, base, 1, keys2, n)
+		}
+		BuildBarrier(htSupp, bar, wid)
+
+		// Pipeline 3: partsupp ⋉ HT_part → HT_ps ((partkey,suppkey) → cost).
+		scanPS := NewScan(dispPS, vec)
+		shPS := htPS.Shard(wid)
+		for {
+			n := scanPS.Next()
+			if n == 0 {
+				break
+			}
+			b := scanPS.Base
+			MapWiden(pspk[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			nm := Probe(htPart, keys, hashes, n, cand, candPos, m1Refs, m1Pos)
+			if nm == 0 {
+				continue
+			}
+			MapPack2x32Sel(pspk[b:b+n], pssk[b:b+n], m1Pos[:nm], keys2)
+			MapHashU64(keys2[:nm], hashes2)
+			FetchI64(pscost[b:b+n], m1Pos[:nm], cost2)
+			base := shPS.AllocN(htPS, nm)
+			ScatterHashes(htPS, base, hashes2, nm)
+			ScatterWord(htPS, base, 0, keys2, nm)
+			ScatterWordI64(htPS, base, 1, cost2, nm)
+		}
+		BuildBarrier(htPS, bar, wid)
+
+		// Pipeline 4: lineitem ⋉ HT_part ⋈ HT_ps ⋈ HT_supp → HT_line.
+		scanL := NewScan(dispLine, vec)
+		shL := htLine.Shard(wid)
+		for {
+			n := scanL.Next()
+			if n == 0 {
+				break
+			}
+			b := scanL.Base
+			MapWiden(lpk[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			nm1 := Probe(htPart, keys, hashes, n, cand, candPos, m1Refs, m1Pos)
+			if nm1 == 0 {
+				continue
+			}
+			MapPack2x32Sel(lpk[b:b+n], lsk[b:b+n], m1Pos[:nm1], keys2)
+			MapHashU64(keys2[:nm1], hashes2)
+			nm2 := Probe(htPS, keys2, hashes2, nm1, cand, candPos, m2Refs, m2Pos)
+			if nm2 == 0 {
+				continue
+			}
+			GatherWordI64(htPS, m2Refs, 1, nm2, cost2)
+			ComposePos(m1Pos, m2Pos[:nm2], abs2)
+			MapWidenSel(lsk[b:b+n], abs2[:nm2], keys3)
+			MapHashU64(keys3[:nm2], hashes3)
+			nm3 := Probe(htSupp, keys3, hashes3, nm2, cand, candPos, m3Refs, m3Pos)
+			if nm3 == 0 {
+				continue
+			}
+			GatherWord(htSupp, m3Refs, 1, nm3, nation3)
+			ComposePos(abs2, m3Pos[:nm3], abs3)
+			FetchI64(cost2, m3Pos[:nm3], cost3)
+			FetchI64(lext[b:b+n], abs3[:nm3], e3)
+			MapRsubConstSel(ldisc[b:b+n], 100, abs3[:nm3], d3)
+			MapMul(e3, d3, nm3, rev3)
+			FetchI64(lqty[b:b+n], abs3[:nm3], q3v)
+			MapMul(cost3, q3v, nm3, cq3)
+			MapSub(rev3, cq3, nm3, amount3)
+			MapWidenSel(lok[b:b+n], abs3[:nm3], keys4)
+			MapHashU64(keys4[:nm3], hashes4)
+			base := shL.AllocN(htLine, nm3)
+			ScatterHashes(htLine, base, hashes4, nm3)
+			ScatterWord(htLine, base, 0, keys4, nm3)
+			ScatterWord(htLine, base, 1, nation3, nm3)
+			ScatterWordI64(htLine, base, 2, amount3, nm3)
+		}
+		BuildBarrier(htLine, bar, wid)
+
+		// Pipeline 5: orders ⋈ HT_line (multi-match) → Γ(year, nation).
+		mRefs := make([]hashtable.Ref, vec*maxFanout)
+		mPos := make([]int32, vec*maxFanout)
+		amounts := make([]int64, vec*maxFanout)
+		nations := make([]uint64, vec*maxFanout)
+		years := make([]int64, vec*maxFanout)
+		gkeys := make([]uint64, vec*maxFanout)
+		ghashes := make([]uint64, vec*maxFanout)
+		gb := NewGroupBy(spill, wid, ops, vec*maxFanout)
+		vals := [][]int64{amounts}
+		scanO := NewScan(dispOrd, vec)
+		for {
+			n := scanO.Next()
+			if n == 0 {
+				break
+			}
+			b := scanO.Base
+			MapWiden(okeys[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			nm := Probe(htLine, keys, hashes, n, cand, candPos, mRefs, mPos)
+			if nm == 0 {
+				continue
+			}
+			GatherWordI64(htLine, mRefs, 2, nm, amounts)
+			GatherWord(htLine, mRefs, 1, nm, nations)
+			MapYearSel(odate[b:b+n], mPos[:nm], years)
+			MapPackLoHi(years, nations, nm, gkeys)
+			MapHashU64(gkeys[:nm], ghashes)
+			gb.Consume(nm, gkeys, ghashes, vals)
+		}
+		gb.Flush()
+		bar.Wait(nil)
+
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
+				results[wid] = append(results[wid], queries.Q9Row{
+					Nation: int32(uint32(row[1] >> 32)),
+					Year:   int32(uint32(row[1])),
+					Profit: int64(row[2]),
+				})
+			})
+		}
+	})
+
+	var out queries.Q9Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortQ9(out)
+	return out
+}
+
+// Q18 executes TPC-H Q18.
+func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
+	w := workers(nWorkers)
+	vec := vecOrDefault(vecSize)
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	ototal := ord.Numeric("o_totalprice")
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	minQty := int64(queries.Q18Quantity)
+
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	ops := []hashtable.AggOp{hashtable.OpSum}
+	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	htBig := hashtable.New(2, 1)
+	htMatch := hashtable.New(4, w)
+	type bigGroup struct {
+		key    uint64
+		sumQty int64
+	}
+	qualifying := make([][]bigGroup, w)
+	tops := make([]*queries.TopK[queries.Q18Row], w)
+
+	exec.Parallel(w, func(wid int) {
+		bufs := vector.NewBuffers(vec)
+		keys := bufs.Ref()
+		hashes := bufs.Ref()
+		qvals := bufs.I64()
+		cand := make([]hashtable.Ref, vec)
+		candPos := bufs.Sel()
+		mRefs := make([]hashtable.Ref, vec)
+		mPos := bufs.Sel()
+		dp := bufs.Ref()
+		keysC := bufs.Ref()
+		hashesC := bufs.Ref()
+		tp := bufs.I64()
+		sq := bufs.I64()
+
+		// Pipeline 1: Γ(lineitem by orderkey): the 1.5M·SF-group
+		// aggregation that dominates this query.
+		scanL := NewScan(dispLine, vec)
+		gb := NewGroupBy(spill, wid, ops, vec)
+		vals := [][]int64{qvals}
+		for {
+			n := scanL.Next()
+			if n == 0 {
+				break
+			}
+			b := scanL.Base
+			MapWiden(lok[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			MapCopyI64(lqty[b:b+n], n, qvals)
+			gb.Consume(n, keys, hashes, vals)
+		}
+		gb.Flush()
+		bar.Wait(nil)
+
+		// Pipeline 2: merge partitions; HAVING sum(qty) > 300.
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
+				if int64(row[2]) > minQty {
+					qualifying[wid] = append(qualifying[wid], bigGroup{key: row[1], sumQty: int64(row[2])})
+				}
+			})
+		}
+		bar.Wait(func() {
+			total := 0
+			for _, q := range qualifying {
+				total += len(q)
+			}
+			htBig.Prepare(total)
+			sh := htBig.Shard(0)
+			for _, qs := range qualifying {
+				for _, qg := range qs {
+					h := Hash(qg.key)
+					ref, _ := sh.Alloc(htBig, h)
+					htBig.SetWord(ref, 0, qg.key)
+					htBig.SetWord(ref, 1, uint64(qg.sumQty))
+					htBig.Insert(ref, h)
+				}
+			}
+		})
+
+		// Pipeline 3: orders ⋈ HT_big → HT_match keyed by custkey.
+		scanO := NewScan(dispOrd, vec)
+		shM := htMatch.Shard(wid)
+		for {
+			n := scanO.Next()
+			if n == 0 {
+				break
+			}
+			b := scanO.Base
+			MapWiden(okeys[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			nm := Probe(htBig, keys, hashes, n, cand, candPos, mRefs, mPos)
+			if nm == 0 {
+				continue
+			}
+			MapWidenSel(ocust[b:b+n], mPos[:nm], keysC)
+			MapHashU64(keysC[:nm], hashesC)
+			MapPack2x32Sel(okeys[b:b+n], odate[b:b+n], mPos[:nm], dp)
+			FetchI64(ototal[b:b+n], mPos[:nm], tp)
+			GatherWordI64(htBig, mRefs, 1, nm, sq)
+			base := shM.AllocN(htMatch, nm)
+			ScatterHashes(htMatch, base, hashesC, nm)
+			ScatterWord(htMatch, base, 0, keysC, nm)
+			ScatterWord(htMatch, base, 1, dp, nm)
+			ScatterWordI64(htMatch, base, 2, tp, nm)
+			ScatterWordI64(htMatch, base, 3, sq, nm)
+		}
+		BuildBarrier(htMatch, bar, wid)
+
+		// Pipeline 4: customer ⋈ HT_match (multi-match); emit top-100.
+		top := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
+		tops[wid] = top
+		scanC := NewScan(dispCust, vec)
+		for {
+			n := scanC.Next()
+			if n == 0 {
+				break
+			}
+			b := scanC.Base
+			MapWiden(ckeys[b:b+n], n, keys)
+			MapHashU64(keys[:n], hashes)
+			nc := FindCandidates(htMatch, hashes, n, cand, candPos)
+			for nc > 0 {
+				// Output emission: offers go straight to the top-k sink.
+				for i := 0; i < nc; i++ {
+					ref := cand[i]
+					p := candPos[i]
+					if htMatch.Hash(ref) == hashes[p] && htMatch.Word(ref, 0) == keys[p] {
+						od := htMatch.Word(ref, 1)
+						top.Offer(queries.Q18Row{
+							CustKey:    int32(uint32(keys[p])),
+							OrderKey:   int32(uint32(od)),
+							OrderDate:  types.Date(uint32(od >> 32)),
+							TotalPrice: types.Numeric(int64(htMatch.Word(ref, 2))),
+							SumQty:     int64(htMatch.Word(ref, 3)),
+						})
+					}
+				}
+				nc = NextCandidates(htMatch, cand, candPos, nc)
+			}
+		}
+	})
+
+	final := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
+	for _, t := range tops {
+		final.Merge(t)
+	}
+	return final.Sorted()
+}

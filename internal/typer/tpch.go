@@ -1,0 +1,961 @@
+package typer
+
+import (
+	"bytes"
+	"unsafe"
+
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+	"paradigms/internal/types"
+)
+
+// This file is the "generated code" for the TPC-H subset: one function per
+// query, each consisting of fused tuple-at-a-time pipeline loops in the
+// style of Figure 2a of the paper.
+
+// ---------------------------------------------------------------------
+// Q1: scan lineitem → σ(shipdate) → Γ(returnflag, linestatus; 8 aggs)
+// ---------------------------------------------------------------------
+
+type q1Group struct {
+	key       uint64
+	sumQty    int64
+	sumBase   int64
+	sumDisc   int64
+	sumCharge int64
+	sumDiscnt int64
+	count     int64
+}
+
+// Q1 executes TPC-H Q1 with the given number of worker threads.
+func Q1(db *storage.Database, nWorkers int) queries.Q1Result {
+	w := workers(nWorkers)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	tax := li.Numeric("l_tax")
+	rf := li.Byte("l_returnflag")
+	ls := li.Byte("l_linestatus")
+	cutoff := queries.Q1Cutoff
+
+	disp := exec.NewDispatcher(li.Rows(), 0)
+	spill := hashtable.NewSpill(w, aggPartitions, 8)
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	results := make([]queries.Q1Result, w)
+
+	exec.Parallel(w, func(wid int) {
+		// Pipeline 1: fused scan + filter + pre-aggregation.
+		local := hashtable.New(7, 1)
+		local.Prepare(preAggCapacity)
+		sh := local.Shard(0)
+		for {
+			m, ok := disp.Next()
+			if !ok {
+				break
+			}
+		tuples:
+			for i := m.Begin; i < m.End; i++ {
+				if ship[i] > cutoff {
+					continue
+				}
+				key := uint64(rf[i])<<8 | uint64(ls[i])
+				h := Hash(key)
+				e, d, t := int64(ext[i]), int64(disc[i]), int64(tax[i])
+				q := int64(qty[i])
+				for ref := local.Lookup(h); ref != 0; ref = local.Next(ref) {
+					if local.Hash(ref) == h {
+						g := (*q1Group)(local.Payload(ref))
+						if g.key == key {
+							g.sumQty += q
+							g.sumBase += e
+							g.sumDisc += e * (100 - d)
+							g.sumCharge += e * (100 - d) * (100 + t)
+							g.sumDiscnt += d
+							g.count++
+							continue tuples
+						}
+					}
+				}
+				if local.Rows() < preAggCapacity {
+					ref, p := sh.Alloc(local, h)
+					g := (*q1Group)(p)
+					g.key = key
+					g.sumQty = q
+					g.sumBase = e
+					g.sumDisc = e * (100 - d)
+					g.sumCharge = e * (100 - d) * (100 + t)
+					g.sumDiscnt = d
+					g.count = 1
+					local.Insert(ref, h)
+				} else {
+					row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+					row[0] = h
+					row[1] = key
+					row[2] = uint64(q)
+					row[3] = uint64(e)
+					row[4] = uint64(e * (100 - d))
+					row[5] = uint64(e * (100 - d) * (100 + t))
+					row[6] = uint64(d)
+					row[7] = 1
+				}
+			}
+		}
+		// Flush the pre-aggregated groups into the spill partitions.
+		local.ForEach(func(ref hashtable.Ref) {
+			h := local.Hash(ref)
+			g := (*q1Group)(local.Payload(ref))
+			row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+			row[0] = h
+			row[1] = g.key
+			row[2] = uint64(g.sumQty)
+			row[3] = uint64(g.sumBase)
+			row[4] = uint64(g.sumDisc)
+			row[5] = uint64(g.sumCharge)
+			row[6] = uint64(g.sumDiscnt)
+			row[7] = uint64(g.count)
+		})
+		bar.Wait(nil)
+
+		// Pipeline 2: per-partition merge of partial aggregates.
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			p := pm.Begin
+			merged := hashtable.New(7, 1)
+			merged.Prepare(spill.PartitionCount(p))
+			msh := merged.Shard(0)
+			spill.PartitionRows(p, func(row []uint64) {
+				h, key := row[0], row[1]
+				for ref := merged.Lookup(h); ref != 0; ref = merged.Next(ref) {
+					if merged.Hash(ref) == h {
+						g := (*q1Group)(merged.Payload(ref))
+						if g.key == key {
+							g.sumQty += int64(row[2])
+							g.sumBase += int64(row[3])
+							g.sumDisc += int64(row[4])
+							g.sumCharge += int64(row[5])
+							g.sumDiscnt += int64(row[6])
+							g.count += int64(row[7])
+							return
+						}
+					}
+				}
+				ref, ptr := msh.Alloc(merged, h)
+				g := (*q1Group)(ptr)
+				g.key = key
+				g.sumQty = int64(row[2])
+				g.sumBase = int64(row[3])
+				g.sumDisc = int64(row[4])
+				g.sumCharge = int64(row[5])
+				g.sumDiscnt = int64(row[6])
+				g.count = int64(row[7])
+				merged.Insert(ref, h)
+			})
+			merged.ForEach(func(ref hashtable.Ref) {
+				g := (*q1Group)(merged.Payload(ref))
+				results[wid] = append(results[wid], queries.Q1Row{
+					ReturnFlag: byte(g.key >> 8),
+					LineStatus: byte(g.key),
+					SumQty:     g.sumQty,
+					SumBase:    g.sumBase,
+					SumDisc:    g.sumDisc,
+					SumCharge:  g.sumCharge,
+					SumDiscnt:  g.sumDiscnt,
+					Count:      g.count,
+				})
+			})
+		}
+	})
+
+	var out queries.Q1Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortQ1(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Q6: scan lineitem → σ(shipdate, discount, quantity) → Σ
+// ---------------------------------------------------------------------
+
+// Q6 executes TPC-H Q6.
+func Q6(db *storage.Database, nWorkers int) queries.Q6Result {
+	w := workers(nWorkers)
+	li := db.Rel("lineitem")
+	ship := li.Date("l_shipdate")
+	qty := li.Numeric("l_quantity")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	dlo, dhi := queries.Q6DateLo, queries.Q6DateHi
+	clo, chi := queries.Q6DiscLo, queries.Q6DiscHi
+	qmax := queries.Q6Quantity
+
+	disp := exec.NewDispatcher(li.Rows(), 0)
+	partial := make([]int64, w)
+	exec.Parallel(w, func(wid int) {
+		var sum int64
+		for {
+			m, ok := disp.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if ship[i] >= dlo && ship[i] < dhi &&
+					disc[i] >= clo && disc[i] <= chi && qty[i] < qmax {
+					sum += int64(ext[i]) * int64(disc[i])
+				}
+			}
+		}
+		partial[wid] = sum
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return queries.Q6Result(total)
+}
+
+// ---------------------------------------------------------------------
+// Q3: σ(customer) ⋈ σ(orders) ⋈ σ(lineitem) → Γ(orderkey,…) → top-10
+// ---------------------------------------------------------------------
+
+type q3Cust struct{ key uint64 }
+
+type q3Order struct {
+	key      uint64 // o_orderkey
+	datePrio uint64 // pack32(o_orderdate, o_shippriority)
+}
+
+type q3Group struct {
+	key      uint64 // l_orderkey
+	revenue  int64  // scale 4
+	datePrio uint64
+}
+
+// Q3 executes TPC-H Q3.
+func Q3(db *storage.Database, nWorkers int) queries.Q3Result {
+	w := workers(nWorkers)
+	cust := db.Rel("customer")
+	seg := cust.String("c_mktsegment")
+	ckeys := cust.Int32("c_custkey")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	oprio := ord.Int32("o_shippriority")
+	li := db.Rel("lineitem")
+	lkeys := li.Int32("l_orderkey")
+	lship := li.Date("l_shipdate")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	cutoff := queries.Q3Date
+	segment := queries.Q3Segment
+
+	htCust := hashtable.New(1, w)
+	htOrd := hashtable.New(2, w)
+	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	spill := hashtable.NewSpill(w, aggPartitions, 4)
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	tops := make([]*queries.TopK[queries.Q3Row], w)
+
+	exec.Parallel(w, func(wid int) {
+		// Pipeline 1: scan customer, filter segment, build HT_cust.
+		sh := htCust.Shard(wid)
+		for {
+			m, ok := dispCust.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if string(seg.Get(i)) == segment {
+					key := uint64(uint32(ckeys[i]))
+					ref, p := sh.Alloc(htCust, Hash(key))
+					(*q3Cust)(p).key = key
+					_ = ref
+				}
+			}
+		}
+		buildBarrier(htCust, bar, wid)
+
+		// Pipeline 2: scan orders, filter date, probe HT_cust, build HT_ord.
+		osh := htOrd.Shard(wid)
+		for {
+			m, ok := dispOrd.Next()
+			if !ok {
+				break
+			}
+		orders:
+			for i := m.Begin; i < m.End; i++ {
+				if odate[i] >= cutoff {
+					continue
+				}
+				ck := uint64(uint32(ocust[i]))
+				h := Hash(ck)
+				for ref := htCust.Lookup(h); ref != 0; ref = htCust.Next(ref) {
+					if htCust.Hash(ref) == h && (*q3Cust)(htCust.Payload(ref)).key == ck {
+						key := uint64(uint32(okeys[i]))
+						_, p := osh.Alloc(htOrd, Hash(key))
+						o := (*q3Order)(p)
+						o.key = key
+						o.datePrio = pack32(uint32(odate[i]), uint32(oprio[i]))
+						continue orders
+					}
+				}
+			}
+		}
+		buildBarrier(htOrd, bar, wid)
+
+		// Pipeline 3: scan lineitem, filter shipdate, probe HT_ord,
+		// pre-aggregate revenue by orderkey.
+		local := hashtable.New(3, 1)
+		local.Prepare(preAggCapacity)
+		lsh := local.Shard(0)
+		for {
+			m, ok := dispLine.Next()
+			if !ok {
+				break
+			}
+		lines:
+			for i := m.Begin; i < m.End; i++ {
+				if lship[i] <= cutoff {
+					continue
+				}
+				key := uint64(uint32(lkeys[i]))
+				h := Hash(key)
+				for ref := htOrd.Lookup(h); ref != 0; ref = htOrd.Next(ref) {
+					if htOrd.Hash(ref) == h {
+						o := (*q3Order)(htOrd.Payload(ref))
+						if o.key == key {
+							rev := int64(lext[i]) * (100 - int64(ldisc[i]))
+							// Aggregate: find or create the group.
+							for gref := local.Lookup(h); gref != 0; gref = local.Next(gref) {
+								if local.Hash(gref) == h {
+									g := (*q3Group)(local.Payload(gref))
+									if g.key == key {
+										g.revenue += rev
+										continue lines
+									}
+								}
+							}
+							if local.Rows() < preAggCapacity {
+								gref, p := lsh.Alloc(local, h)
+								g := (*q3Group)(p)
+								g.key = key
+								g.revenue = rev
+								g.datePrio = o.datePrio
+								local.Insert(gref, h)
+							} else {
+								row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+								row[0] = h
+								row[1] = key
+								row[2] = uint64(rev)
+								row[3] = o.datePrio
+							}
+							continue lines
+						}
+					}
+				}
+			}
+		}
+		local.ForEach(func(ref hashtable.Ref) {
+			g := (*q3Group)(local.Payload(ref))
+			h := local.Hash(ref)
+			row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+			row[0] = h
+			row[1] = g.key
+			row[2] = uint64(g.revenue)
+			row[3] = g.datePrio
+		})
+		bar.Wait(nil)
+
+		// Pipeline 4: per-partition merge + top-10.
+		top := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
+		tops[wid] = top
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			p := pm.Begin
+			merged := hashtable.New(3, 1)
+			merged.Prepare(spill.PartitionCount(p))
+			msh := merged.Shard(0)
+			spill.PartitionRows(p, func(row []uint64) {
+				h, key := row[0], row[1]
+				for ref := merged.Lookup(h); ref != 0; ref = merged.Next(ref) {
+					if merged.Hash(ref) == h {
+						g := (*q3Group)(merged.Payload(ref))
+						if g.key == key {
+							g.revenue += int64(row[2])
+							return
+						}
+					}
+				}
+				ref, ptr := msh.Alloc(merged, h)
+				g := (*q3Group)(ptr)
+				g.key = key
+				g.revenue = int64(row[2])
+				g.datePrio = row[3]
+				merged.Insert(ref, h)
+			})
+			merged.ForEach(func(ref hashtable.Ref) {
+				g := (*q3Group)(merged.Payload(ref))
+				top.Offer(queries.Q3Row{
+					OrderKey:     int32(uint32(g.key)),
+					Revenue:      g.revenue,
+					OrderDate:    types.Date(lo32(g.datePrio)),
+					ShipPriority: int32(hi32(g.datePrio)),
+				})
+			})
+		}
+	})
+
+	final := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
+	for _, t := range tops {
+		final.Merge(t)
+	}
+	return final.Sorted()
+}
+
+// ---------------------------------------------------------------------
+// Q9: σ(part) ⋈ supplier ⋈ partsupp ⋈ lineitem ⋈ orders ⋈ nation
+//     → Γ(nation, year; Σ profit)
+// ---------------------------------------------------------------------
+
+type q9Part struct{ key uint64 }
+
+type q9Supp struct {
+	key    uint64 // s_suppkey
+	nation uint64
+}
+
+type q9PS struct {
+	key  uint64 // pack32(partkey, suppkey)
+	cost int64
+}
+
+type q9Line struct {
+	key    uint64 // l_orderkey
+	nation uint64
+	amount int64 // scale 4
+}
+
+type q9Group struct {
+	key    uint64 // pack32(year, nation)
+	profit int64
+}
+
+// Q9 executes TPC-H Q9.
+func Q9(db *storage.Database, nWorkers int) queries.Q9Result {
+	w := workers(nWorkers)
+	part := db.Rel("part")
+	pnames := part.String("p_name")
+	pkeys := part.Int32("p_partkey")
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snation := supp.Int32("s_nationkey")
+	ps := db.Rel("partsupp")
+	pspk := ps.Int32("ps_partkey")
+	pssk := ps.Int32("ps_suppkey")
+	pscost := ps.Numeric("ps_supplycost")
+	li := db.Rel("lineitem")
+	lpk := li.Int32("l_partkey")
+	lsk := li.Int32("l_suppkey")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	odate := ord.Date("o_orderdate")
+	needle := []byte(queries.Q9Color)
+
+	htPart := hashtable.New(1, w)
+	htSupp := hashtable.New(2, w)
+	htPS := hashtable.New(2, w)
+	htLine := hashtable.New(3, w)
+	dispPart := exec.NewDispatcher(part.Rows(), 0)
+	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
+	dispPS := exec.NewDispatcher(ps.Rows(), 0)
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	spill := hashtable.NewSpill(w, aggPartitions, 3)
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	results := make([]queries.Q9Result, w)
+
+	exec.Parallel(w, func(wid int) {
+		// Pipeline 1: scan part, filter name, build HT_part.
+		psh := htPart.Shard(wid)
+		for {
+			m, ok := dispPart.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if bytes.Contains(pnames.Get(i), needle) {
+					key := uint64(uint32(pkeys[i]))
+					_, p := psh.Alloc(htPart, Hash(key))
+					(*q9Part)(p).key = key
+				}
+			}
+		}
+		buildBarrier(htPart, bar, wid)
+
+		// Pipeline 2: scan supplier, build HT_supp.
+		ssh := htSupp.Shard(wid)
+		for {
+			m, ok := dispSupp.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				key := uint64(uint32(skeys[i]))
+				_, p := ssh.Alloc(htSupp, Hash(key))
+				e := (*q9Supp)(p)
+				e.key = key
+				e.nation = uint64(uint32(snation[i]))
+			}
+		}
+		buildBarrier(htSupp, bar, wid)
+
+		// Pipeline 3: scan partsupp, probe HT_part, build HT_ps.
+		pssh := htPS.Shard(wid)
+		for {
+			m, ok := dispPS.Next()
+			if !ok {
+				break
+			}
+		psups:
+			for i := m.Begin; i < m.End; i++ {
+				pk := uint64(uint32(pspk[i]))
+				h := Hash(pk)
+				for ref := htPart.Lookup(h); ref != 0; ref = htPart.Next(ref) {
+					if htPart.Hash(ref) == h && (*q9Part)(htPart.Payload(ref)).key == pk {
+						key := pack32(uint32(pspk[i]), uint32(pssk[i]))
+						_, p := pssh.Alloc(htPS, Hash(key))
+						e := (*q9PS)(p)
+						e.key = key
+						e.cost = int64(pscost[i])
+						continue psups
+					}
+				}
+			}
+		}
+		buildBarrier(htPS, bar, wid)
+
+		// Pipeline 4: scan lineitem, probe HT_part, HT_ps, HT_supp,
+		// build HT_line keyed by l_orderkey.
+		lish := htLine.Shard(wid)
+		for {
+			m, ok := dispLine.Next()
+			if !ok {
+				break
+			}
+		lines:
+			for i := m.Begin; i < m.End; i++ {
+				pk := uint64(uint32(lpk[i]))
+				h := Hash(pk)
+				for ref := htPart.Lookup(h); ref != 0; ref = htPart.Next(ref) {
+					if htPart.Hash(ref) == h && (*q9Part)(htPart.Payload(ref)).key == pk {
+						// Part qualifies: fetch supply cost.
+						psKey := pack32(uint32(lpk[i]), uint32(lsk[i]))
+						psh2 := Hash(psKey)
+						var cost int64
+						for pref := htPS.Lookup(psh2); pref != 0; pref = htPS.Next(pref) {
+							if htPS.Hash(pref) == psh2 {
+								e := (*q9PS)(htPS.Payload(pref))
+								if e.key == psKey {
+									cost = e.cost
+									goto haveCost
+								}
+							}
+						}
+						continue lines // no partsupp row (cannot happen on valid data)
+					haveCost:
+						sk := uint64(uint32(lsk[i]))
+						sh2 := Hash(sk)
+						for sref := htSupp.Lookup(sh2); sref != 0; sref = htSupp.Next(sref) {
+							if htSupp.Hash(sref) == sh2 {
+								se := (*q9Supp)(htSupp.Payload(sref))
+								if se.key == sk {
+									key := uint64(uint32(lok[i]))
+									_, p := lish.Alloc(htLine, Hash(key))
+									le := (*q9Line)(p)
+									le.key = key
+									le.nation = se.nation
+									le.amount = int64(lext[i])*(100-int64(ldisc[i])) - cost*int64(lqty[i])
+									continue lines
+								}
+							}
+						}
+						continue lines
+					}
+				}
+			}
+		}
+		buildBarrier(htLine, bar, wid)
+
+		// Pipeline 5: scan orders, probe HT_line (multi-match), aggregate
+		// profit by (year, nation).
+		local := hashtable.New(2, 1)
+		local.Prepare(preAggCapacity)
+		lsh := local.Shard(0)
+		for {
+			m, ok := dispOrd.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				ok2 := uint64(uint32(okeys[i]))
+				h := Hash(ok2)
+				ref := htLine.Lookup(h)
+				if ref == 0 {
+					continue
+				}
+				year := uint32(odate[i].Year())
+				for ; ref != 0; ref = htLine.Next(ref) {
+					if htLine.Hash(ref) != h {
+						continue
+					}
+					le := (*q9Line)(htLine.Payload(ref))
+					if le.key != ok2 {
+						continue
+					}
+					gkey := pack32(year, uint32(le.nation))
+					gh := Hash(gkey)
+					amount := le.amount
+					found := false
+					for gref := local.Lookup(gh); gref != 0; gref = local.Next(gref) {
+						if local.Hash(gref) == gh {
+							g := (*q9Group)(local.Payload(gref))
+							if g.key == gkey {
+								g.profit += amount
+								found = true
+								break
+							}
+						}
+					}
+					if found {
+						continue
+					}
+					if local.Rows() < preAggCapacity {
+						gref, p := lsh.Alloc(local, gh)
+						g := (*q9Group)(p)
+						g.key = gkey
+						g.profit = amount
+						local.Insert(gref, gh)
+					} else {
+						row := spill.AppendRow(wid, hashtable.PartitionOf(gh, aggPartitions))
+						row[0] = gh
+						row[1] = gkey
+						row[2] = uint64(amount)
+					}
+				}
+			}
+		}
+		local.ForEach(func(ref hashtable.Ref) {
+			g := (*q9Group)(local.Payload(ref))
+			h := local.Hash(ref)
+			row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+			row[0] = h
+			row[1] = g.key
+			row[2] = uint64(g.profit)
+		})
+		bar.Wait(nil)
+
+		// Pipeline 6: per-partition merge.
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			p := pm.Begin
+			merged := hashtable.New(2, 1)
+			merged.Prepare(spill.PartitionCount(p))
+			msh := merged.Shard(0)
+			spill.PartitionRows(p, func(row []uint64) {
+				h, key := row[0], row[1]
+				for ref := merged.Lookup(h); ref != 0; ref = merged.Next(ref) {
+					if merged.Hash(ref) == h {
+						g := (*q9Group)(merged.Payload(ref))
+						if g.key == key {
+							g.profit += int64(row[2])
+							return
+						}
+					}
+				}
+				ref, ptr := msh.Alloc(merged, h)
+				g := (*q9Group)(ptr)
+				g.key = key
+				g.profit = int64(row[2])
+				merged.Insert(ref, h)
+			})
+			merged.ForEach(func(ref hashtable.Ref) {
+				g := (*q9Group)(merged.Payload(ref))
+				results[wid] = append(results[wid], queries.Q9Row{
+					Nation: int32(hi32(g.key)),
+					Year:   int32(lo32(g.key)),
+					Profit: g.profit,
+				})
+			})
+		}
+	})
+
+	var out queries.Q9Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortQ9(out)
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Q18: Γ(lineitem by orderkey) → HAVING → ⋈ orders ⋈ customer → top-100
+// ---------------------------------------------------------------------
+
+type q18Group struct {
+	key    uint64 // l_orderkey
+	sumQty int64  // scale 2
+}
+
+type q18Big struct {
+	key    uint64 // orderkey
+	sumQty int64
+}
+
+type q18Match struct {
+	key        uint64 // c_custkey
+	ordDate    uint64 // pack32(orderkey, orderdate)
+	totalPrice int64
+	sumQty     int64
+}
+
+// Q18 executes TPC-H Q18.
+func Q18(db *storage.Database, nWorkers int) queries.Q18Result {
+	w := workers(nWorkers)
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lqty := li.Numeric("l_quantity")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	ototal := ord.Numeric("o_totalprice")
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	minQty := int64(queries.Q18Quantity)
+
+	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	spill := hashtable.NewSpill(w, aggPartitions, 3)
+	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	htBig := hashtable.New(2, 1)
+	htMatch := hashtable.New(4, w)
+	qualifying := make([][]q18Big, w)
+	tops := make([]*queries.TopK[queries.Q18Row], w)
+
+	exec.Parallel(w, func(wid int) {
+		// Pipeline 1: scan lineitem, pre-aggregate sum(qty) by orderkey.
+		// This is the paper's high-cardinality aggregation: 1.5M·SF groups.
+		local := hashtable.New(2, 1)
+		local.Prepare(preAggCapacity)
+		lsh := local.Shard(0)
+		for {
+			m, ok := dispLine.Next()
+			if !ok {
+				break
+			}
+		lines:
+			for i := m.Begin; i < m.End; i++ {
+				key := uint64(uint32(lok[i]))
+				h := Hash(key)
+				q := int64(lqty[i])
+				for ref := local.Lookup(h); ref != 0; ref = local.Next(ref) {
+					if local.Hash(ref) == h {
+						g := (*q18Group)(local.Payload(ref))
+						if g.key == key {
+							g.sumQty += q
+							continue lines
+						}
+					}
+				}
+				if local.Rows() < preAggCapacity {
+					ref, p := lsh.Alloc(local, h)
+					g := (*q18Group)(p)
+					g.key = key
+					g.sumQty = q
+					local.Insert(ref, h)
+				} else {
+					row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+					row[0] = h
+					row[1] = key
+					row[2] = uint64(q)
+				}
+			}
+		}
+		local.ForEach(func(ref hashtable.Ref) {
+			g := (*q18Group)(local.Payload(ref))
+			h := local.Hash(ref)
+			row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+			row[0] = h
+			row[1] = g.key
+			row[2] = uint64(g.sumQty)
+		})
+		bar.Wait(nil)
+
+		// Pipeline 2: merge partitions; groups exceeding the HAVING bound
+		// qualify for the join side.
+		for {
+			pm, ok := partDisp.Next()
+			if !ok {
+				break
+			}
+			p := pm.Begin
+			merged := hashtable.New(2, 1)
+			merged.Prepare(spill.PartitionCount(p))
+			msh := merged.Shard(0)
+			spill.PartitionRows(p, func(row []uint64) {
+				h, key := row[0], row[1]
+				for ref := merged.Lookup(h); ref != 0; ref = merged.Next(ref) {
+					if merged.Hash(ref) == h {
+						g := (*q18Group)(merged.Payload(ref))
+						if g.key == key {
+							g.sumQty += int64(row[2])
+							return
+						}
+					}
+				}
+				ref, ptr := msh.Alloc(merged, h)
+				g := (*q18Group)(ptr)
+				g.key = key
+				g.sumQty = int64(row[2])
+				merged.Insert(ref, h)
+			})
+			merged.ForEach(func(ref hashtable.Ref) {
+				g := (*q18Group)(merged.Payload(ref))
+				if g.sumQty > minQty {
+					qualifying[wid] = append(qualifying[wid], q18Big{key: g.key, sumQty: g.sumQty})
+				}
+			})
+		}
+		// Build HT_big from the few qualifying groups (single worker).
+		bar.Wait(func() {
+			total := 0
+			for _, q := range qualifying {
+				total += len(q)
+			}
+			htBig.Prepare(total)
+			bsh := htBig.Shard(0)
+			for _, qs := range qualifying {
+				for _, qg := range qs {
+					h := Hash(qg.key)
+					ref, p := bsh.Alloc(htBig, h)
+					e := (*q18Big)(p)
+					e.key = qg.key
+					e.sumQty = qg.sumQty
+					htBig.Insert(ref, h)
+				}
+			}
+		})
+
+		// Pipeline 3: scan orders, probe HT_big, build HT_match keyed by
+		// custkey.
+		msh := htMatch.Shard(wid)
+		for {
+			m, ok := dispOrd.Next()
+			if !ok {
+				break
+			}
+		ordersLoop:
+			for i := m.Begin; i < m.End; i++ {
+				key := uint64(uint32(okeys[i]))
+				h := Hash(key)
+				for ref := htBig.Lookup(h); ref != 0; ref = htBig.Next(ref) {
+					if htBig.Hash(ref) == h {
+						e := (*q18Big)(htBig.Payload(ref))
+						if e.key == key {
+							ck := uint64(uint32(ocust[i]))
+							_, p := msh.Alloc(htMatch, Hash(ck))
+							mrow := (*q18Match)(p)
+							mrow.key = ck
+							mrow.ordDate = pack32(uint32(okeys[i]), uint32(odate[i]))
+							mrow.totalPrice = int64(ototal[i])
+							mrow.sumQty = e.sumQty
+							continue ordersLoop
+						}
+					}
+				}
+			}
+		}
+		buildBarrier(htMatch, bar, wid)
+
+		// Pipeline 4: scan customer, probe HT_match, top-100.
+		top := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
+		tops[wid] = top
+		for {
+			m, ok := dispCust.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				ck := uint64(uint32(ckeys[i]))
+				h := Hash(ck)
+				for ref := htMatch.Lookup(h); ref != 0; ref = htMatch.Next(ref) {
+					if htMatch.Hash(ref) == h {
+						e := (*q18Match)(htMatch.Payload(ref))
+						if e.key == ck {
+							top.Offer(queries.Q18Row{
+								CustKey:    int32(uint32(ck)),
+								OrderKey:   int32(lo32(e.ordDate)),
+								OrderDate:  types.Date(hi32(e.ordDate)),
+								TotalPrice: types.Numeric(e.totalPrice),
+								SumQty:     e.sumQty,
+							})
+						}
+					}
+				}
+			}
+		}
+	})
+
+	final := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
+	for _, t := range tops {
+		final.Merge(t)
+	}
+	return final.Sorted()
+}
+
+// Ensure struct layouts match the payload word counts passed to New.
+var (
+	_ = func() struct{} {
+		if unsafe.Sizeof(q1Group{}) != 7*8 ||
+			unsafe.Sizeof(q3Cust{}) != 1*8 ||
+			unsafe.Sizeof(q3Order{}) != 2*8 ||
+			unsafe.Sizeof(q3Group{}) != 3*8 ||
+			unsafe.Sizeof(q9Part{}) != 1*8 ||
+			unsafe.Sizeof(q9Supp{}) != 2*8 ||
+			unsafe.Sizeof(q9PS{}) != 2*8 ||
+			unsafe.Sizeof(q9Line{}) != 3*8 ||
+			unsafe.Sizeof(q9Group{}) != 2*8 ||
+			unsafe.Sizeof(q18Group{}) != 2*8 ||
+			unsafe.Sizeof(q18Big{}) != 2*8 ||
+			unsafe.Sizeof(q18Match{}) != 4*8 {
+			panic("typer: payload struct size mismatch")
+		}
+		return struct{}{}
+	}()
+)

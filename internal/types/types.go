@@ -1,0 +1,168 @@
+// Package types provides the scalar value types shared by both query
+// engines: fixed-point decimals (Numeric) and calendar dates (Date).
+//
+// Following HyPer (and the paper's test system), monetary and percentage
+// values are stored as 64-bit scaled integers rather than floats, so both
+// engines execute identical integer arithmetic and produce exact,
+// comparable aggregates.
+package types
+
+import (
+	"fmt"
+)
+
+// Numeric is a fixed-point decimal stored as an int64 scaled by 10^scale.
+// The scale is tracked by the code using the value (TPC-H columns use
+// scale 2); it is not stored in the value itself, exactly like the
+// generated code in a compiled engine would treat decimals.
+type Numeric int64
+
+// NumericScale is the scale used by all TPC-H decimal columns (2 digits).
+const NumericScale = 100
+
+// MakeNumeric builds a scale-2 Numeric from whole and hundredth parts.
+// MakeNumeric(12, 34) == 12.34.
+func MakeNumeric(whole, cents int64) Numeric {
+	if whole < 0 {
+		return Numeric(whole*NumericScale - cents)
+	}
+	return Numeric(whole*NumericScale + cents)
+}
+
+// NumericFromFloat converts a float to a scale-2 Numeric, rounding to the
+// nearest cent. Only used at data-generation and display boundaries.
+func NumericFromFloat(f float64) Numeric {
+	if f < 0 {
+		return Numeric(f*NumericScale - 0.5)
+	}
+	return Numeric(f*NumericScale + 0.5)
+}
+
+// Float returns the floating point value of a scale-2 Numeric.
+func (n Numeric) Float() float64 { return float64(n) / NumericScale }
+
+// String formats a scale-2 Numeric as d.dd.
+func (n Numeric) String() string {
+	v := int64(n)
+	sign := ""
+	if v < 0 {
+		sign = "-"
+		v = -v
+	}
+	return fmt.Sprintf("%s%d.%02d", sign, v/NumericScale, v%NumericScale)
+}
+
+// Mul multiplies two scale-2 Numerics producing a scale-2 result
+// (truncating the extra two digits, as integer codegen would emit).
+func (n Numeric) Mul(m Numeric) Numeric {
+	return Numeric(int64(n) * int64(m) / NumericScale)
+}
+
+// Mul4 multiplies two scale-2 Numerics producing a scale-4 result without
+// rescaling. Q1 uses this for extprice*(1-disc)*(1+tax) style chains where
+// the final aggregate keeps a higher scale.
+func (n Numeric) Mul4(m Numeric) int64 { return int64(n) * int64(m) }
+
+// Date is a calendar date stored as the number of days since 1970-01-01.
+// Comparisons and range filters are plain integer comparisons.
+type Date int32
+
+const (
+	secondsPerDay = 86400
+	// unixEpochDay0 anchors day arithmetic; civil conversion below is
+	// proleptic-Gregorian and exact for the TPC-H date range (1992-1998).
+	daysPerEra = 146097 // days in 400 years
+)
+
+// civilToDays converts a Gregorian calendar date to days since 1970-01-01.
+// Algorithm: Howard Hinnant's days_from_civil (public domain formulation).
+func civilToDays(y, m, d int) int {
+	if m <= 2 {
+		y--
+	}
+	var era int
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mAdj int
+	if m > 2 {
+		mAdj = m - 3
+	} else {
+		mAdj = m + 9
+	}
+	doy := (153*mAdj+2)/5 + d - 1          // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return era*daysPerEra + doe - 719468   // 719468 = days from 0000-03-01 to 1970-01-01
+}
+
+// daysToCivil converts days since 1970-01-01 back to (year, month, day).
+func daysToCivil(z int) (y, m, d int) {
+	z += 719468
+	var era int
+	if z >= 0 {
+		era = z / daysPerEra
+	} else {
+		era = (z - daysPerEra + 1) / daysPerEra
+	}
+	doe := z - era*daysPerEra                              // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	y = yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100) // [0, 365]
+	mp := (5*doy + 2) / 153                  // [0, 11]
+	d = doy - (153*mp+2)/5 + 1               // [1, 31]
+	if mp < 10 {
+		m = mp + 3
+	} else {
+		m = mp - 9
+	}
+	if m <= 2 {
+		y++
+	}
+	return y, m, d
+}
+
+// MakeDate builds a Date from a Gregorian year, month (1-12), day (1-31).
+func MakeDate(year, month, day int) Date {
+	return Date(civilToDays(year, month, day))
+}
+
+// ParseDate parses a "YYYY-MM-DD" string. It panics on malformed input;
+// it is only used with literal constants in query definitions.
+func ParseDate(s string) Date {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		panic("types: malformed date literal " + s)
+	}
+	num := func(sub string) int {
+		n := 0
+		for i := 0; i < len(sub); i++ {
+			c := sub[i]
+			if c < '0' || c > '9' {
+				panic("types: malformed date literal " + s)
+			}
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	return MakeDate(num(s[0:4]), num(s[5:7]), num(s[8:10]))
+}
+
+// Year returns the Gregorian year of the date. Q9 groups by it.
+func (d Date) Year() int {
+	y, _, _ := daysToCivil(int(d))
+	return y
+}
+
+// Civil returns the Gregorian (year, month, day) of the date.
+func (d Date) Civil() (year, month, day int) { return daysToCivil(int(d)) }
+
+// String formats the date as YYYY-MM-DD.
+func (d Date) String() string {
+	y, m, dd := daysToCivil(int(d))
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, dd)
+}
+
+// AddDays returns the date n days later.
+func (d Date) AddDays(n int) Date { return d + Date(n) }

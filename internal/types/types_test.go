@@ -1,0 +1,144 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMakeNumeric(t *testing.T) {
+	cases := []struct {
+		whole, cents int64
+		want         string
+	}{
+		{0, 0, "0.00"},
+		{1, 5, "1.05"},
+		{12, 34, "12.34"},
+		{-3, 7, "-3.07"},
+		{104949, 50, "104949.50"},
+	}
+	for _, c := range cases {
+		got := MakeNumeric(c.whole, c.cents).String()
+		if got != c.want {
+			t.Errorf("MakeNumeric(%d,%d) = %s, want %s", c.whole, c.cents, got, c.want)
+		}
+	}
+}
+
+func TestNumericFromFloatRounds(t *testing.T) {
+	if NumericFromFloat(1.005) != 101 && NumericFromFloat(1.005) != 100 {
+		// 1.005 is not exactly representable; accept either neighbor but
+		// check the general rounding contract below.
+		t.Errorf("NumericFromFloat(1.005) = %d", NumericFromFloat(1.005))
+	}
+	if got := NumericFromFloat(2.675); got != 267 && got != 268 {
+		t.Errorf("NumericFromFloat(2.675) = %d", got)
+	}
+	if got := NumericFromFloat(-1.25); got != -125 {
+		t.Errorf("NumericFromFloat(-1.25) = %d, want -125", got)
+	}
+	if got := NumericFromFloat(19.98); got != 1998 {
+		t.Errorf("NumericFromFloat(19.98) = %d, want 1998", got)
+	}
+}
+
+func TestNumericMul(t *testing.T) {
+	a := MakeNumeric(10, 0) // 10.00
+	b := MakeNumeric(0, 7)  // 0.07
+	if got := a.Mul(b); got != MakeNumeric(0, 70) {
+		t.Errorf("10.00*0.07 = %s, want 0.70", got)
+	}
+	// Mul4 keeps scale 4.
+	if got := a.Mul4(b); got != 10*100*7 {
+		t.Errorf("Mul4 = %d, want %d", got, 10*100*7)
+	}
+}
+
+func TestNumericFloatRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		n := Numeric(v)
+		return NumericFromFloat(n.Float()) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateAgainstTimePackage(t *testing.T) {
+	// Cross-check our civil conversion against the standard library for
+	// every day in the TPC-H range plus edges.
+	start := time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+	for day := -1000; day < 12000; day += 1 {
+		tm := start.AddDate(0, 0, day)
+		d := MakeDate(tm.Year(), int(tm.Month()), tm.Day())
+		if int(d) != day {
+			t.Fatalf("MakeDate(%v) = %d, want %d", tm, d, day)
+		}
+		y, m, dd := d.Civil()
+		if y != tm.Year() || m != int(tm.Month()) || dd != tm.Day() {
+			t.Fatalf("Civil(%d) = %d-%d-%d, want %v", day, y, m, dd, tm)
+		}
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	cases := map[string]Date{
+		"1970-01-01": 0,
+		"1992-01-01": MakeDate(1992, 1, 1),
+		"1998-09-02": MakeDate(1998, 9, 2),
+		"1995-03-15": MakeDate(1995, 3, 15),
+	}
+	for s, want := range cases {
+		if got := ParseDate(s); got != want {
+			t.Errorf("ParseDate(%s) = %d, want %d", s, got, want)
+		}
+		if got := ParseDate(s).String(); got != s {
+			t.Errorf("ParseDate(%s).String() = %s", s, got)
+		}
+	}
+}
+
+func TestParseDatePanicsOnGarbage(t *testing.T) {
+	for _, s := range []string{"", "1995/03/15", "19950315", "1995-3-15", "abcd-ef-gh"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ParseDate(%q) did not panic", s)
+				}
+			}()
+			ParseDate(s)
+		}()
+	}
+}
+
+func TestDateYear(t *testing.T) {
+	for y := 1992; y <= 1998; y++ {
+		for _, md := range [][2]int{{1, 1}, {2, 28}, {6, 15}, {12, 31}} {
+			d := MakeDate(y, md[0], md[1])
+			if d.Year() != y {
+				t.Errorf("Year(%04d-%02d-%02d) = %d", y, md[0], md[1], d.Year())
+			}
+		}
+	}
+	// Leap day.
+	if MakeDate(1996, 2, 29).Year() != 1996 {
+		t.Error("leap day year")
+	}
+}
+
+func TestDateOrderingProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		da, db := Date(a), Date(b)
+		return (da < db) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDays(t *testing.T) {
+	d := ParseDate("1998-12-01")
+	if got := d.AddDays(-90).String(); got != "1998-09-02" {
+		t.Errorf("1998-12-01 - 90 days = %s, want 1998-09-02", got)
+	}
+}

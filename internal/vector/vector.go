@@ -1,0 +1,125 @@
+// Package vector provides the vector-at-a-time building blocks of the
+// Tectorwise engine: selection vectors and pre-allocated typed buffers.
+//
+// A selection vector is an array of positions into the current vector of
+// tuples (§2.1). Primitives either scan a dense range [0, n) or, when a
+// selection vector is present, the sparse positions sel[0:n]. All buffers
+// are allocated once at plan-build time with the configured vector size,
+// so query execution itself performs no allocation.
+package vector
+
+import "paradigms/internal/types"
+
+// DefaultSize is the default number of tuples per vector. The paper uses
+// 1000 (VectorWise's default) and shows in Fig. 5 that sizes between ~1K
+// and 64K perform within a few percent.
+const DefaultSize = 1000
+
+// Sel is a selection vector: positions of qualifying tuples, ascending.
+type Sel = []int32
+
+// Iota fills sel[0:n] with 0..n-1 and returns it, growing if needed.
+// A dense range is represented by a nil selection vector in primitives;
+// Iota is used where an explicit vector is required (e.g. tests).
+func Iota(sel Sel, n int) Sel {
+	if cap(sel) < n {
+		sel = make(Sel, n)
+	}
+	sel = sel[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// Buffers is the per-operator scratch memory of a Tectorwise operator
+// instance. Each worker's operator tree owns private Buffers; only
+// operator *shared state* (hash tables, result sinks) is shared (§6.1).
+type Buffers struct {
+	size int
+	sels [][]int32
+	i32s [][]int32
+	i64s [][]int64
+	nums [][]types.Numeric
+	refs [][]uint64
+	b8s  [][]byte
+}
+
+// NewBuffers creates a buffer arena for vectors of the given size.
+func NewBuffers(size int) *Buffers {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Buffers{size: size}
+}
+
+// Size returns the configured vector size.
+func (b *Buffers) Size() int { return b.size }
+
+// Sel allocates a selection vector buffer of the vector size.
+func (b *Buffers) Sel() []int32 {
+	v := make([]int32, b.size)
+	b.sels = append(b.sels, v)
+	return v
+}
+
+// I32 allocates an int32 vector buffer.
+func (b *Buffers) I32() []int32 {
+	v := make([]int32, b.size)
+	b.i32s = append(b.i32s, v)
+	return v
+}
+
+// I64 allocates an int64 vector buffer.
+func (b *Buffers) I64() []int64 {
+	v := make([]int64, b.size)
+	b.i64s = append(b.i64s, v)
+	return v
+}
+
+// Num allocates a Numeric vector buffer.
+func (b *Buffers) Num() []types.Numeric {
+	v := make([]types.Numeric, b.size)
+	b.nums = append(b.nums, v)
+	return v
+}
+
+// Ref allocates a 64-bit reference vector buffer (hash values, hash-table
+// entry references).
+func (b *Buffers) Ref() []uint64 {
+	v := make([]uint64, b.size)
+	b.refs = append(b.refs, v)
+	return v
+}
+
+// Bytes allocates a byte vector buffer.
+func (b *Buffers) Bytes() []byte {
+	v := make([]byte, b.size)
+	b.b8s = append(b.b8s, v)
+	return v
+}
+
+// Footprint returns the total bytes held by the arena; the vector-size
+// experiment (Fig. 5) reports it to relate vector size to cache capacity.
+func (b *Buffers) Footprint() int64 {
+	var total int64
+	for _, v := range b.sels {
+		total += int64(cap(v)) * 4
+	}
+	for _, v := range b.i32s {
+		total += int64(cap(v)) * 4
+	}
+	for _, v := range b.i64s {
+		total += int64(cap(v)) * 8
+	}
+	for _, v := range b.nums {
+		total += int64(cap(v)) * 8
+	}
+	for _, v := range b.refs {
+		total += int64(cap(v)) * 8
+	}
+	for _, v := range b.b8s {
+		total += int64(cap(v))
+	}
+	return total
+}

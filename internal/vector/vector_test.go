@@ -1,0 +1,51 @@
+package vector
+
+import "testing"
+
+func TestIota(t *testing.T) {
+	s := Iota(nil, 5)
+	for i, v := range s {
+		if v != int32(i) {
+			t.Fatalf("s[%d] = %d", i, v)
+		}
+	}
+	// Reuse without reallocation when capacity suffices.
+	s2 := Iota(s, 3)
+	if len(s2) != 3 || &s2[0] != &s[0] {
+		t.Error("Iota reallocated despite sufficient capacity")
+	}
+	// Growth.
+	s3 := Iota(s, 10)
+	if len(s3) != 10 || s3[9] != 9 {
+		t.Error("Iota did not grow")
+	}
+}
+
+func TestBuffersSizesAndFootprint(t *testing.T) {
+	b := NewBuffers(100)
+	if b.Size() != 100 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	sel := b.Sel()
+	i32 := b.I32()
+	i64 := b.I64()
+	num := b.Num()
+	ref := b.Ref()
+	by := b.Bytes()
+	for _, l := range []int{len(sel), len(i32), len(i64), len(num), len(ref), len(by)} {
+		if l != 100 {
+			t.Fatalf("buffer length %d, want 100", l)
+		}
+	}
+	want := int64(100*4 + 100*4 + 100*8 + 100*8 + 100*8 + 100)
+	if got := b.Footprint(); got != want {
+		t.Errorf("Footprint = %d, want %d", got, want)
+	}
+}
+
+func TestBuffersDefaultSize(t *testing.T) {
+	b := NewBuffers(0)
+	if b.Size() != DefaultSize {
+		t.Errorf("default size = %d, want %d", b.Size(), DefaultSize)
+	}
+}

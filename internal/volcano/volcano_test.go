@@ -1,0 +1,74 @@
+package volcano
+
+import (
+	"reflect"
+	"testing"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/tpch"
+)
+
+func TestVolcanoMatchesReference(t *testing.T) {
+	for _, sf := range []float64{0.01, 0.05} {
+		db := tpch.Generate(sf, 0)
+		if got, want := Q6(db), queries.RefQ6(db); got != want {
+			t.Errorf("sf=%v Q6 = %d, want %d", sf, got, want)
+		}
+		if got, want := Q1(db), queries.RefQ1(db); !reflect.DeepEqual(got, want) {
+			t.Errorf("sf=%v Q1 mismatch:\n got %v\nwant %v", sf, got, want)
+		}
+		if got, want := Q3(db), queries.RefQ3(db); !reflect.DeepEqual(got, want) {
+			t.Errorf("sf=%v Q3 mismatch:\n got %v\nwant %v", sf, got, want)
+		}
+	}
+}
+
+func TestOperatorsComposable(t *testing.T) {
+	// A tiny hand-built pipeline: scan [0..9] → keep even → square → sum
+	// groups by parity (single group).
+	scan := NewTableScan(10, func(i int) int64 { return int64(i) })
+	sel := NewSelect(scan, func(t Tuple) bool { return t[0]%2 == 0 })
+	proj := NewProject(sel,
+		func(t Tuple) int64 { return t[0] % 2 },
+		func(t Tuple) int64 { return t[0] * t[0] })
+	agg := NewHashAggregate(proj, []int{0}, []int{1})
+	agg.Open()
+	tup, ok := agg.Next()
+	if !ok {
+		t.Fatal("no group")
+	}
+	if tup[0] != 0 || tup[1] != 0+4+16+36+64 || tup[2] != 5 {
+		t.Fatalf("group = %v", tup)
+	}
+	if _, ok := agg.Next(); ok {
+		t.Fatal("expected single group")
+	}
+	// Reopen restarts.
+	agg.Open()
+	if _, ok := agg.Next(); !ok {
+		t.Fatal("Open did not reset")
+	}
+}
+
+func TestHashJoinDuplicates(t *testing.T) {
+	build := NewTableScan(3,
+		func(i int) int64 { return int64(i % 2) },  // keys 0,1,0
+		func(i int) int64 { return int64(i + 10) }, // payload 10,11,12
+	)
+	probe := NewTableScan(2,
+		func(i int) int64 { return int64(i) }, // keys 0,1
+	)
+	j := NewHashJoin(build, probe, 0, 0)
+	j.Open()
+	count := map[int64]int{}
+	for {
+		t2, ok := j.Next()
+		if !ok {
+			break
+		}
+		count[t2[0]]++
+	}
+	if count[0] != 2 || count[1] != 1 {
+		t.Fatalf("join match counts = %v", count)
+	}
+}
