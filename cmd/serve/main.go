@@ -1,0 +1,113 @@
+// Command serve drives the concurrent query service (internal/server)
+// with a closed-loop mixed TPC-H + SSB workload: a configurable number of
+// clients each submit a query, wait for its validated result, and
+// immediately submit the next — the inter-query concurrency regime the
+// paper's single-query experiments deliberately exclude (see DESIGN.md
+// §5).
+//
+// Usage:
+//
+//	serve -sf 0.1 -ssbsf 0.1 -clients 16 -duration 10s
+//	serve -clients 4 -engine typer -queries Q1,Q6
+//	serve -clients 16 -budget 8 -maxconc 16 -novalidate
+//
+// Engine "mixed" (the default) alternates Typer and Tectorwise per query.
+// Every result is validated against the reference oracles unless
+// -novalidate is given. On exit the aggregate stats report is printed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"paradigms"
+	"paradigms/internal/server"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
+	ssbsf := flag.Float64("ssbsf", 0.1, "SSB scale factor")
+	clients := flag.Int("clients", 16, "closed-loop client count")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	engine := flag.String("engine", "mixed", "typer | tectorwise | mixed")
+	queryList := flag.String("queries", "", "comma-separated query subset (default: all TPC-H + SSB)")
+	budget := flag.Int("budget", 0, "global worker budget (0 = GOMAXPROCS)")
+	maxconc := flag.Int("maxconc", 0, "max concurrently executing queries (0 = default)")
+	maxqueued := flag.Int("maxqueued", 0, "admission queue bound (0 = unbounded)")
+	vecSize := flag.Int("vecsize", 0, "Tectorwise vector size (0 = default)")
+	novalidate := flag.Bool("novalidate", false, "skip checking results against the reference oracles")
+	flag.Parse()
+
+	var engines []paradigms.Engine
+	switch *engine {
+	case "typer":
+		engines = []paradigms.Engine{paradigms.Typer}
+	case "tectorwise":
+		engines = []paradigms.Engine{paradigms.Tectorwise}
+	case "mixed":
+		engines = []paradigms.Engine{paradigms.Typer, paradigms.Tectorwise}
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating TPC-H SF=%g and SSB SF=%g...\n", *sf, *ssbsf)
+	tpchDB := paradigms.GenerateTPCH(*sf, 0)
+	ssbDB := paradigms.GenerateSSB(*ssbsf, 0)
+
+	var queries []string
+	if *queryList != "" {
+		queries = strings.Split(*queryList, ",")
+	} else {
+		queries = append(paradigms.Queries(tpchDB), paradigms.Queries(ssbDB)...)
+	}
+
+	svc := paradigms.NewService(tpchDB, ssbDB, paradigms.ServiceOptions{
+		WorkerBudget:   *budget,
+		MaxConcurrent:  *maxconc,
+		MaxQueued:      *maxqueued,
+		VectorSize:     *vecSize,
+		SkipValidation: *novalidate,
+	})
+
+	fmt.Fprintf(os.Stderr, "serving: %d clients, %s, engines %v, %d queries\n",
+		*clients, *duration, engines, len(queries))
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stagger starting points so clients don't run in lockstep.
+			for i := c; ctx.Err() == nil; i++ {
+				eng := engines[i%len(engines)]
+				q := queries[i%len(queries)]
+				_, err := svc.Do(ctx, string(eng), q)
+				switch {
+				case err == nil || ctx.Err() != nil:
+				case errors.Is(err, server.ErrOverloaded):
+					// Expected under -maxqueued: admission control is
+					// shedding load. Back off and retry; rejections are
+					// counted in the final stats.
+					time.Sleep(time.Millisecond)
+				default:
+					fmt.Fprintf(os.Stderr, "serve: client %d: %s/%s: %v\n", c, eng, q, err)
+					os.Exit(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	svc.Close()
+
+	fmt.Print(svc.Stats())
+}

@@ -1,0 +1,186 @@
+package paradigms
+
+// Documentation lints: the repo's doc comments cite DESIGN.md sections,
+// EXPERIMENTS.md, and paper sections (§); these tests keep those
+// references resolvable so the docs cannot silently rot.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"paradigms/internal/bench"
+)
+
+// extensionPackages are internal packages that extend the repo beyond the
+// paper; their package doc must state a role instead of a paper section.
+var extensionPackages = map[string]string{
+	"server": "extension", // inter-query concurrency layer
+	"iosim":  "substrate", // out-of-memory experiment substrate
+}
+
+// packageDoc returns the package doc comment of the Go package in dir.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	pkgs, err := parser.ParseDir(token.NewFileSet(), dir, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	doc := ""
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+				doc = f.Doc.Text()
+			}
+		}
+	}
+	return doc
+}
+
+// TestEveryInternalPackageIsDocumented: each internal/ package carries a
+// package doc comment that states its paper section (§) — or, for
+// extensions, its role.
+func TestEveryInternalPackageIsDocumented(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no internal packages found (err=%v)", err)
+	}
+	for _, dir := range dirs {
+		name := filepath.Base(dir)
+		doc := packageDoc(t, dir)
+		if doc == "" {
+			t.Errorf("internal/%s has no package doc comment", name)
+			continue
+		}
+		if role, isExt := extensionPackages[name]; isExt {
+			if !strings.Contains(doc, role) {
+				t.Errorf("internal/%s is an extension; its doc must state its role (%q)", name, role)
+			}
+			continue
+		}
+		if !strings.Contains(doc, "§") {
+			t.Errorf("internal/%s package doc cites no paper section (§)", name)
+		}
+	}
+}
+
+// goSources lists every .go file in the repo.
+func goSources(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && strings.HasPrefix(d.Name(), ".") && path != "." {
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 50 {
+		t.Fatalf("suspiciously few Go files found: %d", len(files))
+	}
+	return files
+}
+
+// TestDesignReferencesResolve: every "DESIGN.md §n", "DESIGN.md Sn", and
+// "DESIGN.md ablation n" citation in a doc comment resolves to a real
+// anchor in DESIGN.md.
+func TestDesignReferencesResolve(t *testing.T) {
+	designBytes, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatalf("DESIGN.md missing: %v", err)
+	}
+	design := string(designBytes)
+
+	refRe := regexp.MustCompile(`DESIGN\.md[ \t]+(§\d+|S\d+(?:/S\d+)?|[Aa]blation \d+)`)
+	sectionRe := regexp.MustCompile(`(?m)^## (§\d+) `)
+	subRe := regexp.MustCompile(`(?m)^### (S\d+) `)
+	ablRe := regexp.MustCompile(`(?i)\bablation (\d+)\b`)
+
+	anchors := map[string]bool{}
+	for _, m := range sectionRe.FindAllStringSubmatch(design, -1) {
+		anchors[m[1]] = true
+	}
+	for _, m := range subRe.FindAllStringSubmatch(design, -1) {
+		anchors[m[1]] = true
+	}
+	for _, m := range ablRe.FindAllStringSubmatch(design, -1) {
+		anchors["ablation "+m[1]] = true
+	}
+
+	seen := 0
+	for _, file := range goSources(t) {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range refRe.FindAllStringSubmatch(string(src), -1) {
+			ref := m[1]
+			var keys []string
+			switch {
+			case strings.HasPrefix(ref, "§"):
+				keys = []string{ref}
+			case strings.HasPrefix(ref, "S"):
+				keys = strings.Split(ref, "/") // "S1/S7" cites both
+			default:
+				keys = []string{"ablation " + strings.Fields(ref)[1]}
+			}
+			for _, key := range keys {
+				seen++
+				if !anchors[key] {
+					t.Errorf("%s cites DESIGN.md %s, which has no anchor", file, key)
+				}
+			}
+		}
+	}
+	if seen == 0 {
+		t.Error("no DESIGN.md citations found; the reference regexp is broken")
+	}
+}
+
+// TestExperimentsDocCoversAllExperiments: EXPERIMENTS.md exists and
+// mentions every experiment id cmd/repro accepts.
+func TestExperimentsDocCoversAllExperiments(t *testing.T) {
+	expBytes, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("EXPERIMENTS.md missing: %v", err)
+	}
+	doc := string(expBytes)
+	for _, id := range bench.SortedExperimentNames() {
+		if !strings.Contains(doc, "`"+id+"`") {
+			t.Errorf("EXPERIMENTS.md does not document experiment %q", id)
+		}
+	}
+}
+
+// TestReadmeMapsEveryPackage: the README repo map mentions every
+// internal package and both commands' invocations.
+func TestReadmeMapsEveryPackage(t *testing.T) {
+	readmeBytes, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("README.md missing: %v", err)
+	}
+	readme := string(readmeBytes)
+	dirs, _ := filepath.Glob("internal/*")
+	for _, dir := range dirs {
+		if !strings.Contains(readme, "internal/"+filepath.Base(dir)) {
+			t.Errorf("README.md repo map is missing %s", dir)
+		}
+	}
+	for _, cmd := range []string{"go run ./cmd/repro", "go run ./cmd/serve", "go test ./..."} {
+		if !strings.Contains(readme, cmd) {
+			t.Errorf("README.md quickstart is missing %q", cmd)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module paradigms
+
+go 1.22

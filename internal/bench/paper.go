@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: it runs every experiment of
-// the paper's evaluation and renders "paper vs. measured" tables. One
-// function per table/figure; cmd/repro and the root benchmarks call in
-// here.
+// the paper's evaluation (§3–§8) and renders "paper vs. measured"
+// tables. One function per table/figure; cmd/repro and the root
+// benchmarks call in here (see DESIGN.md §4 for the experiment index).
 package bench
 
 // Paper-reported numbers, used for side-by-side output and shape checks.

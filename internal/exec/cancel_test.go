@@ -1,0 +1,146 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDispatcherCtxCancel: a canceled context makes Next report
+// exhaustion immediately, even with tuples remaining.
+func TestDispatcherCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	d := NewDispatcherCtx(ctx, 1_000_000, 10)
+	if _, ok := d.Next(); !ok {
+		t.Fatal("Next should succeed before cancel")
+	}
+	cancel()
+	if m, ok := d.Next(); ok {
+		t.Fatalf("Next succeeded after cancel: %+v", m)
+	}
+}
+
+// TestDispatcherNilCtx: NewDispatcherCtx with a nil or background context
+// behaves exactly like NewDispatcher.
+func TestDispatcherNilCtx(t *testing.T) {
+	for _, d := range []*Dispatcher{
+		NewDispatcherCtx(nil, 25, 10),
+		NewDispatcherCtx(context.Background(), 25, 10),
+	} {
+		n := 0
+		for {
+			m, ok := d.Next()
+			if !ok {
+				break
+			}
+			n += m.Len()
+		}
+		if n != 25 {
+			t.Fatalf("scanned %d tuples, want 25", n)
+		}
+	}
+}
+
+// TestCancelDrainsWorkersPromptly is the regression test for the
+// cancellation protocol: workers in a two-pipeline query (scan → barrier
+// → scan) are canceled mid-scan and must (a) stop claiming morsels almost
+// immediately and (b) tear down the barrier without deadlock, because
+// every party still reaches it. Run under -race in CI.
+func TestCancelDrainsWorkersPromptly(t *testing.T) {
+	const (
+		workers = 4
+		total   = 100_000_000 // far more single-tuple morsels than can run
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	dispA := NewDispatcherCtx(ctx, total, 1)
+	dispB := NewDispatcherCtx(ctx, total, 1)
+	bar := NewBarrier(workers)
+
+	var claimed atomic.Int64
+	started := make(chan struct{}, workers)
+	finished := make(chan struct{})
+	go func() {
+		Parallel(workers, func(w int) {
+			// Pipeline 1.
+			first := true
+			for {
+				m, ok := dispA.Next()
+				if !ok {
+					break
+				}
+				claimed.Add(int64(m.Len()))
+				if first {
+					first = false
+					started <- struct{}{}
+				}
+			}
+			// Barrier teardown must not deadlock: canceled workers
+			// still arrive here.
+			bar.Wait(nil)
+			// Pipeline 2 sees an already-canceled dispatcher.
+			for {
+				if _, ok := dispB.Next(); !ok {
+					break
+				}
+				claimed.Add(1)
+			}
+		})
+		close(finished)
+	}()
+
+	// Cancel once at least one worker is mid-scan.
+	<-started
+	cancel()
+
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers did not drain after cancel (barrier deadlock?)")
+	}
+	if n := claimed.Load(); n >= total/100 {
+		t.Errorf("workers claimed %d morsels after cancel; exit was not prompt", n)
+	}
+}
+
+// TestMorselsDispatchedCounts: the process-wide morsel counter advances
+// by exactly the number of claims.
+func TestMorselsDispatchedCounts(t *testing.T) {
+	base := MorselsDispatched()
+	d := NewDispatcher(1000, 100)
+	n := int64(0)
+	for {
+		if _, ok := d.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if got := MorselsDispatched() - base; got < n {
+		t.Errorf("counter advanced by %d, want at least %d", got, n)
+	}
+}
+
+// TestWithMorselCounter: a context-carried counter receives exactly this
+// consumer's claims, regardless of other dispatchers running in the
+// process.
+func TestWithMorselCounter(t *testing.T) {
+	var mine atomic.Int64
+	ctx := WithMorselCounter(context.Background(), &mine)
+	d := NewDispatcherCtx(ctx, 1000, 100)
+	other := NewDispatcher(1000, 10) // unattributed noise
+	for {
+		if _, ok := other.Next(); !ok {
+			break
+		}
+	}
+	n := int64(0)
+	for {
+		if _, ok := d.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if got := mine.Load(); got != n {
+		t.Errorf("attributed counter = %d, want exactly %d", got, n)
+	}
+}

@@ -13,6 +13,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -33,10 +34,21 @@ func (m Morsel) Len() int { return m.End - m.Begin }
 
 // Dispatcher hands out morsels of a relation scan to workers. It is safe
 // for concurrent use; claiming is a single atomic add.
+//
+// A dispatcher built with NewDispatcherCtx additionally observes query
+// cancellation: morsel claims are the engines' natural preemption points
+// (every worker passes through Next between morsels), so once the bound
+// context is done Next reports exhaustion and workers drain out of their
+// scan loops within one morsel's worth of work. The pipeline's later
+// phases (barriers, merges) still run with all parties present — they just
+// see empty scans — which keeps barrier teardown deadlock-free without
+// any engine-side cancellation code.
 type Dispatcher struct {
-	next  atomic.Int64
-	total int64
-	size  int64
+	next    atomic.Int64
+	total   int64
+	size    int64
+	done    <-chan struct{} // non-nil when bound to a cancelable context
+	counter *atomic.Int64   // per-consumer claim attribution, may be nil
 }
 
 // NewDispatcher creates a dispatcher over total tuples with the given
@@ -48,8 +60,49 @@ func NewDispatcher(total, size int) *Dispatcher {
 	return &Dispatcher{total: int64(total), size: int64(size)}
 }
 
-// Next claims the next morsel. ok is false once the scan is exhausted.
+// NewDispatcherCtx creates a dispatcher whose Next additionally returns
+// ok=false once ctx is done, even if tuples remain. A nil or
+// never-canceled context degenerates to NewDispatcher with zero per-claim
+// overhead beyond a channel poll. If the context carries a morsel counter
+// (WithMorselCounter), every claim is attributed to it.
+func NewDispatcherCtx(ctx context.Context, total, size int) *Dispatcher {
+	d := NewDispatcher(total, size)
+	if ctx != nil {
+		d.done = ctx.Done()
+		d.counter, _ = ctx.Value(morselCounterKey{}).(*atomic.Int64)
+	}
+	return d
+}
+
+// morselsDispatched counts every successful morsel claim process-wide.
+var morselsDispatched atomic.Int64
+
+// MorselsDispatched returns the process-wide number of morsels claimed
+// since start. Deltas of this counter measure scheduling activity over an
+// interval; for attribution to one consumer, use WithMorselCounter.
+func MorselsDispatched() int64 { return morselsDispatched.Load() }
+
+// morselCounterKey is the context key of WithMorselCounter.
+type morselCounterKey struct{}
+
+// WithMorselCounter returns a context under which every morsel claimed by
+// a dispatcher bound to it (NewDispatcherCtx) is also counted on c —
+// per-consumer attribution of scheduling activity, e.g. one counter per
+// query service.
+func WithMorselCounter(ctx context.Context, c *atomic.Int64) context.Context {
+	return context.WithValue(ctx, morselCounterKey{}, c)
+}
+
+// Next claims the next morsel. ok is false once the scan is exhausted or
+// the dispatcher's context (NewDispatcherCtx) has been canceled.
 func (d *Dispatcher) Next() (m Morsel, ok bool) {
+	if d.done != nil {
+		select {
+		case <-d.done:
+			return Morsel{}, false
+		default:
+		}
+	}
 	begin := d.next.Add(d.size) - d.size
 	if begin >= d.total {
 		return Morsel{}, false
@@ -57,6 +110,10 @@ func (d *Dispatcher) Next() (m Morsel, ok bool) {
 	end := begin + d.size
 	if end > d.total {
 		end = d.total
+	}
+	morselsDispatched.Add(1)
+	if d.counter != nil {
+		d.counter.Add(1)
 	}
 	return Morsel{Begin: int(begin), End: int(end)}, true
 }

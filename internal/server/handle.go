@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Handle is a submitted query's ticket: identity, engine choice, timing,
+// cancellation, and (once done) the result. Fields written by the service
+// are published by the close of the done channel, so every accessor that
+// documents "after Done" is race-free.
+type Handle struct {
+	id     uint64
+	engine string
+	query  string
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// Written by the service goroutine before close(done).
+	submitted time.Time
+	started   time.Time // zero if the query died in the queue
+	finished  time.Time
+	workers   int
+	result    any
+	err       error
+}
+
+// ID is the service-assigned query id (1-based, in submission order).
+func (h *Handle) ID() uint64 { return h.id }
+
+// Engine is the engine name the query was submitted with.
+func (h *Handle) Engine() string { return h.engine }
+
+// Query is the query name the handle was submitted with.
+func (h *Handle) Query() string { return h.query }
+
+// Done is closed when the query has finished (served, failed, or
+// canceled).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Cancel abandons the query: dequeues it if still waiting for admission,
+// or drains its morsel workers if running. Safe to call at any time, from
+// any goroutine, repeatedly.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Wait blocks until the query finishes or ctx is done; in the latter case
+// it cancels the query and still waits for the (prompt) teardown so the
+// returned error is the query's final state.
+func (h *Handle) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-h.done:
+	case <-ctx.Done():
+		h.cancel()
+		<-h.done
+	}
+	return h.result, h.err
+}
+
+// Result returns the outcome. It must only be called after Done is
+// closed (Wait does this for you).
+func (h *Handle) Result() (any, error) { return h.result, h.err }
+
+// Workers is the worker share the query executed with (0 if it never
+// started). Valid after Done.
+func (h *Handle) Workers() int { return h.workers }
+
+// QueueWait is the time spent waiting for admission. Valid after Done.
+func (h *Handle) QueueWait() time.Duration {
+	if h.started.IsZero() {
+		return h.finished.Sub(h.submitted)
+	}
+	return h.started.Sub(h.submitted)
+}
+
+// Latency is the total submit-to-finish latency. Valid after Done.
+func (h *Handle) Latency() time.Duration { return h.finished.Sub(h.submitted) }

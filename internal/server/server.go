@@ -1,0 +1,303 @@
+// Package server layers inter-query scheduling on top of the morsel-driven
+// intra-query framework of internal/exec. It is an extension beyond the
+// paper (whose experiments are single-query, §6): the service runs many
+// simultaneous queries against one global worker budget, which is the
+// regime production engines actually live in — admission control bounds
+// how many queries execute at once, arrivals beyond the bound wait in a
+// FIFO queue, and every admitted query receives an equal share of the
+// worker budget for its morsel workers. Cancellation is first class: each
+// query runs under its own context.Context, threaded down to every morsel
+// dispatcher, so an abandoned query drains out of its scan loops within
+// one morsel. See DESIGN.md §5 for the policy discussion.
+//
+// The package is engine agnostic by construction: queries are executed
+// through an injected ExecFunc (wired to the facade's RunContext by
+// cmd/serve and the root package tests), so Typer and Tectorwise are
+// scheduled identically — the same property the paper engineered for the
+// intra-query layer.
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paradigms/internal/exec"
+)
+
+// ExecFunc executes one query on behalf of the service. It must honor ctx
+// (return promptly once ctx is done, reporting ctx.Err()) and run with at
+// most the given number of workers. The facade's RunContext has exactly
+// this shape once engine routing is closed over.
+type ExecFunc func(ctx context.Context, engine, query string, workers int) (any, error)
+
+// ValidateFunc checks a completed query result; a non-nil error marks the
+// query failed. The facade wires this to the internal/queries reference
+// oracles so every concurrently produced result is provably correct.
+type ValidateFunc func(query string, result any) error
+
+// Service errors.
+var (
+	// ErrOverloaded is returned by Submit when the FIFO admission queue
+	// is at MaxQueued.
+	ErrOverloaded = errors.New("server: admission queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("server: service closed")
+)
+
+// Config configures a Service. The zero value of every optional field
+// selects a sensible default.
+type Config struct {
+	// Exec runs one query. Required.
+	Exec ExecFunc
+	// Validate, if non-nil, is applied to every successful result.
+	Validate ValidateFunc
+	// WorkerBudget is the total number of morsel workers shared by all
+	// running queries (0 = GOMAXPROCS). An admitted query gets an equal
+	// split of the budget, capped by what is not already granted (see
+	// Service.share): a lone query uses the whole machine, a saturated
+	// service degrades to one worker per query and relies on inter-query
+	// parallelism instead.
+	WorkerBudget int
+	// MaxConcurrent bounds the number of queries executing at once
+	// (0 = max(4, WorkerBudget)). Arrivals beyond it queue FIFO.
+	MaxConcurrent int
+	// MaxQueued bounds the FIFO queue (0 = unbounded). When the queue is
+	// full, Submit fails fast with ErrOverloaded.
+	MaxQueued int
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	grant    chan int // receives the worker share when admitted
+	canceled bool     // set if the waiter gave up; skip on grant
+}
+
+// Service is a concurrent query execution service: bounded concurrency,
+// FIFO admission, per-query cancellation, aggregate stats. All methods are
+// safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	running int       // queries currently executing
+	granted int       // morsel workers granted to running queries
+	queue   []*waiter // FIFO admission queue
+	closed  bool
+	nextID  uint64
+	st      statsAcc
+
+	wg      sync.WaitGroup // in-flight queries, for Close
+	started time.Time
+	morsels atomic.Int64 // morsels claimed by this service's queries
+}
+
+// New creates a Service from cfg; it panics if cfg.Exec is nil.
+func New(cfg Config) *Service {
+	if cfg.Exec == nil {
+		panic("server: Config.Exec is required")
+	}
+	if cfg.WorkerBudget <= 0 {
+		cfg.WorkerBudget = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = max(4, cfg.WorkerBudget)
+	}
+	return &Service{cfg: cfg, started: time.Now()}
+}
+
+// Submit enqueues a query for execution and returns immediately with its
+// handle. Admission is decided inside Submit, so FIFO order is exactly
+// Submit-call order. ctx governs the whole lifetime of the query:
+// canceling it while queued abandons the admission slot, canceling it
+// while running drains the morsel workers. Submit itself only fails fast:
+// ErrClosed after Close, ErrOverloaded when the bounded queue is full.
+func (s *Service) Submit(ctx context.Context, engine, query string) (*Handle, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	free := s.running < s.cfg.MaxConcurrent && len(s.queue) == 0
+	if !free && s.cfg.MaxQueued > 0 && len(s.queue) >= s.cfg.MaxQueued {
+		s.st.rejected++
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	s.nextID++
+	h := &Handle{
+		id:        s.nextID,
+		engine:    engine,
+		query:     query,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	h.cancel = cancel
+	var w *waiter
+	var share int
+	if free {
+		s.running++
+		share = s.share()
+	} else {
+		w = &waiter{grant: make(chan int, 1)}
+		s.queue = append(s.queue, w)
+		s.st.queuedHighWater = max(s.st.queuedHighWater, len(s.queue))
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(h, qctx, w, share)
+	return h, nil
+}
+
+// Do submits the query and waits for its result (sugar over Submit+Wait).
+func (s *Service) Do(ctx context.Context, engine, query string) (any, error) {
+	h, err := s.Submit(ctx, engine, query)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(ctx)
+}
+
+// run is the per-query goroutine: admission wait (if queued) → execution
+// → validation → stats → release. w is nil when Submit admitted the query
+// immediately, in which case share is its worker grant.
+func (s *Service) run(h *Handle, ctx context.Context, w *waiter, share int) {
+	defer s.wg.Done()
+	defer h.cancel()
+
+	if w != nil {
+		var err error
+		share, err = s.await(ctx, w)
+		if err != nil {
+			s.finish(h, nil, err)
+			return
+		}
+	}
+	h.started = time.Now()
+	h.workers = share
+
+	res, err := s.cfg.Exec(exec.WithMorselCounter(ctx, &s.morsels), h.engine, h.query, share)
+	// Release before validating: validation uses no morsel workers, so
+	// holding the slot (and the worker grant) through it would stall
+	// admission for pure bookkeeping.
+	s.release(share)
+	if err == nil && s.cfg.Validate != nil {
+		err = s.cfg.Validate(h.query, res)
+	}
+	s.finish(h, res, err)
+}
+
+// await blocks until the queued waiter is granted a slot (FIFO) or ctx is
+// done. On success it returns this query's worker share.
+func (s *Service) await(ctx context.Context, w *waiter) (int, error) {
+	select {
+	case share := <-w.grant:
+		return share, nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case share := <-w.grant:
+			// Lost the race: the slot was granted just as ctx fired.
+			// Keep it — the executor will observe ctx and drain.
+			s.mu.Unlock()
+			return share, nil
+		default:
+			w.canceled = true
+			// Dequeue now so the dead waiter stops counting against
+			// MaxQueued and Stats.Queued.
+			for i, qw := range s.queue {
+				if qw == w {
+					s.queue = append(s.queue[:i], s.queue[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// release returns a slot (and its workers) and hands the slot to the
+// first live queued waiter. Caller must not hold s.mu.
+func (s *Service) release(workers int) {
+	s.mu.Lock()
+	s.running--
+	s.granted -= workers
+	for len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		if w.canceled {
+			continue
+		}
+		s.running++
+		w.grant <- s.share()
+		break
+	}
+	s.mu.Unlock()
+}
+
+// share computes the worker share of a newly admitted query: an equal
+// split of the budget by running-query count, additionally capped by the
+// budget not yet granted to still-running queries so that admissions
+// during a concurrency ramp-up cannot oversubscribe the budget (a lone
+// query holding the full budget forces arrivals down to one worker until
+// it finishes). The one-worker floor means the budget is soft once
+// MaxConcurrent exceeds it. Caller holds s.mu; the returned share is
+// recorded as granted.
+func (s *Service) share() int {
+	w := max(1, min(s.cfg.WorkerBudget-s.granted, s.cfg.WorkerBudget/max(1, s.running)))
+	s.granted += w
+	return w
+}
+
+// finish records the query's outcome and releases its waiters.
+func (s *Service) finish(h *Handle, res any, err error) {
+	h.finished = time.Now()
+	if err != nil {
+		h.err = err
+	} else {
+		h.result = res
+	}
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		s.st.served++
+		if s.st.perEngine == nil {
+			s.st.perEngine = make(map[string]uint64)
+		}
+		s.st.perEngine[h.engine]++
+		s.st.record(h.finished.Sub(h.submitted))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.st.canceled++
+	default:
+		s.st.failed++
+	}
+	s.mu.Unlock()
+	close(h.done)
+}
+
+// Close rejects new submissions and waits for every in-flight query
+// (running or queued) to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the service's aggregate counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st.snapshot()
+	st.InFlight = s.running
+	st.Queued = len(s.queue)
+	st.MorselsDispatched = s.morsels.Load()
+	st.Uptime = time.Since(s.started)
+	return st
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// latencyWindow is how many recent per-query latencies the service keeps
+// for quantile estimation. A power-of-two ring large enough that p99 of
+// any realistic reporting interval is exact, small enough to be free.
+const latencyWindow = 1 << 13
+
+// statsAcc accumulates counters under the service mutex.
+type statsAcc struct {
+	served, failed, canceled, rejected uint64
+	perEngine                          map[string]uint64
+	queuedHighWater                    int
+
+	lat  [latencyWindow]time.Duration // ring of recent latencies
+	nLat int                          // total recorded (ring wraps)
+}
+
+// record adds one served-query latency.
+func (a *statsAcc) record(d time.Duration) {
+	a.lat[a.nLat%latencyWindow] = d
+	a.nLat++
+}
+
+// Stats is a point-in-time snapshot of service aggregates.
+type Stats struct {
+	// Served counts successfully completed (and validated) queries;
+	// Failed counts execution/validation errors; Canceled counts queries
+	// abandoned via context; Rejected counts ErrOverloaded fast-fails.
+	Served, Failed, Canceled, Rejected uint64
+	// PerEngine breaks Served down by engine name.
+	PerEngine map[string]uint64
+	// InFlight and Queued are instantaneous occupancy; QueuedHighWater is
+	// the deepest the FIFO queue has been.
+	InFlight, Queued, QueuedHighWater int
+	// P50/P95/P99/Max are submit-to-finish latency quantiles over the
+	// most recent latencyWindow served queries.
+	P50, P95, P99, Max time.Duration
+	// MorselsDispatched counts morsel claims made by this service's
+	// queries (attributed per service via exec.WithMorselCounter).
+	MorselsDispatched int64
+	// Uptime is the time since New.
+	Uptime time.Duration
+}
+
+// snapshot computes quantiles from the ring. Caller holds the service
+// mutex.
+func (a *statsAcc) snapshot() Stats {
+	st := Stats{
+		Served:          a.served,
+		Failed:          a.failed,
+		Canceled:        a.canceled,
+		Rejected:        a.rejected,
+		QueuedHighWater: a.queuedHighWater,
+		PerEngine:       make(map[string]uint64, len(a.perEngine)),
+	}
+	for k, v := range a.perEngine {
+		st.PerEngine[k] = v
+	}
+	n := min(a.nLat, latencyWindow)
+	if n > 0 {
+		s := make([]time.Duration, n)
+		copy(s, a.lat[:n])
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		st.P50 = s[n/2]
+		st.P95 = s[n*95/100]
+		st.P99 = s[n*99/100]
+		st.Max = s[n-1]
+	}
+	return st
+}
+
+// QPS is the served-query throughput over the service's uptime.
+func (st Stats) QPS() float64 {
+	if st.Uptime <= 0 {
+		return 0
+	}
+	return float64(st.Served) / st.Uptime.Seconds()
+}
+
+// String renders the snapshot as a small human-readable report (used by
+// cmd/serve).
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %d (%.1f q/s)  failed %d  canceled %d  rejected %d\n",
+		st.Served, st.QPS(), st.Failed, st.Canceled, st.Rejected)
+	engines := make([]string, 0, len(st.PerEngine))
+	for e := range st.PerEngine {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	for _, e := range engines {
+		fmt.Fprintf(&b, "  %-12s %d\n", e, st.PerEngine[e])
+	}
+	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  max %v\n", st.P50, st.P95, st.P99, st.Max)
+	fmt.Fprintf(&b, "in flight %d  queued %d (high water %d)  morsels %d  uptime %v\n",
+		st.InFlight, st.Queued, st.QueuedHighWater, st.MorselsDispatched, st.Uptime.Round(time.Millisecond))
+	return b.String()
+}

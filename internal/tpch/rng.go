@@ -1,5 +1,5 @@
-// Package tpch generates deterministic TPC-H data in the columnar format
-// of internal/storage.
+// Package tpch generates deterministic TPC-H data — the paper's primary
+// workload (§3) — in the columnar format of internal/storage.
 //
 // This is a from-scratch dbgen equivalent (substitution S7 in DESIGN.md):
 // it reproduces the table cardinalities, key structure, and the value

@@ -1,0 +1,60 @@
+package tw
+
+import (
+	"context"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+)
+
+// The *Ctx query variants (tpch.go, ssb.go) thread a context down to every
+// morsel dispatcher so a canceled query drains out of its scan loops
+// within one morsel (see exec.NewDispatcherCtx). The plain variants below
+// are the uncancelable forms used by benchmarks and the repro driver; a
+// query abandoned mid-flight by cancellation returns an incomplete result
+// that callers must discard — internal/server does exactly that.
+
+// Q1 executes TPC-H Q1 with the given worker count and vector size.
+func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
+	return Q1Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q6 executes TPC-H Q6.
+func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
+	return Q6Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q3 executes TPC-H Q3.
+func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
+	return Q3Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q9 executes TPC-H Q9.
+func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
+	return Q9Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q18 executes TPC-H Q18.
+func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
+	return Q18Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// SSBQ11 executes SSB Q1.1.
+func SSBQ11(db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
+	return SSBQ11Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// SSBQ21 executes SSB Q2.1.
+func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
+	return SSBQ21Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// SSBQ31 executes SSB Q3.1.
+func SSBQ31(db *storage.Database, nWorkers, vecSize int) queries.SSBQ31Result {
+	return SSBQ31Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// SSBQ41 executes SSB Q4.1.
+func SSBQ41(db *storage.Database, nWorkers, vecSize int) queries.SSBQ41Result {
+	return SSBQ41Ctx(context.Background(), db, nWorkers, vecSize)
+}

@@ -1,6 +1,8 @@
 package tw
 
 import (
+	"context"
+
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/queries"
@@ -50,8 +52,8 @@ func buildDimHT(ht *hashtable.Table, disp *exec.Dispatcher, bar *exec.Barrier,
 	BuildBarrier(ht, bar, wid)
 }
 
-// SSBQ11 executes SSB Q1.1.
-func SSBQ11(db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
+// SSBQ11Ctx executes SSB Q1.1.
+func SSBQ11Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	date := db.Rel("date")
@@ -64,8 +66,8 @@ func SSBQ11(db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
 	ext := lo.Numeric("lo_extendedprice")
 
 	htDate := hashtable.New(1, w)
-	dispDate := exec.NewDispatcher(date.Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, date.Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	bar := exec.NewBarrier(w)
 	partial := make([]int64, w)
 
@@ -123,8 +125,8 @@ func SSBQ11(db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
 	return queries.SSBQ11Result(total)
 }
 
-// SSBQ21 executes SSB Q2.1.
-func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
+// SSBQ21Ctx executes SSB Q2.1.
+func SSBQ21Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	part := db.Rel("part")
@@ -146,13 +148,13 @@ func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
 	htPart := hashtable.New(2, w)
 	htSupp := hashtable.New(1, w)
 	htDate := hashtable.New(2, w)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispDate := exec.NewDispatcher(date.Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, date.Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ21Result, w)
 
@@ -262,8 +264,8 @@ func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
 	return out
 }
 
-// SSBQ31 executes SSB Q3.1.
-func SSBQ31(db *storage.Database, nWorkers, vecSize int) queries.SSBQ31Result {
+// SSBQ31Ctx executes SSB Q3.1.
+func SSBQ31Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ31Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	cust := db.Rel("customer")
@@ -286,13 +288,13 @@ func SSBQ31(db *storage.Database, nWorkers, vecSize int) queries.SSBQ31Result {
 	htCust := hashtable.New(2, w)
 	htSupp := hashtable.New(2, w)
 	htDate := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispDate := exec.NewDispatcher(date.Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, date.Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ31Result, w)
 
@@ -407,8 +409,8 @@ func SSBQ31(db *storage.Database, nWorkers, vecSize int) queries.SSBQ31Result {
 	return out
 }
 
-// SSBQ41 executes SSB Q4.1.
-func SSBQ41(db *storage.Database, nWorkers, vecSize int) queries.SSBQ41Result {
+// SSBQ41Ctx executes SSB Q4.1.
+func SSBQ41Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ41Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	cust := db.Rel("customer")
@@ -436,14 +438,14 @@ func SSBQ41(db *storage.Database, nWorkers, vecSize int) queries.SSBQ41Result {
 	htSupp := hashtable.New(1, w)
 	htPart := hashtable.New(1, w)
 	htDate := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispDate := exec.NewDispatcher(date.Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, date.Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ41Result, w)
 

@@ -1,6 +1,8 @@
 package tw
 
 import (
+	"context"
+
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/queries"
@@ -20,8 +22,8 @@ func vecOrDefault(v int) int {
 	return v
 }
 
-// Q1 executes TPC-H Q1 with the given worker count and vector size.
-func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
+// Q1Ctx executes TPC-H Q1 with the given worker count and vector size.
+func Q1Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	li := db.Rel("lineitem")
@@ -34,11 +36,11 @@ func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
 	ls := li.Byte("l_linestatus")
 	cutoff := queries.Q1Cutoff
 
-	disp := exec.NewDispatcher(li.Rows(), 0)
+	disp := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum, hashtable.OpSum, hashtable.OpSum,
 		hashtable.OpSum, hashtable.OpSum, hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.Q1Result, w)
 
@@ -116,9 +118,9 @@ func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
 	return out
 }
 
-// Q6 executes TPC-H Q6: a selection cascade followed by a fused
+// Q6Ctx executes TPC-H Q6: a selection cascade followed by a fused
 // multiply-sum over the survivors.
-func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
+func Q6Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	li := db.Rel("lineitem")
@@ -127,7 +129,7 @@ func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
 	ext := li.Numeric("l_extendedprice")
 	disc := li.Numeric("l_discount")
 
-	disp := exec.NewDispatcher(li.Rows(), 0)
+	disp := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	partial := make([]int64, w)
 	exec.Parallel(w, func(wid int) {
 		scan := NewScan(disp, vec)
@@ -164,8 +166,8 @@ func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
 	return queries.Q6Result(total)
 }
 
-// Q3 executes TPC-H Q3.
-func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
+// Q3Ctx executes TPC-H Q3.
+func Q3Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	cust := db.Rel("customer")
@@ -185,12 +187,12 @@ func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
 
 	htCust := hashtable.New(1, w)
 	htOrd := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum, hashtable.OpFirst}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	tops := make([]*queries.TopK[queries.Q3Row], w)
 
@@ -322,8 +324,8 @@ func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
 	return final.Sorted()
 }
 
-// Q9 executes TPC-H Q9.
-func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
+// Q9Ctx executes TPC-H Q9.
+func Q9Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	part := db.Rel("part")
@@ -352,14 +354,14 @@ func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
 	htSupp := hashtable.New(2, w)
 	htPS := hashtable.New(2, w)
 	htLine := hashtable.New(3, w)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispPS := exec.NewDispatcher(ps.Rows(), 0)
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispPS := exec.NewDispatcherCtx(ctx, ps.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.Q9Result, w)
 
@@ -566,8 +568,8 @@ func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
 	return out
 }
 
-// Q18 executes TPC-H Q18.
-func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
+// Q18Ctx executes TPC-H Q18.
+func Q18Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
 	w := workers(nWorkers)
 	vec := vecOrDefault(vecSize)
 	li := db.Rel("lineitem")
@@ -582,12 +584,12 @@ func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
 	ckeys := cust.Int32("c_custkey")
 	minQty := int64(queries.Q18Quantity)
 
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
 	ops := []hashtable.AggOp{hashtable.OpSum}
 	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	htBig := hashtable.New(2, 1)
 	htMatch := hashtable.New(4, w)

@@ -1,6 +1,7 @@
 package typer
 
 import (
+	"context"
 	"unsafe"
 
 	"paradigms/internal/exec"
@@ -142,8 +143,8 @@ func (a *localAgg) flush() {
 	})
 }
 
-// SSBQ11 executes SSB Q1.1.
-func SSBQ11(db *storage.Database, nWorkers int) queries.SSBQ11Result {
+// SSBQ11Ctx executes SSB Q1.1.
+func SSBQ11Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.SSBQ11Result {
 	w := workers(nWorkers)
 	lo := db.Rel("lineorder")
 	od := lo.Date("lo_orderdate")
@@ -152,8 +153,8 @@ func SSBQ11(db *storage.Database, nWorkers int) queries.SSBQ11Result {
 	ext := lo.Numeric("lo_extendedprice")
 
 	htDate := hashtable.New(2, w)
-	dispDate := exec.NewDispatcher(db.Rel("date").Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, db.Rel("date").Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	bar := exec.NewBarrier(w)
 	partial := make([]int64, w)
 
@@ -190,8 +191,8 @@ func SSBQ11(db *storage.Database, nWorkers int) queries.SSBQ11Result {
 	return queries.SSBQ11Result(total)
 }
 
-// SSBQ21 executes SSB Q2.1.
-func SSBQ21(db *storage.Database, nWorkers int) queries.SSBQ21Result {
+// SSBQ21Ctx executes SSB Q2.1.
+func SSBQ21Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.SSBQ21Result {
 	w := workers(nWorkers)
 	part := db.Rel("part")
 	pk := part.Int32("p_partkey")
@@ -209,12 +210,12 @@ func SSBQ21(db *storage.Database, nWorkers int) queries.SSBQ21Result {
 	htPart := hashtable.New(2, w)
 	htSupp := hashtable.New(1, w)
 	htDate := hashtable.New(2, w)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispDate := exec.NewDispatcher(db.Rel("date").Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, db.Rel("date").Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 3)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ21Result, w)
 
@@ -317,8 +318,8 @@ func SSBQ21(db *storage.Database, nWorkers int) queries.SSBQ21Result {
 	return out
 }
 
-// SSBQ31 executes SSB Q3.1.
-func SSBQ31(db *storage.Database, nWorkers int) queries.SSBQ31Result {
+// SSBQ31Ctx executes SSB Q3.1.
+func SSBQ31Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.SSBQ31Result {
 	w := workers(nWorkers)
 	cust := db.Rel("customer")
 	ck := cust.Int32("c_custkey")
@@ -337,12 +338,12 @@ func SSBQ31(db *storage.Database, nWorkers int) queries.SSBQ31Result {
 	htCust := hashtable.New(2, w)
 	htSupp := hashtable.New(2, w)
 	htDate := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispDate := exec.NewDispatcher(db.Rel("date").Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, db.Rel("date").Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 3)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ31Result, w)
 
@@ -450,8 +451,8 @@ func SSBQ31(db *storage.Database, nWorkers int) queries.SSBQ31Result {
 	return out
 }
 
-// SSBQ41 executes SSB Q4.1.
-func SSBQ41(db *storage.Database, nWorkers int) queries.SSBQ41Result {
+// SSBQ41Ctx executes SSB Q4.1.
+func SSBQ41Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.SSBQ41Result {
 	w := workers(nWorkers)
 	cust := db.Rel("customer")
 	ck := cust.Int32("c_custkey")
@@ -475,13 +476,13 @@ func SSBQ41(db *storage.Database, nWorkers int) queries.SSBQ41Result {
 	htSupp := hashtable.New(1, w)
 	htPart := hashtable.New(1, w)
 	htDate := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispDate := exec.NewDispatcher(db.Rel("date").Rows(), 0)
-	dispFact := exec.NewDispatcher(lo.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispDate := exec.NewDispatcherCtx(ctx, db.Rel("date").Rows(), 0)
+	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 3)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.SSBQ41Result, w)
 

@@ -2,6 +2,7 @@ package typer
 
 import (
 	"bytes"
+	"context"
 	"unsafe"
 
 	"paradigms/internal/exec"
@@ -29,8 +30,8 @@ type q1Group struct {
 	count     int64
 }
 
-// Q1 executes TPC-H Q1 with the given number of worker threads.
-func Q1(db *storage.Database, nWorkers int) queries.Q1Result {
+// Q1Ctx executes TPC-H Q1 with the given number of worker threads.
+func Q1Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q1Result {
 	w := workers(nWorkers)
 	li := db.Rel("lineitem")
 	ship := li.Date("l_shipdate")
@@ -42,9 +43,9 @@ func Q1(db *storage.Database, nWorkers int) queries.Q1Result {
 	ls := li.Byte("l_linestatus")
 	cutoff := queries.Q1Cutoff
 
-	disp := exec.NewDispatcher(li.Rows(), 0)
+	disp := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 8)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.Q1Result, w)
 
@@ -186,8 +187,8 @@ func Q1(db *storage.Database, nWorkers int) queries.Q1Result {
 // Q6: scan lineitem → σ(shipdate, discount, quantity) → Σ
 // ---------------------------------------------------------------------
 
-// Q6 executes TPC-H Q6.
-func Q6(db *storage.Database, nWorkers int) queries.Q6Result {
+// Q6Ctx executes TPC-H Q6.
+func Q6Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q6Result {
 	w := workers(nWorkers)
 	li := db.Rel("lineitem")
 	ship := li.Date("l_shipdate")
@@ -198,7 +199,7 @@ func Q6(db *storage.Database, nWorkers int) queries.Q6Result {
 	clo, chi := queries.Q6DiscLo, queries.Q6DiscHi
 	qmax := queries.Q6Quantity
 
-	disp := exec.NewDispatcher(li.Rows(), 0)
+	disp := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	partial := make([]int64, w)
 	exec.Parallel(w, func(wid int) {
 		var sum int64
@@ -240,8 +241,8 @@ type q3Group struct {
 	datePrio uint64
 }
 
-// Q3 executes TPC-H Q3.
-func Q3(db *storage.Database, nWorkers int) queries.Q3Result {
+// Q3Ctx executes TPC-H Q3.
+func Q3Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q3Result {
 	w := workers(nWorkers)
 	cust := db.Rel("customer")
 	seg := cust.String("c_mktsegment")
@@ -261,11 +262,11 @@ func Q3(db *storage.Database, nWorkers int) queries.Q3Result {
 
 	htCust := hashtable.New(1, w)
 	htOrd := hashtable.New(2, w)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 4)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	tops := make([]*queries.TopK[queries.Q3Row], w)
 
@@ -456,8 +457,8 @@ type q9Group struct {
 	profit int64
 }
 
-// Q9 executes TPC-H Q9.
-func Q9(db *storage.Database, nWorkers int) queries.Q9Result {
+// Q9Ctx executes TPC-H Q9.
+func Q9Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q9Result {
 	w := workers(nWorkers)
 	part := db.Rel("part")
 	pnames := part.String("p_name")
@@ -485,13 +486,13 @@ func Q9(db *storage.Database, nWorkers int) queries.Q9Result {
 	htSupp := hashtable.New(2, w)
 	htPS := hashtable.New(2, w)
 	htLine := hashtable.New(3, w)
-	dispPart := exec.NewDispatcher(part.Rows(), 0)
-	dispSupp := exec.NewDispatcher(supp.Rows(), 0)
-	dispPS := exec.NewDispatcher(ps.Rows(), 0)
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
+	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispPS := exec.NewDispatcherCtx(ctx, ps.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 3)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	results := make([]queries.Q9Result, w)
 
@@ -742,8 +743,8 @@ type q18Match struct {
 	sumQty     int64
 }
 
-// Q18 executes TPC-H Q18.
-func Q18(db *storage.Database, nWorkers int) queries.Q18Result {
+// Q18Ctx executes TPC-H Q18.
+func Q18Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q18Result {
 	w := workers(nWorkers)
 	li := db.Rel("lineitem")
 	lok := li.Int32("l_orderkey")
@@ -757,11 +758,11 @@ func Q18(db *storage.Database, nWorkers int) queries.Q18Result {
 	ckeys := cust.Int32("c_custkey")
 	minQty := int64(queries.Q18Quantity)
 
-	dispLine := exec.NewDispatcher(li.Rows(), 0)
-	dispOrd := exec.NewDispatcher(ord.Rows(), 0)
-	dispCust := exec.NewDispatcher(cust.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
 	spill := hashtable.NewSpill(w, aggPartitions, 3)
-	partDisp := exec.NewDispatcher(aggPartitions, 1)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
 	bar := exec.NewBarrier(w)
 	htBig := hashtable.New(2, 1)
 	htMatch := hashtable.New(4, w)

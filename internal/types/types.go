@@ -1,10 +1,10 @@
 // Package types provides the scalar value types shared by both query
 // engines: fixed-point decimals (Numeric) and calendar dates (Date).
 //
-// Following HyPer (and the paper's test system), monetary and percentage
-// values are stored as 64-bit scaled integers rather than floats, so both
-// engines execute identical integer arithmetic and produce exact,
-// comparable aggregates.
+// Following HyPer (and the paper's test systems, §3), monetary and
+// percentage values are stored as 64-bit scaled integers rather than
+// floats, so both engines execute identical integer arithmetic and
+// produce exact, comparable aggregates.
 package types
 
 import (

@@ -1,0 +1,91 @@
+package paradigms
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+
+	"paradigms/internal/server"
+)
+
+// ServiceOptions configures NewService. The zero value picks the
+// server package's defaults and enables result validation.
+type ServiceOptions struct {
+	// WorkerBudget, MaxConcurrent, MaxQueued configure admission control;
+	// see server.Config.
+	WorkerBudget  int
+	MaxConcurrent int
+	MaxQueued     int
+	// VectorSize is Tectorwise's tuples-per-vector (0 = default).
+	VectorSize int
+	// SkipValidation disables checking every result against the
+	// internal/queries reference oracles. Validation references are
+	// computed once per query and cached, so steady-state cost is one
+	// reflect.DeepEqual per query.
+	SkipValidation bool
+}
+
+// NewService builds a concurrent query service over the given databases.
+// Either database may be nil; queries routed to a missing database fail
+// with an error rather than panicking. Query names containing a dot
+// ("Q1.1") route to the SSB database, all others to TPC-H.
+func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
+	route := func(query string) (*DB, error) {
+		db := tpchDB
+		if strings.ContainsRune(query, '.') {
+			db = ssbDB
+		}
+		if db == nil {
+			return nil, fmt.Errorf("paradigms: no database loaded for query %q", query)
+		}
+		return db, nil
+	}
+
+	cfg := server.Config{
+		WorkerBudget:  opt.WorkerBudget,
+		MaxConcurrent: opt.MaxConcurrent,
+		MaxQueued:     opt.MaxQueued,
+		Exec: func(ctx context.Context, engine, query string, workers int) (any, error) {
+			db, err := route(query)
+			if err != nil {
+				return nil, err
+			}
+			return RunContext(ctx, db, Engine(engine), query,
+				Options{Workers: workers, VectorSize: opt.VectorSize})
+		},
+	}
+
+	if !opt.SkipValidation {
+		// One lazily computed reference per query, each behind its own
+		// Once so cold-start validation of distinct queries does not
+		// serialize across the service.
+		type refEntry struct {
+			once sync.Once
+			want any
+			err  error
+		}
+		var refs sync.Map // query name → *refEntry
+		cfg.Validate = func(query string, result any) error {
+			db, err := route(query)
+			if err != nil {
+				return err
+			}
+			e, _ := refs.LoadOrStore(query, &refEntry{})
+			entry := e.(*refEntry)
+			entry.once.Do(func() {
+				entry.want, entry.err = Reference(db, query)
+			})
+			if entry.err != nil {
+				return entry.err
+			}
+			if !reflect.DeepEqual(result, entry.want) {
+				return fmt.Errorf("paradigms: %s result differs from reference", query)
+			}
+			return nil
+		}
+	}
+
+	return server.New(cfg)
+}
