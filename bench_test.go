@@ -15,6 +15,7 @@ import (
 	"paradigms/internal/hybrid"
 	"paradigms/internal/iosim"
 	"paradigms/internal/microsim"
+	"paradigms/internal/plan"
 	"paradigms/internal/queries"
 	"paradigms/internal/simd"
 	"paradigms/internal/tw"
@@ -81,7 +82,7 @@ func BenchmarkFig5VectorSize(b *testing.B) {
 	for _, size := range []int{1, 64, 1024, 65536, 1 << 20} {
 		b.Run(benchName(size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				tw.Q3(db, 1, size)
+				plan.Q3(db, 1, size)
 			}
 		})
 	}
@@ -135,7 +136,7 @@ func BenchmarkTable2(b *testing.B) {
 	})
 	b.Run("tectorwise/Q18", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tw.Q18(db, 1, 0)
+			plan.Q18(db, 1, 0)
 		}
 	})
 }
@@ -321,7 +322,7 @@ func BenchmarkCompileTime(b *testing.B) {
 	})
 	b.Run("tectorwise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tw.Q3(db, 1, 0)
+			plan.Q3(db, 1, 0)
 		}
 	})
 }
@@ -496,7 +497,7 @@ func BenchmarkFig13Hybrid(b *testing.B) {
 	})
 	b.Run("tectorwise", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tw.Q3(db, 1, 0)
+			plan.Q3(db, 1, 0)
 		}
 	})
 }
@@ -514,7 +515,7 @@ func BenchmarkInterpretationOverhead(b *testing.B) {
 	})
 	b.Run("tectorwise/Q6", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			tw.Q6(db, 1, 0)
+			plan.Q6(db, 1, 0)
 		}
 	})
 	b.Run("typer/Q6", func(b *testing.B) {

@@ -1,0 +1,65 @@
+package paradigms
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRegistryCrossValidation is the regression net for the operator-
+// layer port and the registry rewiring: every query registered for both
+// engines — including the plan-based Tectorwise queries and Q5 — must
+// produce results identical to the reference oracle across vector sizes
+// (1 = degenerate tuple-at-a-time, 7 = odd non-divisor, 1000 = default,
+// 4096 = several morsel fractions) and worker counts. Typer ignores the
+// vector size, so it runs once per worker count.
+func TestRegistryCrossValidation(t *testing.T) {
+	tpchDB := GenerateTPCH(0.02, 0)
+	ssbDB := GenerateSSB(0.02, 0)
+	for _, db := range []*DB{tpchDB, ssbDB} {
+		for _, q := range Queries(db) {
+			want, err := Reference(db, q)
+			if err != nil {
+				t.Fatalf("%s/%s: no reference oracle: %v", db.Name, q, err)
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := Run(db, Typer, q, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s/%s typer w=%d: %v", db.Name, q, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s typer w=%d differs from reference", db.Name, q, workers)
+				}
+				for _, vec := range []int{1, 7, 1000, 4096} {
+					got, err := Run(db, Tectorwise, q, Options{Workers: workers, VectorSize: vec})
+					if err != nil {
+						t.Fatalf("%s/%s tectorwise w=%d vec=%d: %v", db.Name, q, workers, vec, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s/%s tectorwise w=%d vec=%d differs from reference",
+							db.Name, q, workers, vec)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesCoverSameCatalog: the registry must offer the identical
+// query set on both engines for each dataset — a query present on one
+// side only would silently break the paradigm comparison.
+func TestEnginesCoverSameCatalog(t *testing.T) {
+	tpchDB := GenerateTPCH(0.01, 0)
+	ssbDB := GenerateSSB(0.01, 0)
+	for _, db := range []*DB{tpchDB, ssbDB} {
+		for _, q := range Queries(db) {
+			for _, eng := range []Engine{Typer, Tectorwise} {
+				if _, err := Run(db, eng, q, Options{Workers: 1}); err != nil {
+					t.Errorf("%s/%s not runnable on %s: %v", db.Name, q, eng, err)
+				}
+			}
+			if _, err := Reference(db, q); err != nil {
+				t.Errorf("%s/%s has no reference oracle: %v", db.Name, q, err)
+			}
+		}
+	}
+}

@@ -19,8 +19,9 @@ import (
 // extensionPackages are internal packages that extend the repo beyond the
 // paper; their package doc must state a role instead of a paper section.
 var extensionPackages = map[string]string{
-	"server": "extension", // inter-query concurrency layer
-	"iosim":  "substrate", // out-of-memory experiment substrate
+	"server":   "extension", // inter-query concurrency layer
+	"iosim":    "substrate", // out-of-memory experiment substrate
+	"registry": "extension", // engine-agnostic query catalog
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

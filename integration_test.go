@@ -2,6 +2,7 @@ package paradigms
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -47,11 +48,26 @@ func TestEnginesAgreeEverywhere(t *testing.T) {
 
 func TestRunRejectsUnknown(t *testing.T) {
 	db := GenerateTPCH(0.01, 0)
-	if _, err := Run(db, Typer, "Q42", Options{}); err == nil {
-		t.Error("expected error for unknown query")
+	_, err := Run(db, Typer, "Q42", Options{})
+	if err == nil {
+		t.Fatal("expected error for unknown query")
 	}
-	if _, err := Run(db, Engine("volcano"), "Q1", Options{}); err == nil {
-		t.Error("expected error for unknown engine")
+	// The error must name the engine and list what that engine actually
+	// has registered for this dataset, not just blame the database.
+	for _, want := range []string{"typer", "tpch", "Q1", "Q18", "Q5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-query error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := Run(db, Engine("volcano"), "Q1", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("expected unknown-engine error, got %v", err)
+	}
+	// The reference oracles' pseudo-engine is not runnable through the
+	// engine API (single-threaded, uncancelable).
+	if _, err := Run(db, Engine("reference"), "Q1", Options{}); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("expected unknown-engine error for reference pseudo-engine, got %v", err)
 	}
 	if _, err := Reference(db, "Q42"); err == nil {
 		t.Error("expected error for unknown reference query")
@@ -73,7 +89,8 @@ func TestScannedTuples(t *testing.T) {
 func TestQueriesList(t *testing.T) {
 	tpchDB := GenerateTPCH(0.01, 0)
 	ssbDB := GenerateSSB(0.01, 0)
-	if got := Queries(tpchDB); len(got) != 5 || got[0] != "Q1" {
+	// Paper order first, extension queries (Q5) after.
+	if got := Queries(tpchDB); len(got) != 6 || got[0] != "Q1" || got[5] != "Q5" {
 		t.Errorf("TPC-H queries = %v", got)
 	}
 	if got := Queries(ssbDB); len(got) != 4 || got[0] != "Q1.1" {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -11,12 +12,16 @@ import (
 	"paradigms/internal/iosim"
 	"paradigms/internal/microsim"
 	"paradigms/internal/queries"
+	"paradigms/internal/registry"
 	"paradigms/internal/simd"
 	"paradigms/internal/ssb"
 	"paradigms/internal/storage"
 	"paradigms/internal/tpch"
-	"paradigms/internal/tw"
-	"paradigms/internal/typer"
+
+	// The harness dispatches queries through the registry; both engines
+	// (and the plan layer) must be linked so their inits register.
+	_ "paradigms/internal/plan"
+	_ "paradigms/internal/typer"
 )
 
 // Config controls experiment scale.
@@ -49,56 +54,25 @@ func timeQuery(reps int, f func()) time.Duration {
 	return best
 }
 
+// runRegistered executes one registered query on one engine; the harness
+// dispatches through the query registry, so every query either engine
+// gains is immediately benchmarkable with no switch to extend here.
+func runRegistered(db *storage.Database, engine, query string, threads, vec int) {
+	run, ok := registry.Lookup(engine, db.Name, query)
+	if !ok {
+		panic("bench: unknown " + engine + "/" + query + " on " + db.Name)
+	}
+	run(context.Background(), db, registry.Options{Workers: threads, VectorSize: vec})
+}
+
 // RunTPCH executes one TPC-H query on one engine.
 func RunTPCH(db *storage.Database, engine, query string, threads, vec int) {
-	switch engine + "/" + query {
-	case "typer/Q1":
-		typer.Q1(db, threads)
-	case "typer/Q6":
-		typer.Q6(db, threads)
-	case "typer/Q3":
-		typer.Q3(db, threads)
-	case "typer/Q9":
-		typer.Q9(db, threads)
-	case "typer/Q18":
-		typer.Q18(db, threads)
-	case "tectorwise/Q1":
-		tw.Q1(db, threads, vec)
-	case "tectorwise/Q6":
-		tw.Q6(db, threads, vec)
-	case "tectorwise/Q3":
-		tw.Q3(db, threads, vec)
-	case "tectorwise/Q9":
-		tw.Q9(db, threads, vec)
-	case "tectorwise/Q18":
-		tw.Q18(db, threads, vec)
-	default:
-		panic("bench: unknown " + engine + "/" + query)
-	}
+	runRegistered(db, engine, query, threads, vec)
 }
 
 // RunSSB executes one SSB query on one engine.
 func RunSSB(db *storage.Database, engine, query string, threads, vec int) {
-	switch engine + "/" + query {
-	case "typer/Q1.1":
-		typer.SSBQ11(db, threads)
-	case "typer/Q2.1":
-		typer.SSBQ21(db, threads)
-	case "typer/Q3.1":
-		typer.SSBQ31(db, threads)
-	case "typer/Q4.1":
-		typer.SSBQ41(db, threads)
-	case "tectorwise/Q1.1":
-		tw.SSBQ11(db, threads, vec)
-	case "tectorwise/Q2.1":
-		tw.SSBQ21(db, threads, vec)
-	case "tectorwise/Q3.1":
-		tw.SSBQ31(db, threads, vec)
-	case "tectorwise/Q4.1":
-		tw.SSBQ41(db, threads, vec)
-	default:
-		panic("bench: unknown " + engine + "/" + query)
-	}
+	runRegistered(db, engine, query, threads, vec)
 }
 
 // Fig3 reproduces Figure 3: single-threaded TPC-H runtimes.

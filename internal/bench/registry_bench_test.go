@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// The CI bench smoke (`go test -bench . -benchtime 1x -run ^$
+// ./internal/bench`) drives every registered query on both engines
+// through the harness entry points at a tiny scale factor, so the
+// benchmark path — and every query registration it dispatches to —
+// cannot bitrot unexercised.
+
+var (
+	smokeOnce sync.Once
+	smokeTPCH *storage.Database
+	smokeSSB  *storage.Database
+)
+
+func smokeDBs() (*storage.Database, *storage.Database) {
+	smokeOnce.Do(func() {
+		smokeTPCH = TPCHGen(0.01)
+		smokeSSB = SSBGen(0.01)
+	})
+	return smokeTPCH, smokeSSB
+}
+
+func BenchmarkRegistryTPCH(b *testing.B) {
+	db, _ := smokeDBs()
+	for _, engine := range []string{registry.Typer, registry.Tectorwise} {
+		for _, q := range registry.Queries(engine, "tpch") {
+			b.Run(engine+"/"+q, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					RunTPCH(db, engine, q, 2, 0)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkRegistrySSB(b *testing.B) {
+	_, db := smokeDBs()
+	for _, engine := range []string{registry.Typer, registry.Tectorwise} {
+		for _, q := range registry.Queries(engine, "ssb") {
+			b.Run(engine+"/"+q, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					RunSSB(db, engine, q, 2, 0)
+				}
+			})
+		}
+	}
+}

@@ -103,23 +103,6 @@ func TestCancelDrainsWorkersPromptly(t *testing.T) {
 	}
 }
 
-// TestMorselsDispatchedCounts: the process-wide morsel counter advances
-// by exactly the number of claims.
-func TestMorselsDispatchedCounts(t *testing.T) {
-	base := MorselsDispatched()
-	d := NewDispatcher(1000, 100)
-	n := int64(0)
-	for {
-		if _, ok := d.Next(); !ok {
-			break
-		}
-		n++
-	}
-	if got := MorselsDispatched() - base; got < n {
-		t.Errorf("counter advanced by %d, want at least %d", got, n)
-	}
-}
-
 // TestWithMorselCounter: a context-carried counter receives exactly this
 // consumer's claims, regardless of other dispatchers running in the
 // process.

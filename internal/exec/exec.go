@@ -74,21 +74,14 @@ func NewDispatcherCtx(ctx context.Context, total, size int) *Dispatcher {
 	return d
 }
 
-// morselsDispatched counts every successful morsel claim process-wide.
-var morselsDispatched atomic.Int64
-
-// MorselsDispatched returns the process-wide number of morsels claimed
-// since start. Deltas of this counter measure scheduling activity over an
-// interval; for attribution to one consumer, use WithMorselCounter.
-func MorselsDispatched() int64 { return morselsDispatched.Load() }
-
 // morselCounterKey is the context key of WithMorselCounter.
 type morselCounterKey struct{}
 
 // WithMorselCounter returns a context under which every morsel claimed by
 // a dispatcher bound to it (NewDispatcherCtx) is also counted on c —
 // per-consumer attribution of scheduling activity, e.g. one counter per
-// query service.
+// query service. This is the one morsel-accounting mechanism: a former
+// process-wide counter overlapped with it and was removed.
 func WithMorselCounter(ctx context.Context, c *atomic.Int64) context.Context {
 	return context.WithValue(ctx, morselCounterKey{}, c)
 }
@@ -111,7 +104,6 @@ func (d *Dispatcher) Next() (m Morsel, ok bool) {
 	if end > d.total {
 		end = d.total
 	}
-	morselsDispatched.Add(1)
 	if d.counter != nil {
 		d.counter.Add(1)
 	}

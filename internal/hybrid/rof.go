@@ -40,9 +40,9 @@ type q3Group struct {
 }
 
 // Q3 executes TPC-H Q3 with relaxed operator fusion: identical plan and
-// data structures as typer.Q3 / tw.Q3, but the lineitem pipeline runs in
-// three stages per batch (fused filter+hash → tight probe loop → fused
-// aggregate).
+// data structures as typer.Q3 / plan.Q3, but the lineitem pipeline runs
+// in three stages per batch (fused filter+hash → tight probe loop →
+// fused aggregate).
 func Q3(db *storage.Database, nWorkers int) queries.Q3Result {
 	w := nWorkers
 	if w <= 0 {

@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"context"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// Plain (uncancelable) wrappers for benchmarks and drivers, mirroring the
+// engine packages' convention.
+
+// Q6 executes TPC-H Q6.
+func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
+	return Q6Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q3 executes TPC-H Q3.
+func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
+	return Q3Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q18 executes TPC-H Q18.
+func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
+	return Q18Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// Q5 executes TPC-H Q5.
+func Q5(db *storage.Database, nWorkers, vecSize int) queries.Q5Result {
+	return Q5Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// SSBQ21 executes SSB Q2.1.
+func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
+	return SSBQ21Ctx(context.Background(), db, nWorkers, vecSize)
+}
+
+// runner adapts a *Ctx query to the registry's Runner shape.
+func runner[T any](f func(context.Context, *storage.Database, int, int) T) registry.Runner {
+	return func(ctx context.Context, db *storage.Database, opt registry.Options) any {
+		return f(ctx, db, opt.Workers, opt.VectorSize)
+	}
+}
+
+// The plan-based Tectorwise queries register here; the remaining
+// monolithic ones register from internal/tw.
+func init() {
+	registry.Register(registry.Tectorwise, "tpch", "Q6", runner(Q6Ctx))
+	registry.Register(registry.Tectorwise, "tpch", "Q3", runner(Q3Ctx))
+	registry.Register(registry.Tectorwise, "tpch", "Q18", runner(Q18Ctx))
+	registry.Register(registry.Tectorwise, "tpch", "Q5", runner(Q5Ctx))
+	registry.Register(registry.Tectorwise, "ssb", "Q2.1", runner(SSBQ21Ctx))
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"paradigms/internal/queries"
+	"paradigms/internal/ssb"
+	"paradigms/internal/tpch"
+)
+
+func TestPlanQueriesMatchReference(t *testing.T) {
+	for _, sf := range []float64{0.01, 0.05} {
+		db := tpch.Generate(sf, 0)
+		ssbDB := ssb.Generate(sf, 0)
+		for _, threads := range []int{1, 4} {
+			for _, vec := range []int{1, 7, 1000} {
+				if got, want := Q6(db, threads, vec), queries.RefQ6(db); got != want {
+					t.Errorf("sf=%v t=%d vec=%d Q6 = %d, want %d", sf, threads, vec, got, want)
+				}
+				if got, want := Q3(db, threads, vec), queries.RefQ3(db); !reflect.DeepEqual(got, want) {
+					t.Errorf("sf=%v t=%d vec=%d Q3 mismatch:\n got %v\nwant %v", sf, threads, vec, got, want)
+				}
+				if got, want := Q18(db, threads, vec), queries.RefQ18(db); !reflect.DeepEqual(got, want) {
+					t.Errorf("sf=%v t=%d vec=%d Q18 mismatch:\n got %v\nwant %v", sf, threads, vec, got, want)
+				}
+				if got, want := Q5(db, threads, vec), queries.RefQ5(db); !reflect.DeepEqual(got, want) {
+					t.Errorf("sf=%v t=%d vec=%d Q5 mismatch:\n got %v\nwant %v", sf, threads, vec, got, want)
+				}
+				if got, want := SSBQ21(ssbDB, threads, vec), queries.RefSSBQ21(ssbDB); !reflect.DeepEqual(got, want) {
+					t.Errorf("sf=%v t=%d vec=%d Q2.1 mismatch:\n got %v\nwant %v", sf, threads, vec, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLargeVectorSizes keeps the Fig. 5 extremes covered for the ported
+// queries: vector sizes above the morsel size and full materialization
+// stress Scan windowing and the vec-sized probe buffers in ways the
+// small-vector sweeps cannot.
+func TestLargeVectorSizes(t *testing.T) {
+	db := tpch.Generate(0.02, 0)
+	wantQ6 := queries.RefQ6(db)
+	wantQ3 := queries.RefQ3(db)
+	for _, vec := range []int{65536, db.Rel("lineitem").Rows()} {
+		if got := Q6(db, 2, vec); got != wantQ6 {
+			t.Errorf("vec=%d Q6 = %d, want %d", vec, got, wantQ6)
+		}
+		if got := Q3(db, 2, vec); !reflect.DeepEqual(got, wantQ3) {
+			t.Errorf("vec=%d Q3 mismatch", vec)
+		}
+	}
+}
+
+// TestPlanCancellation: a canceled context drains the plan executor's
+// workers without deadlock and leaves a partial (discardable) result —
+// the same contract the monoliths honored per query, now provided once
+// by the executor.
+func TestPlanCancellation(t *testing.T) {
+	db := tpch.Generate(0.01, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Must return promptly; result is meaningless and discarded.
+	_ = Q3Ctx(ctx, db, 4, 0)
+	_ = Q18Ctx(ctx, db, 4, 0)
+	_ = Q5Ctx(ctx, db, 4, 0)
+}

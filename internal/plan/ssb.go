@@ -1,0 +1,97 @@
+package plan
+
+import (
+	"context"
+
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+	"paradigms/internal/tw"
+	"paradigms/internal/vector"
+)
+
+// SSBQ21Ctx executes SSB Q2.1 (§4.4): lineorder probes three filtered
+// dimension hash tables, densifying between joins, then groups revenue
+// by (year, brand).
+func SSBQ21Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
+	e := newExec(ctx, nWorkers, vecSize)
+	part := db.Rel("part")
+	pk := part.Int32("p_partkey")
+	cat := part.Int32("p_category")
+	brand := part.Int32("p_brand1")
+	supp := db.Rel("supplier")
+	sk := supp.Int32("s_suppkey")
+	sregion := supp.Int32("s_region")
+	date := db.Rel("date")
+	dk := date.Date("d_datekey")
+	dy := date.Int32("d_year")
+	lo := db.Rel("lineorder")
+	lopk := lo.Int32("lo_partkey")
+	losk := lo.Int32("lo_suppkey")
+	lod := lo.Date("lo_orderdate")
+	rev := lo.Numeric("lo_revenue")
+
+	htPart := hashtable.New(2, e.Workers)
+	htSupp := hashtable.New(1, e.Workers)
+	htDate := hashtable.New(2, e.Workers)
+	dispPart := e.ScanDisp(part)
+	dispSupp := e.ScanDisp(supp)
+	dispDate := e.ScanDisp(date)
+	dispFact := e.ScanDisp(lo)
+	ops := []hashtable.AggOp{hashtable.OpSum}
+	spill := hashtable.NewSpill(e.Workers, tw.AggPartitions, 2+len(ops))
+	partDisp := e.PartDisp(tw.AggPartitions)
+	results := make([]queries.SSBQ21Result, e.Workers)
+
+	e.Run(func(wid int, bufs *vector.Buffers) []Stage {
+		// Dimension pipelines: part σ(category), supplier σ(region), and
+		// the unfiltered date dimension (datekey → year).
+		buildPart := Stage{
+			Root: NewFilterChain(bufs, e.NewScan(dispPart), PredEq(cat, queries.SSBQ21Categ)),
+			Sink: NewHashBuild(bufs, htPart, wid, KeyWiden(pk), KeyWiden(brand)),
+		}
+		buildSupp := Stage{
+			Root: NewFilterChain(bufs, e.NewScan(dispSupp), PredEq(sregion, queries.SSBQ21Region)),
+			Sink: NewHashBuild(bufs, htSupp, wid, KeyWiden(sk)),
+		}
+		buildDate := Stage{
+			Root: e.NewScan(dispDate),
+			Sink: NewHashBuild(bufs, htDate, wid, KeyWiden(dk), KeyWiden(dy)),
+		}
+
+		// Fact pipeline: three probes (carrying the part's brand through
+		// each densification) → Γ(year | brand<<32; Σ revenue).
+		brandV := bufs.Ref()
+		yearV := bufs.Ref()
+		aggregate := Stage{
+			Root: NewHashProbe(bufs,
+				NewHashProbe(bufs,
+					NewHashProbe(bufs, e.NewScan(dispFact),
+						ProbeSpec{HT: htPart, Key: KeyWiden(lopk),
+							GatherU64: []GatherU64{{Word: 1, Dst: brandV}}}),
+					ProbeSpec{HT: htSupp, Key: KeyWiden(losk),
+						Carry: []Carry{CarryU64(bufs, brandV)}}),
+				ProbeSpec{HT: htDate, Key: KeyWiden(lod),
+					GatherU64: []GatherU64{{Word: 1, Dst: yearV}},
+					Carry:     []Carry{CarryU64(bufs, brandV)}}),
+			Sink: NewGroupBy(bufs, spill, wid, ops, PackU64LoHi(yearV, brandV), ColI64(rev)),
+		}
+
+		merge := MergeStage(partDisp, spill, ops, func(wid int, row []uint64) {
+			results[wid] = append(results[wid], queries.SSBQ21Row{
+				Year:    int32(uint32(row[1])),
+				Brand:   int32(uint32(row[1] >> 32)),
+				Revenue: int64(row[2]),
+			})
+		})
+
+		return []Stage{buildPart, buildSupp, buildDate, aggregate, merge}
+	})
+
+	var out queries.SSBQ21Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortSSBQ21(out)
+	return out
+}

@@ -219,6 +219,97 @@ func RefQ18(db *storage.Database) Q18Result {
 	return rows
 }
 
+// Q5NationLUT derives the Q5 dimension pre-filter shared by both engines'
+// physical plans: nationkey → (nation's region is Q5Region). The
+// region ⋈ nation join is folded into a lookup table because both
+// relations are tiny constants of the schema (5 and 25 rows); the
+// engines' plans then treat the LUT as a selection on customer and
+// supplier, exactly like any other pushed-down predicate.
+func Q5NationLUT(db *storage.Database) []bool {
+	region := db.Rel("region")
+	rnames := region.String("r_name")
+	rkeys := region.Int32("r_regionkey")
+	asiaRegion := make(map[int32]bool)
+	for i := 0; i < region.Rows(); i++ {
+		if string(rnames.Get(i)) == Q5Region {
+			asiaRegion[rkeys[i]] = true
+		}
+	}
+	nation := db.Rel("nation")
+	nkeys := nation.Int32("n_nationkey")
+	nregion := nation.Int32("n_regionkey")
+	maxKey := int32(0)
+	for i := 0; i < nation.Rows(); i++ {
+		if nkeys[i] > maxKey {
+			maxKey = nkeys[i]
+		}
+	}
+	lut := make([]bool, maxKey+1)
+	for i := 0; i < nation.Rows(); i++ {
+		lut[nkeys[i]] = asiaRegion[nregion[i]]
+	}
+	return lut
+}
+
+// RefQ5 computes TPC-H Q5.
+func RefQ5(db *storage.Database) Q5Result {
+	lut := Q5NationLUT(db)
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	cnat := cust.Int32("c_nationkey")
+	cnation := make(map[int32]int32)
+	for i := 0; i < cust.Rows(); i++ {
+		if lut[cnat[i]] {
+			cnation[ckeys[i]] = cnat[i]
+		}
+	}
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snat := supp.Int32("s_nationkey")
+	snation := make(map[int32]int32)
+	for i := 0; i < supp.Rows(); i++ {
+		if lut[snat[i]] {
+			snation[skeys[i]] = snat[i]
+		}
+	}
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	qualifying := make(map[int32]int32) // orderkey → c_nationkey
+	for i := 0; i < ord.Rows(); i++ {
+		if odate[i] < Q5DateLo || odate[i] >= Q5DateHi {
+			continue
+		}
+		if n, ok := cnation[ocust[i]]; ok {
+			qualifying[okeys[i]] = n
+		}
+	}
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lsk := li.Int32("l_suppkey")
+	ext := li.Numeric("l_extendedprice")
+	disc := li.Numeric("l_discount")
+	revenue := make(map[int32]int64)
+	for i := 0; i < li.Rows(); i++ {
+		cn, ok := qualifying[lok[i]]
+		if !ok {
+			continue
+		}
+		sn, ok := snation[lsk[i]]
+		if !ok || sn != cn {
+			continue
+		}
+		revenue[cn] += int64(ext[i]) * (100 - int64(disc[i]))
+	}
+	out := make(Q5Result, 0, len(revenue))
+	for n, rev := range revenue {
+		out = append(out, Q5Row{Nation: n, Revenue: rev})
+	}
+	SortQ5(out)
+	return out
+}
+
 // RefSSBQ11 computes SSB Q1.1.
 func RefSSBQ11(db *storage.Database) SSBQ11Result {
 	date := db.Rel("date")

@@ -1,0 +1,40 @@
+package queries
+
+import (
+	"context"
+
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// The reference oracles register under the pseudo-engine
+// registry.Reference so that the facade's Reference lookup and the
+// engines' runners share one catalog: adding a query is one registration
+// per engine plus one here — no switch anywhere grows an arm (§3's
+// cross-engine validation depends on every query having an oracle).
+
+// ref adapts a reference implementation to the registry's Runner shape
+// (oracles are single-threaded and ignore ctx and options).
+func ref[T any](f func(*storage.Database) T) registry.Runner {
+	return func(_ context.Context, db *storage.Database, _ registry.Options) any {
+		return f(db)
+	}
+}
+
+func init() {
+	// Canonical listing order: the paper's experiment subsets first, then
+	// the extension queries (Q5).
+	registry.SetOrder("tpch", append(append([]string(nil), TPCHQueries...), "Q5"))
+	registry.SetOrder("ssb", SSBQueries)
+
+	registry.Register(registry.Reference, "tpch", "Q1", ref(RefQ1))
+	registry.Register(registry.Reference, "tpch", "Q6", ref(RefQ6))
+	registry.Register(registry.Reference, "tpch", "Q3", ref(RefQ3))
+	registry.Register(registry.Reference, "tpch", "Q9", ref(RefQ9))
+	registry.Register(registry.Reference, "tpch", "Q18", ref(RefQ18))
+	registry.Register(registry.Reference, "tpch", "Q5", ref(RefQ5))
+	registry.Register(registry.Reference, "ssb", "Q1.1", ref(RefSSBQ11))
+	registry.Register(registry.Reference, "ssb", "Q2.1", ref(RefSSBQ21))
+	registry.Register(registry.Reference, "ssb", "Q3.1", ref(RefSSBQ31))
+	registry.Register(registry.Reference, "ssb", "Q4.1", ref(RefSSBQ41))
+}

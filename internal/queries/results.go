@@ -38,6 +38,11 @@ var (
 	// Q18 parameter.
 	Q18Quantity = types.Numeric(300 * types.NumericScale)
 
+	// Q5 parameters.
+	Q5Region = "ASIA"
+	Q5DateLo = types.ParseDate("1994-01-01")
+	Q5DateHi = types.ParseDate("1995-01-01")
+
 	// SSB parameters.
 	SSBQ11Year   = int32(1993)
 	SSBQ11DiscLo = types.Numeric(1)
@@ -62,6 +67,7 @@ var ScannedTables = map[string][]string{
 	"Q3":   {"customer", "orders", "lineitem"},
 	"Q9":   {"part", "supplier", "lineitem", "partsupp", "orders", "nation"},
 	"Q18":  {"lineitem", "orders", "customer"},
+	"Q5":   {"customer", "orders", "lineitem", "supplier", "nation", "region"},
 	"Q1.1": {"date", "lineorder"},
 	"Q2.1": {"part", "supplier", "date", "lineorder"},
 	"Q3.1": {"customer", "supplier", "date", "lineorder"},
@@ -174,6 +180,25 @@ func Q18Less(a, b Q18Row) bool {
 // SortQ18 sorts into the canonical top-k order.
 func SortQ18(rs Q18Result) { sort.Slice(rs, func(i, j int) bool { return Q18Less(rs[i], rs[j]) }) }
 
+// Q5Row is one nation group of TPC-H Q5 (at most the five ASIA nations).
+type Q5Row struct {
+	Nation  int32 // n_nationkey; names resolved at output
+	Revenue int64 // scale 4: sum(l_extendedprice*(1-l_discount))
+}
+
+// Q5Result is sorted by (revenue desc, nation asc as tiebreaker).
+type Q5Result []Q5Row
+
+// SortQ5 sorts into the canonical order.
+func SortQ5(rs Q5Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Revenue != rs[j].Revenue {
+			return rs[i].Revenue > rs[j].Revenue
+		}
+		return rs[i].Nation < rs[j].Nation
+	})
+}
+
 // SSBQ11Result is sum(lo_extendedprice*lo_discount) at scale 4.
 type SSBQ11Result int64
 
@@ -246,7 +271,9 @@ func SortSSBQ41(rs SSBQ41Result) {
 }
 
 // TPCHQueries and SSBQueries are the canonical experiment query lists in
-// paper order.
+// paper order (the subsets every paper experiment iterates). The served
+// catalogs — which additionally carry Q5, an extension beyond the paper's
+// subset — live in the registry (see register.go).
 var (
 	TPCHQueries = []string{"Q1", "Q6", "Q3", "Q9", "Q18"}
 	SSBQueries  = []string{"Q1.1", "Q2.1", "Q3.1", "Q4.1"}

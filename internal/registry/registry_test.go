@@ -1,0 +1,63 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"paradigms/internal/storage"
+)
+
+func stub() Runner {
+	return func(context.Context, *storage.Database, Options) any { return nil }
+}
+
+// The registry is a package global with panic-on-duplicate semantics, so
+// each test execution (including `go test -count=N` reruns in one
+// process) registers under a fresh dataset/engine namespace.
+var testRun atomic.Int64
+
+func testNames() (dataset, eng1, eng2 string) {
+	n := testRun.Add(1)
+	return fmt.Sprintf("testds%d", n), fmt.Sprintf("eng1run%d", n), fmt.Sprintf("eng2run%d", n)
+}
+
+func TestRegisterLookupAndOrdering(t *testing.T) {
+	ds, eng1, eng2 := testNames()
+	SetOrder(ds, []string{"B", "A"})
+	Register(eng1, ds, "A", stub())
+	Register(eng1, ds, "B", stub())
+	Register(eng1, ds, "Z", stub()) // not in canonical order
+	Register(eng2, ds, "B", stub())
+
+	if _, ok := Lookup(eng1, ds, "A"); !ok {
+		t.Fatal("registered query not found")
+	}
+	if _, ok := Lookup(eng1, ds, "missing"); ok {
+		t.Fatal("unregistered query found")
+	}
+	if !HasEngine(eng1) || HasEngine("nosuch") {
+		t.Fatal("HasEngine wrong")
+	}
+	// Canonical order first, stragglers after (alphabetical).
+	if got := Queries(eng1, ds); !reflect.DeepEqual(got, []string{"B", "A", "Z"}) {
+		t.Errorf("Queries = %v", got)
+	}
+	// Union across engines, canonical order.
+	if got := QueryNames(ds); !reflect.DeepEqual(got, []string{"B", "A", "Z"}) {
+		t.Errorf("QueryNames = %v", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	ds, eng1, _ := testNames()
+	Register(eng1, ds, "dup", stub())
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(eng1, ds, "dup", stub())
+}

@@ -31,8 +31,10 @@ func testDBs() (*paradigms.DB, *paradigms.DB) {
 }
 
 // workloadQueries is a mixed TPC-H + SSB subset cheap enough to run many
-// hundreds of times under -race.
-var workloadQueries = []string{"Q1", "Q6", "Q1.1", "Q2.1"}
+// hundreds of times under -race. Q5 (join-heavy, plan-based Tectorwise
+// vs fused Typer) rides along so the service exercises the operator
+// layer under concurrency.
+var workloadQueries = []string{"Q1", "Q6", "Q5", "Q1.1", "Q2.1"}
 
 // runClosedLoop drives total queries through svc with the given number of
 // closed-loop clients (each waits for its result before submitting the

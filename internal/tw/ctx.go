@@ -19,34 +19,14 @@ func Q1(db *storage.Database, nWorkers, vecSize int) queries.Q1Result {
 	return Q1Ctx(context.Background(), db, nWorkers, vecSize)
 }
 
-// Q6 executes TPC-H Q6.
-func Q6(db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
-	return Q6Ctx(context.Background(), db, nWorkers, vecSize)
-}
-
-// Q3 executes TPC-H Q3.
-func Q3(db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
-	return Q3Ctx(context.Background(), db, nWorkers, vecSize)
-}
-
 // Q9 executes TPC-H Q9.
 func Q9(db *storage.Database, nWorkers, vecSize int) queries.Q9Result {
 	return Q9Ctx(context.Background(), db, nWorkers, vecSize)
 }
 
-// Q18 executes TPC-H Q18.
-func Q18(db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
-	return Q18Ctx(context.Background(), db, nWorkers, vecSize)
-}
-
 // SSBQ11 executes SSB Q1.1.
 func SSBQ11(db *storage.Database, nWorkers, vecSize int) queries.SSBQ11Result {
 	return SSBQ11Ctx(context.Background(), db, nWorkers, vecSize)
-}
-
-// SSBQ21 executes SSB Q2.1.
-func SSBQ21(db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
-	return SSBQ21Ctx(context.Background(), db, nWorkers, vecSize)
 }
 
 // SSBQ31 executes SSB Q3.1.

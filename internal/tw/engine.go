@@ -30,6 +30,11 @@ const (
 	// configuration so the two-phase algorithm is identical.
 	aggPartitions  = 64
 	preAggCapacity = 1 << 14
+
+	// AggPartitions exports the spill-partition count for layers that
+	// assemble this engine's primitives into plans (internal/plan) and
+	// must configure the shared two-phase aggregation identically.
+	AggPartitions = aggPartitions
 )
 
 // Hash is the hash function Tectorwise uses for all keys: Murmur2 (§4.1 —

@@ -160,6 +160,44 @@ func SelRangeSel[T ordered](col []T, lo, hi T, sel []int32, res []int32) int {
 	return k
 }
 
+// SelLUT emits positions where lut[col[i]] — a semi-join against a tiny
+// dimension folded into a lookup table (e.g. Q5's nation-in-region set).
+func SelLUT[T ~int32](col []T, lut []bool, res []int32) int {
+	k := 0
+	for i := 0; i < len(col); i++ {
+		res[k] = int32(i)
+		if lut[col[i]] {
+			k++
+		}
+	}
+	return k
+}
+
+// SelLUTSel is SelLUT over the positions in sel.
+func SelLUTSel[T ~int32](col []T, lut []bool, sel []int32, res []int32) int {
+	k := 0
+	for _, s := range sel {
+		res[k] = s
+		if lut[col[s]] {
+			k++
+		}
+	}
+	return k
+}
+
+// SelEqCols emits dense positions i where a[i] == b[i] (a join residual
+// over two gathered vectors, e.g. Q5's c_nationkey = s_nationkey).
+func SelEqCols(a, b []uint64, n int, res []int32) int {
+	k := 0
+	for i := 0; i < n; i++ {
+		res[k] = int32(i)
+		if a[i] == b[i] {
+			k++
+		}
+	}
+	return k
+}
+
 // SelEqString emits positions (offset by base into the heap) whose string
 // equals v.
 func SelEqString(heap *storage.StringHeap, base, n int, v string, res []int32) int {
@@ -278,6 +316,29 @@ func MapMulColsSel[T ~int64, U ~int64](a []T, b []U, sel []int32, res []int64) {
 	}
 }
 
+// MapMulCols computes res[i] = a[i] * b[i] over dense column windows.
+func MapMulCols[T ~int64, U ~int64](a []T, b []U, n int, res []int64) {
+	for i := 0; i < n; i++ {
+		res[i] = int64(a[i]) * int64(b[i])
+	}
+}
+
+// MapU64FromI64 re-types a dense int64-width vector as uint64 words
+// (payload scatter of signed values).
+func MapU64FromI64[T ~int64](col []T, n int, res []uint64) {
+	for i := 0; i < n; i++ {
+		res[i] = uint64(int64(col[i]))
+	}
+}
+
+// MapU64FromI64Sel densifies an int64-width column as uint64 words
+// through a selection vector.
+func MapU64FromI64Sel[T ~int64](col []T, sel []int32, res []uint64) {
+	for i, s := range sel {
+		res[i] = uint64(int64(col[s]))
+	}
+}
+
 // MapSub computes res[i] = a[i] - b[i].
 func MapSub(a, b []int64, n int, res []int64) {
 	for i := 0; i < n; i++ {
@@ -360,6 +421,14 @@ func yearOfDays(z32 int32) int {
 
 // MapPackLoHi packs res[i] = uint32(lo[i]) | hi[i]<<32.
 func MapPackLoHi(lo []int64, hi []uint64, n int, res []uint64) {
+	for i := 0; i < n; i++ {
+		res[i] = uint64(uint32(lo[i])) | hi[i]<<32
+	}
+}
+
+// MapPackU64LoHi packs res[i] = uint32(lo[i]) | hi[i]<<32 over two
+// uint64 vectors (group keys built from gathered dimension payloads).
+func MapPackU64LoHi(lo, hi []uint64, n int, res []uint64) {
 	for i := 0; i < n; i++ {
 		res[i] = uint64(uint32(lo[i])) | hi[i]<<32
 	}

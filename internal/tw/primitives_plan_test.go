@@ -1,0 +1,41 @@
+package tw
+
+import "testing"
+
+// Tests for the primitives added for the internal/plan operator layer.
+
+func TestSelLUT(t *testing.T) {
+	col := []int32{0, 2, 1, 2, 3}
+	lut := []bool{false, true, true, false}
+	res := make([]int32, len(col))
+	k := SelLUT(col, lut, res)
+	if k != 3 || res[0] != 1 || res[1] != 2 || res[2] != 3 {
+		t.Fatalf("SelLUT = %d %v", k, res[:k])
+	}
+	sel := []int32{0, 3, 4}
+	k = SelLUTSel(col, lut, sel, res)
+	if k != 1 || res[0] != 3 {
+		t.Fatalf("SelLUTSel = %d %v", k, res[:k])
+	}
+}
+
+func TestSelEqCols(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{1, 9, 3, 9}
+	res := make([]int32, len(a))
+	k := SelEqCols(a, b, len(a), res)
+	if k != 2 || res[0] != 0 || res[1] != 2 {
+		t.Fatalf("SelEqCols = %d %v", k, res[:k])
+	}
+}
+
+func TestMapPackU64LoHi(t *testing.T) {
+	lo := []uint64{0xAAAA_BBBB_0000_0001, 2}
+	hi := []uint64{3, 4}
+	res := make([]uint64, 2)
+	MapPackU64LoHi(lo, hi, 2, res)
+	// Low word is truncated to 32 bits before packing.
+	if res[0] != (3<<32|0x0000_0001) || res[1] != (4<<32|2) {
+		t.Fatalf("MapPackU64LoHi = %x", res)
+	}
+}

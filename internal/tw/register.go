@@ -1,0 +1,28 @@
+package tw
+
+import (
+	"context"
+
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// The monolithic vectorized queries register themselves with the query
+// registry; the declarative-plan queries (Q3, Q6, Q18, Q2.1, Q5) register
+// from internal/plan, which assembles this package's primitives instead
+// of hand-rolling a pipeline per query.
+
+// runner adapts a *Ctx query to the registry's Runner shape.
+func runner[T any](f func(context.Context, *storage.Database, int, int) T) registry.Runner {
+	return func(ctx context.Context, db *storage.Database, opt registry.Options) any {
+		return f(ctx, db, opt.Workers, opt.VectorSize)
+	}
+}
+
+func init() {
+	registry.Register(registry.Tectorwise, "tpch", "Q1", runner(Q1Ctx))
+	registry.Register(registry.Tectorwise, "tpch", "Q9", runner(Q9Ctx))
+	registry.Register(registry.Tectorwise, "ssb", "Q1.1", runner(SSBQ11Ctx))
+	registry.Register(registry.Tectorwise, "ssb", "Q3.1", runner(SSBQ31Ctx))
+	registry.Register(registry.Tectorwise, "ssb", "Q4.1", runner(SSBQ41Ctx))
+}

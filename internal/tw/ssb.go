@@ -10,8 +10,9 @@ import (
 	"paradigms/internal/vector"
 )
 
-// Vectorized plans for the SSB subset (§4.4): lineorder probes filtered
-// dimension hash tables, densifying between joins.
+// Monolithic vectorized pipelines for the SSB subset (§4.4): lineorder
+// probes filtered dimension hash tables, densifying between joins.
+// Q2.1 is ported to internal/plan as a declarative operator plan.
 
 // buildDimHT materializes a filtered dimension into a shared hash table:
 // selFn computes the qualifying selection for the current vector; keyCol
@@ -123,145 +124,6 @@ func SSBQ11Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int)
 		total += s
 	}
 	return queries.SSBQ11Result(total)
-}
-
-// SSBQ21Ctx executes SSB Q2.1.
-func SSBQ21Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.SSBQ21Result {
-	w := workers(nWorkers)
-	vec := vecOrDefault(vecSize)
-	part := db.Rel("part")
-	pk := part.Int32("p_partkey")
-	cat := part.Int32("p_category")
-	brand := part.Int32("p_brand1")
-	supp := db.Rel("supplier")
-	sk := supp.Int32("s_suppkey")
-	sregion := supp.Int32("s_region")
-	date := db.Rel("date")
-	dk := date.Date("d_datekey")
-	dy := date.Int32("d_year")
-	lo := db.Rel("lineorder")
-	lopk := lo.Int32("lo_partkey")
-	losk := lo.Int32("lo_suppkey")
-	lod := lo.Date("lo_orderdate")
-	rev := lo.Numeric("lo_revenue")
-
-	htPart := hashtable.New(2, w)
-	htSupp := hashtable.New(1, w)
-	htDate := hashtable.New(2, w)
-	dispPart := exec.NewDispatcherCtx(ctx, part.Rows(), 0)
-	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
-	dispDate := exec.NewDispatcherCtx(ctx, date.Rows(), 0)
-	dispFact := exec.NewDispatcherCtx(ctx, lo.Rows(), 0)
-	ops := []hashtable.AggOp{hashtable.OpSum}
-	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
-	bar := exec.NewBarrier(w)
-	results := make([]queries.SSBQ21Result, w)
-
-	exec.Parallel(w, func(wid int) {
-		buildDimHT(htPart, dispPart, bar, wid, vec,
-			func(b, n int, sel []int32) int { return SelEq(cat[b:b+n], queries.SSBQ21Categ, sel) },
-			func(b, n int, sel []int32, k int, keys []uint64) { MapWidenSel(pk[b:b+n], sel[:k], keys) },
-			func(b, n int, sel []int32, k int, vals []uint64) { MapWidenSel(brand[b:b+n], sel[:k], vals) })
-		buildDimHT(htSupp, dispSupp, bar, wid, vec,
-			func(b, n int, sel []int32) int { return SelEq(sregion[b:b+n], queries.SSBQ21Region, sel) },
-			func(b, n int, sel []int32, k int, keys []uint64) { MapWidenSel(sk[b:b+n], sel[:k], keys) },
-			nil)
-		buildDimHT(htDate, dispDate, bar, wid, vec,
-			func(b, n int, sel []int32) int { return SelGE(dy[b:b+n], int32(0), sel) },
-			func(b, n int, sel []int32, k int, keys []uint64) { MapWidenSel(dk[b:b+n], sel[:k], keys) },
-			func(b, n int, sel []int32, k int, vals []uint64) { MapWidenSel(dy[b:b+n], sel[:k], vals) })
-
-		bufs := vector.NewBuffers(vec)
-		keys := bufs.Ref()
-		hashes := bufs.Ref()
-		keys2 := bufs.Ref()
-		hashes2 := bufs.Ref()
-		keys3 := bufs.Ref()
-		hashes3 := bufs.Ref()
-		cand := make([]hashtable.Ref, vec)
-		candPos := bufs.Sel()
-		m1Refs := make([]hashtable.Ref, vec)
-		m1Pos := bufs.Sel()
-		m2Refs := make([]hashtable.Ref, vec)
-		m2Pos := bufs.Sel()
-		m3Refs := make([]hashtable.Ref, vec)
-		m3Pos := bufs.Sel()
-		abs2 := bufs.Sel()
-		abs3 := bufs.Sel()
-		brand1 := bufs.Ref()
-		brand2 := bufs.Ref()
-		brand3 := bufs.Ref()
-		year3 := bufs.Ref()
-		gkeys := bufs.Ref()
-		ghashes := bufs.Ref()
-		revv := bufs.I64()
-		gb := NewGroupBy(spill, wid, ops, vec)
-		vals := [][]int64{revv}
-
-		scan := NewScan(dispFact, vec)
-		for {
-			n := scan.Next()
-			if n == 0 {
-				break
-			}
-			b := scan.Base
-			MapWiden(lopk[b:b+n], n, keys)
-			MapHashU64(keys[:n], hashes)
-			nm1 := Probe(htPart, keys, hashes, n, cand, candPos, m1Refs, m1Pos)
-			if nm1 == 0 {
-				continue
-			}
-			GatherWord(htPart, m1Refs, 1, nm1, brand1)
-			MapWidenSel(losk[b:b+n], m1Pos[:nm1], keys2)
-			MapHashU64(keys2[:nm1], hashes2)
-			nm2 := Probe(htSupp, keys2, hashes2, nm1, cand, candPos, m2Refs, m2Pos)
-			if nm2 == 0 {
-				continue
-			}
-			ComposePos(m1Pos, m2Pos[:nm2], abs2)
-			FetchU64(brand1, m2Pos[:nm2], brand2)
-			MapWidenSel(lod[b:b+n], abs2[:nm2], keys3)
-			MapHashU64(keys3[:nm2], hashes3)
-			nm3 := Probe(htDate, keys3, hashes3, nm2, cand, candPos, m3Refs, m3Pos)
-			if nm3 == 0 {
-				continue
-			}
-			GatherWord(htDate, m3Refs, 1, nm3, year3)
-			ComposePos(abs2, m3Pos[:nm3], abs3)
-			FetchU64(brand2, m3Pos[:nm3], brand3)
-			// gkey = year | brand<<32
-			for i := 0; i < nm3; i++ {
-				gkeys[i] = year3[i] | brand3[i]<<32
-			}
-			MapHashU64(gkeys[:nm3], ghashes)
-			FetchI64(rev[b:b+n], abs3[:nm3], revv)
-			gb.Consume(nm3, gkeys, ghashes, vals)
-		}
-		gb.Flush()
-		bar.Wait(nil)
-
-		for {
-			pm, ok := partDisp.Next()
-			if !ok {
-				break
-			}
-			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
-				results[wid] = append(results[wid], queries.SSBQ21Row{
-					Year:    int32(uint32(row[1])),
-					Brand:   int32(uint32(row[1] >> 32)),
-					Revenue: int64(row[2]),
-				})
-			})
-		}
-	})
-
-	var out queries.SSBQ21Result
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	queries.SortSSBQ21(out)
-	return out
 }
 
 // SSBQ31Ctx executes SSB Q3.1.

@@ -7,13 +7,15 @@ import (
 	"paradigms/internal/hashtable"
 	"paradigms/internal/queries"
 	"paradigms/internal/storage"
-	"paradigms/internal/types"
 	"paradigms/internal/vector"
 )
 
-// Vectorized plans for the TPC-H subset. Each query function builds one
-// operator pipeline per worker (private buffers, shared hash tables /
-// dispatchers / barriers) and drives it vector-at-a-time.
+// Monolithic vectorized pipelines for the TPC-H queries not yet ported
+// to the declarative operator layer: each query function builds one
+// pipeline per worker (private buffers, shared hash tables / dispatchers
+// / barriers) and drives it vector-at-a-time. Q6, Q3, Q18 (and the new
+// Q5) live in internal/plan as operator plans assembled from this
+// package's primitives.
 
 func vecOrDefault(v int) int {
 	if v <= 0 {
@@ -116,212 +118,6 @@ func Q1Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) que
 	}
 	queries.SortQ1(out)
 	return out
-}
-
-// Q6Ctx executes TPC-H Q6: a selection cascade followed by a fused
-// multiply-sum over the survivors.
-func Q6Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q6Result {
-	w := workers(nWorkers)
-	vec := vecOrDefault(vecSize)
-	li := db.Rel("lineitem")
-	ship := li.Date("l_shipdate")
-	qty := li.Numeric("l_quantity")
-	ext := li.Numeric("l_extendedprice")
-	disc := li.Numeric("l_discount")
-
-	disp := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
-	partial := make([]int64, w)
-	exec.Parallel(w, func(wid int) {
-		scan := NewScan(disp, vec)
-		bufs := vector.NewBuffers(vec)
-		sel1 := bufs.Sel()
-		sel2 := bufs.Sel()
-		prod := bufs.I64()
-		var sum int64
-		for {
-			n := scan.Next()
-			if n == 0 {
-				break
-			}
-			b := scan.Base
-			// Selection cascade: each predicate is one primitive; from the
-			// second on, they consume a selection vector (§5.1).
-			k := SelGE(ship[b:b+n], queries.Q6DateLo, sel1)
-			k = SelLTSel(ship[b:b+n], queries.Q6DateHi, sel1[:k], sel2)
-			k = SelGESel(disc[b:b+n], queries.Q6DiscLo, sel2[:k], sel1)
-			k = SelLESel(disc[b:b+n], queries.Q6DiscHi, sel1[:k], sel2)
-			k = SelLTSel(qty[b:b+n], queries.Q6Quantity, sel2[:k], sel1)
-			if k == 0 {
-				continue
-			}
-			MapMulColsSel(ext[b:b+n], disc[b:b+n], sel1[:k], prod)
-			sum += SumI64(prod, k)
-		}
-		partial[wid] = sum
-	})
-	var total int64
-	for _, s := range partial {
-		total += s
-	}
-	return queries.Q6Result(total)
-}
-
-// Q3Ctx executes TPC-H Q3.
-func Q3Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q3Result {
-	w := workers(nWorkers)
-	vec := vecOrDefault(vecSize)
-	cust := db.Rel("customer")
-	seg := cust.String("c_mktsegment")
-	ckeys := cust.Int32("c_custkey")
-	ord := db.Rel("orders")
-	okeys := ord.Int32("o_orderkey")
-	ocust := ord.Int32("o_custkey")
-	odate := ord.Date("o_orderdate")
-	oprio := ord.Int32("o_shippriority")
-	li := db.Rel("lineitem")
-	lkeys := li.Int32("l_orderkey")
-	lship := li.Date("l_shipdate")
-	lext := li.Numeric("l_extendedprice")
-	ldisc := li.Numeric("l_discount")
-	cutoff := queries.Q3Date
-
-	htCust := hashtable.New(1, w)
-	htOrd := hashtable.New(2, w)
-	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
-	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
-	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
-	ops := []hashtable.AggOp{hashtable.OpSum, hashtable.OpFirst}
-	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
-	bar := exec.NewBarrier(w)
-	tops := make([]*queries.TopK[queries.Q3Row], w)
-
-	exec.Parallel(w, func(wid int) {
-		bufs := vector.NewBuffers(vec)
-		sel := bufs.Sel()
-		absPos := bufs.Sel()
-		keys := bufs.Ref()
-		hashes := bufs.Ref()
-		keys2 := bufs.Ref()
-		hashes2 := bufs.Ref()
-		cand := make([]hashtable.Ref, vec)
-		candPos := bufs.Sel()
-		mRefs := make([]hashtable.Ref, vec)
-		mPos := bufs.Sel()
-		dp := bufs.Ref()
-		e2 := bufs.I64()
-		d2 := bufs.I64()
-		rev := bufs.I64()
-		dpI64 := bufs.I64()
-		gkeys := bufs.Ref()
-		ghashes := bufs.Ref()
-
-		// Pipeline 1: customer σ(mktsegment) → materialize HT_cust rows.
-		scanC := NewScan(dispCust, vec)
-		shC := htCust.Shard(wid)
-		for {
-			n := scanC.Next()
-			if n == 0 {
-				break
-			}
-			b := scanC.Base
-			k := SelEqString(seg, b, n, queries.Q3Segment, sel)
-			if k == 0 {
-				continue
-			}
-			MapWidenSel(ckeys[b:b+n], sel[:k], keys)
-			MapHashU64(keys[:k], hashes)
-			base := shC.AllocN(htCust, k)
-			ScatterHashes(htCust, base, hashes, k)
-			ScatterWord(htCust, base, 0, keys, k)
-		}
-		BuildBarrier(htCust, bar, wid)
-
-		// Pipeline 2: orders σ(orderdate) ⋉ HT_cust → materialize HT_ord.
-		scanO := NewScan(dispOrd, vec)
-		shO := htOrd.Shard(wid)
-		for {
-			n := scanO.Next()
-			if n == 0 {
-				break
-			}
-			b := scanO.Base
-			k := SelLT(odate[b:b+n], cutoff, sel)
-			if k == 0 {
-				continue
-			}
-			MapWidenSel(ocust[b:b+n], sel[:k], keys)
-			MapHashU64(keys[:k], hashes)
-			nm := Probe(htCust, keys, hashes, k, cand, candPos, mRefs, mPos)
-			if nm == 0 {
-				continue
-			}
-			ComposePos(sel, mPos[:nm], absPos)
-			MapWidenSel(okeys[b:b+n], absPos[:nm], keys2)
-			MapHashU64(keys2[:nm], hashes2)
-			MapPack2x32Sel(odate[b:b+n], oprio[b:b+n], absPos[:nm], dp)
-			base := shO.AllocN(htOrd, nm)
-			ScatterHashes(htOrd, base, hashes2, nm)
-			ScatterWord(htOrd, base, 0, keys2, nm)
-			ScatterWord(htOrd, base, 1, dp, nm)
-		}
-		BuildBarrier(htOrd, bar, wid)
-
-		// Pipeline 3: lineitem σ(shipdate) ⋈ HT_ord → Γ(orderkey).
-		scanL := NewScan(dispLine, vec)
-		gb := NewGroupBy(spill, wid, ops, vec)
-		vals := [][]int64{rev, dpI64}
-		for {
-			n := scanL.Next()
-			if n == 0 {
-				break
-			}
-			b := scanL.Base
-			k := SelGT(lship[b:b+n], cutoff, sel)
-			if k == 0 {
-				continue
-			}
-			MapWidenSel(lkeys[b:b+n], sel[:k], keys)
-			MapHashU64(keys[:k], hashes)
-			nm := Probe(htOrd, keys, hashes, k, cand, candPos, mRefs, mPos)
-			if nm == 0 {
-				continue
-			}
-			ComposePos(sel, mPos[:nm], absPos)
-			FetchI64(lext[b:b+n], absPos[:nm], e2)
-			MapRsubConstSel(ldisc[b:b+n], 100, absPos[:nm], d2)
-			MapMul(e2, d2, nm, rev)
-			GatherWordI64(htOrd, mRefs, 1, nm, dpI64)
-			FetchU64(keys, mPos[:nm], gkeys)
-			FetchU64(hashes, mPos[:nm], ghashes)
-			gb.Consume(nm, gkeys, ghashes, vals)
-		}
-		gb.Flush()
-		bar.Wait(nil)
-
-		top := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
-		tops[wid] = top
-		for {
-			pm, ok := partDisp.Next()
-			if !ok {
-				break
-			}
-			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
-				top.Offer(queries.Q3Row{
-					OrderKey:     int32(uint32(row[1])),
-					Revenue:      int64(row[2]),
-					OrderDate:    types.Date(uint32(row[3])),
-					ShipPriority: int32(uint32(row[3] >> 32)),
-				})
-			})
-		}
-	})
-
-	final := queries.NewTopK[queries.Q3Row](10, queries.Q3Less)
-	for _, t := range tops {
-		final.Merge(t)
-	}
-	return final.Sorted()
 }
 
 // Q9Ctx executes TPC-H Q9.
@@ -566,170 +362,4 @@ func Q9Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) que
 	}
 	queries.SortQ9(out)
 	return out
-}
-
-// Q18Ctx executes TPC-H Q18.
-func Q18Ctx(ctx context.Context, db *storage.Database, nWorkers, vecSize int) queries.Q18Result {
-	w := workers(nWorkers)
-	vec := vecOrDefault(vecSize)
-	li := db.Rel("lineitem")
-	lok := li.Int32("l_orderkey")
-	lqty := li.Numeric("l_quantity")
-	ord := db.Rel("orders")
-	okeys := ord.Int32("o_orderkey")
-	ocust := ord.Int32("o_custkey")
-	odate := ord.Date("o_orderdate")
-	ototal := ord.Numeric("o_totalprice")
-	cust := db.Rel("customer")
-	ckeys := cust.Int32("c_custkey")
-	minQty := int64(queries.Q18Quantity)
-
-	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
-	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
-	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
-	ops := []hashtable.AggOp{hashtable.OpSum}
-	spill := hashtable.NewSpill(w, aggPartitions, 2+len(ops))
-	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
-	bar := exec.NewBarrier(w)
-	htBig := hashtable.New(2, 1)
-	htMatch := hashtable.New(4, w)
-	type bigGroup struct {
-		key    uint64
-		sumQty int64
-	}
-	qualifying := make([][]bigGroup, w)
-	tops := make([]*queries.TopK[queries.Q18Row], w)
-
-	exec.Parallel(w, func(wid int) {
-		bufs := vector.NewBuffers(vec)
-		keys := bufs.Ref()
-		hashes := bufs.Ref()
-		qvals := bufs.I64()
-		cand := make([]hashtable.Ref, vec)
-		candPos := bufs.Sel()
-		mRefs := make([]hashtable.Ref, vec)
-		mPos := bufs.Sel()
-		dp := bufs.Ref()
-		keysC := bufs.Ref()
-		hashesC := bufs.Ref()
-		tp := bufs.I64()
-		sq := bufs.I64()
-
-		// Pipeline 1: Γ(lineitem by orderkey): the 1.5M·SF-group
-		// aggregation that dominates this query.
-		scanL := NewScan(dispLine, vec)
-		gb := NewGroupBy(spill, wid, ops, vec)
-		vals := [][]int64{qvals}
-		for {
-			n := scanL.Next()
-			if n == 0 {
-				break
-			}
-			b := scanL.Base
-			MapWiden(lok[b:b+n], n, keys)
-			MapHashU64(keys[:n], hashes)
-			MapCopyI64(lqty[b:b+n], n, qvals)
-			gb.Consume(n, keys, hashes, vals)
-		}
-		gb.Flush()
-		bar.Wait(nil)
-
-		// Pipeline 2: merge partitions; HAVING sum(qty) > 300.
-		for {
-			pm, ok := partDisp.Next()
-			if !ok {
-				break
-			}
-			hashtable.MergeSpill(spill, pm.Begin, ops, func(row []uint64) {
-				if int64(row[2]) > minQty {
-					qualifying[wid] = append(qualifying[wid], bigGroup{key: row[1], sumQty: int64(row[2])})
-				}
-			})
-		}
-		bar.Wait(func() {
-			total := 0
-			for _, q := range qualifying {
-				total += len(q)
-			}
-			htBig.Prepare(total)
-			sh := htBig.Shard(0)
-			for _, qs := range qualifying {
-				for _, qg := range qs {
-					h := Hash(qg.key)
-					ref, _ := sh.Alloc(htBig, h)
-					htBig.SetWord(ref, 0, qg.key)
-					htBig.SetWord(ref, 1, uint64(qg.sumQty))
-					htBig.Insert(ref, h)
-				}
-			}
-		})
-
-		// Pipeline 3: orders ⋈ HT_big → HT_match keyed by custkey.
-		scanO := NewScan(dispOrd, vec)
-		shM := htMatch.Shard(wid)
-		for {
-			n := scanO.Next()
-			if n == 0 {
-				break
-			}
-			b := scanO.Base
-			MapWiden(okeys[b:b+n], n, keys)
-			MapHashU64(keys[:n], hashes)
-			nm := Probe(htBig, keys, hashes, n, cand, candPos, mRefs, mPos)
-			if nm == 0 {
-				continue
-			}
-			MapWidenSel(ocust[b:b+n], mPos[:nm], keysC)
-			MapHashU64(keysC[:nm], hashesC)
-			MapPack2x32Sel(okeys[b:b+n], odate[b:b+n], mPos[:nm], dp)
-			FetchI64(ototal[b:b+n], mPos[:nm], tp)
-			GatherWordI64(htBig, mRefs, 1, nm, sq)
-			base := shM.AllocN(htMatch, nm)
-			ScatterHashes(htMatch, base, hashesC, nm)
-			ScatterWord(htMatch, base, 0, keysC, nm)
-			ScatterWord(htMatch, base, 1, dp, nm)
-			ScatterWordI64(htMatch, base, 2, tp, nm)
-			ScatterWordI64(htMatch, base, 3, sq, nm)
-		}
-		BuildBarrier(htMatch, bar, wid)
-
-		// Pipeline 4: customer ⋈ HT_match (multi-match); emit top-100.
-		top := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
-		tops[wid] = top
-		scanC := NewScan(dispCust, vec)
-		for {
-			n := scanC.Next()
-			if n == 0 {
-				break
-			}
-			b := scanC.Base
-			MapWiden(ckeys[b:b+n], n, keys)
-			MapHashU64(keys[:n], hashes)
-			nc := FindCandidates(htMatch, hashes, n, cand, candPos)
-			for nc > 0 {
-				// Output emission: offers go straight to the top-k sink.
-				for i := 0; i < nc; i++ {
-					ref := cand[i]
-					p := candPos[i]
-					if htMatch.Hash(ref) == hashes[p] && htMatch.Word(ref, 0) == keys[p] {
-						od := htMatch.Word(ref, 1)
-						top.Offer(queries.Q18Row{
-							CustKey:    int32(uint32(keys[p])),
-							OrderKey:   int32(uint32(od)),
-							OrderDate:  types.Date(uint32(od >> 32)),
-							TotalPrice: types.Numeric(int64(htMatch.Word(ref, 2))),
-							SumQty:     int64(htMatch.Word(ref, 3)),
-						})
-					}
-				}
-				nc = NextCandidates(htMatch, cand, candPos, nc)
-			}
-		}
-	})
-
-	final := queries.NewTopK[queries.Q18Row](100, queries.Q18Less)
-	for _, t := range tops {
-		final.Merge(t)
-	}
-	return final.Sorted()
 }

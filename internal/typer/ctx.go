@@ -39,6 +39,11 @@ func Q18(db *storage.Database, nWorkers int) queries.Q18Result {
 	return Q18Ctx(context.Background(), db, nWorkers)
 }
 
+// Q5 executes TPC-H Q5.
+func Q5(db *storage.Database, nWorkers int) queries.Q5Result {
+	return Q5Ctx(context.Background(), db, nWorkers)
+}
+
 // SSBQ11 executes SSB Q1.1.
 func SSBQ11(db *storage.Database, nWorkers int) queries.SSBQ11Result {
 	return SSBQ11Ctx(context.Background(), db, nWorkers)

@@ -1,0 +1,184 @@
+package typer
+
+import (
+	"context"
+
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// Q5: σ(region=ASIA) nations folded to a LUT → σ(supplier) and
+// σ(customer) ⋈ σ(orders) ⋈ lineitem with the c_nation = s_nation
+// residual → Γ(nation; Σ revenue)
+//
+// Q5 is an extension beyond the paper's five-query subset: its Tectorwise
+// twin is a declarative operator plan (internal/plan), while this side is
+// hand-written fused code — that asymmetry is the paradigm contrast under
+// study (§2). Both engines execute the same physical plan, with the tiny
+// region ⋈ nation join folded into queries.Q5NationLUT.
+// ---------------------------------------------------------------------
+
+// Q5Ctx executes TPC-H Q5 with the given number of worker threads.
+func Q5Ctx(ctx context.Context, db *storage.Database, nWorkers int) queries.Q5Result {
+	w := workers(nWorkers)
+	lut := queries.Q5NationLUT(db)
+	supp := db.Rel("supplier")
+	skeys := supp.Int32("s_suppkey")
+	snat := supp.Int32("s_nationkey")
+	cust := db.Rel("customer")
+	ckeys := cust.Int32("c_custkey")
+	cnat := cust.Int32("c_nationkey")
+	ord := db.Rel("orders")
+	okeys := ord.Int32("o_orderkey")
+	ocust := ord.Int32("o_custkey")
+	odate := ord.Date("o_orderdate")
+	li := db.Rel("lineitem")
+	lok := li.Int32("l_orderkey")
+	lsk := li.Int32("l_suppkey")
+	lext := li.Numeric("l_extendedprice")
+	ldisc := li.Numeric("l_discount")
+	dateLo, dateHi := queries.Q5DateLo, queries.Q5DateHi
+
+	htSupp := hashtable.New(2, w)
+	htCust := hashtable.New(2, w)
+	htOrd := hashtable.New(2, w)
+	dispSupp := exec.NewDispatcherCtx(ctx, supp.Rows(), 0)
+	dispCust := exec.NewDispatcherCtx(ctx, cust.Rows(), 0)
+	dispOrd := exec.NewDispatcherCtx(ctx, ord.Rows(), 0)
+	dispLine := exec.NewDispatcherCtx(ctx, li.Rows(), 0)
+	spill := hashtable.NewSpill(w, aggPartitions, 3)
+	partDisp := exec.NewDispatcherCtx(ctx, aggPartitions, 1)
+	bar := exec.NewBarrier(w)
+	results := make([]queries.Q5Result, w)
+
+	exec.Parallel(w, func(wid int) {
+		// Pipeline 1: scan supplier, filter nation∈ASIA, build HT_supp.
+		ssh := htSupp.Shard(wid)
+		for {
+			m, ok := dispSupp.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if !lut[snat[i]] {
+					continue
+				}
+				key := uint64(uint32(skeys[i]))
+				_, p := ssh.Alloc(htSupp, Hash(key))
+				e := (*ssbKeyed)(p)
+				e.key = key
+				e.val = uint64(uint32(snat[i]))
+			}
+		}
+		buildBarrier(htSupp, bar, wid)
+
+		// Pipeline 2: scan customer, filter nation∈ASIA, build HT_cust.
+		csh := htCust.Shard(wid)
+		for {
+			m, ok := dispCust.Next()
+			if !ok {
+				break
+			}
+			for i := m.Begin; i < m.End; i++ {
+				if !lut[cnat[i]] {
+					continue
+				}
+				key := uint64(uint32(ckeys[i]))
+				_, p := csh.Alloc(htCust, Hash(key))
+				e := (*ssbKeyed)(p)
+				e.key = key
+				e.val = uint64(uint32(cnat[i]))
+			}
+		}
+		buildBarrier(htCust, bar, wid)
+
+		// Pipeline 3: scan orders, filter date, probe HT_cust, build
+		// HT_ord (orderkey → customer nation).
+		osh := htOrd.Shard(wid)
+		for {
+			m, ok := dispOrd.Next()
+			if !ok {
+				break
+			}
+		orders:
+			for i := m.Begin; i < m.End; i++ {
+				if odate[i] < dateLo || odate[i] >= dateHi {
+					continue
+				}
+				ck := uint64(uint32(ocust[i]))
+				h := Hash(ck)
+				for ref := htCust.Lookup(h); ref != 0; ref = htCust.Next(ref) {
+					if htCust.Hash(ref) == h {
+						ce := (*ssbKeyed)(htCust.Payload(ref))
+						if ce.key == ck {
+							key := uint64(uint32(okeys[i]))
+							_, p := osh.Alloc(htOrd, Hash(key))
+							oe := (*ssbKeyed)(p)
+							oe.key = key
+							oe.val = ce.val
+							continue orders
+						}
+					}
+				}
+			}
+		}
+		buildBarrier(htOrd, bar, wid)
+
+		// Pipeline 4: scan lineitem, probe HT_ord then HT_supp, keep
+		// matches with c_nation = s_nation, pre-aggregate revenue.
+		agg := newLocalAgg(spill, wid)
+		for {
+			m, ok := dispLine.Next()
+			if !ok {
+				break
+			}
+		lines:
+			for i := m.Begin; i < m.End; i++ {
+				ok2 := uint64(uint32(lok[i]))
+				h := Hash(ok2)
+				for ref := htOrd.Lookup(h); ref != 0; ref = htOrd.Next(ref) {
+					if htOrd.Hash(ref) == h {
+						oe := (*ssbKeyed)(htOrd.Payload(ref))
+						if oe.key == ok2 {
+							sk := uint64(uint32(lsk[i]))
+							sh2 := Hash(sk)
+							for sref := htSupp.Lookup(sh2); sref != 0; sref = htSupp.Next(sref) {
+								if htSupp.Hash(sref) == sh2 {
+									se := (*ssbKeyed)(htSupp.Payload(sref))
+									if se.key == sk {
+										if se.val == oe.val {
+											rev := int64(lext[i]) * (100 - int64(ldisc[i]))
+											agg.add(oe.val, rev)
+										}
+										continue lines
+									}
+								}
+							}
+							continue lines
+						}
+					}
+				}
+			}
+		}
+		agg.flush()
+		bar.Wait(nil)
+
+		// Pipeline 5: per-partition merge.
+		ssbAggMerge(spill, partDisp, func(key uint64, sum int64) {
+			results[wid] = append(results[wid], queries.Q5Row{
+				Nation:  int32(uint32(key)),
+				Revenue: sum,
+			})
+		})
+	})
+
+	var out queries.Q5Result
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	queries.SortQ5(out)
+	return out
+}

@@ -1,0 +1,33 @@
+package typer
+
+import (
+	"context"
+
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// Every fused query registers itself with the engine-agnostic query
+// registry; the facade and all workload drivers dispatch through it, so
+// this init is the single wiring point per query for this engine.
+
+// runner adapts a *Ctx query to the registry's Runner shape (fused
+// pipelines have no vector size).
+func runner[T any](f func(context.Context, *storage.Database, int) T) registry.Runner {
+	return func(ctx context.Context, db *storage.Database, opt registry.Options) any {
+		return f(ctx, db, opt.Workers)
+	}
+}
+
+func init() {
+	registry.Register(registry.Typer, "tpch", "Q1", runner(Q1Ctx))
+	registry.Register(registry.Typer, "tpch", "Q6", runner(Q6Ctx))
+	registry.Register(registry.Typer, "tpch", "Q3", runner(Q3Ctx))
+	registry.Register(registry.Typer, "tpch", "Q9", runner(Q9Ctx))
+	registry.Register(registry.Typer, "tpch", "Q18", runner(Q18Ctx))
+	registry.Register(registry.Typer, "tpch", "Q5", runner(Q5Ctx))
+	registry.Register(registry.Typer, "ssb", "Q1.1", runner(SSBQ11Ctx))
+	registry.Register(registry.Typer, "ssb", "Q2.1", runner(SSBQ21Ctx))
+	registry.Register(registry.Typer, "ssb", "Q3.1", runner(SSBQ31Ctx))
+	registry.Register(registry.Typer, "ssb", "Q4.1", runner(SSBQ41Ctx))
+}
