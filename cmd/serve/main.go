@@ -10,14 +10,20 @@
 //	serve -sf 0.1 -ssbsf 0.1 -clients 16 -duration 10s
 //	serve -clients 4 -engine typer -queries Q1,Q6
 //	serve -clients 16 -budget 8 -maxconc 16 -novalidate
+//	serve -clients 8 -sql -statsjson
 //
 // Engine "mixed" (the default) alternates Typer and Tectorwise per query.
+// -sql additionally mixes the canonical ad-hoc SQL texts of the
+// benchmark queries into the workload (submitted as raw SQL through the
+// front-end, always on Tectorwise — the engine with an ad-hoc path).
 // Every result is validated against the reference oracles unless
-// -novalidate is given. On exit the aggregate stats report is printed.
+// -novalidate is given. On exit the aggregate stats report is printed;
+// -statsjson additionally emits the machine-readable snapshot.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,7 +33,9 @@ import (
 	"time"
 
 	"paradigms"
+	"paradigms/internal/logical"
 	"paradigms/internal/server"
+	"paradigms/internal/sql"
 )
 
 func main() {
@@ -42,6 +50,8 @@ func main() {
 	maxqueued := flag.Int("maxqueued", 0, "admission queue bound (0 = unbounded)")
 	vecSize := flag.Int("vecsize", 0, "Tectorwise vector size (0 = default)")
 	novalidate := flag.Bool("novalidate", false, "skip checking results against the reference oracles")
+	withSQL := flag.Bool("sql", false, "mix ad-hoc SQL texts of the benchmark queries into the workload")
+	statsJSON := flag.Bool("statsjson", false, "also emit the final stats as JSON")
 	flag.Parse()
 
 	var engines []paradigms.Engine
@@ -67,6 +77,14 @@ func main() {
 	} else {
 		queries = append(paradigms.Queries(tpchDB), paradigms.Queries(ssbDB)...)
 	}
+	if *withSQL {
+		for _, dataset := range []string{"tpch", "ssb"} {
+			for _, name := range logical.SQLQueries(dataset) {
+				text, _ := logical.SQLText(dataset, name)
+				queries = append(queries, text)
+			}
+		}
+	}
 
 	svc := paradigms.NewService(tpchDB, ssbDB, paradigms.ServiceOptions{
 		WorkerBudget:   *budget,
@@ -91,6 +109,11 @@ func main() {
 			for i := c; ctx.Err() == nil; i++ {
 				eng := engines[i%len(engines)]
 				q := queries[i%len(queries)]
+				if sql.IsQuery(q) {
+					// Ad-hoc SQL lowers onto the vectorized operator
+					// layer; Typer has no ad-hoc path.
+					eng = paradigms.Tectorwise
+				}
 				_, err := svc.Do(ctx, string(eng), q)
 				switch {
 				case err == nil || ctx.Err() != nil:
@@ -109,5 +132,14 @@ func main() {
 	wg.Wait()
 	svc.Close()
 
-	fmt.Print(svc.Stats())
+	st := svc.Stats()
+	fmt.Print(st)
+	if *statsJSON {
+		raw, err := json.Marshal(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: marshal stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", raw)
+	}
 }

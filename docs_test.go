@@ -22,6 +22,9 @@ var extensionPackages = map[string]string{
 	"server":   "extension", // inter-query concurrency layer
 	"iosim":    "substrate", // out-of-memory experiment substrate
 	"registry": "extension", // engine-agnostic query catalog
+	"sql":      "extension", // ad-hoc SQL lexer/parser/binder
+	"catalog":  "extension", // schema layer of the SQL front-end
+	"logical":  "extension", // logical planner + lowering
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -1,0 +1,185 @@
+// Package catalog is the schema layer of the SQL front-end — an
+// extension beyond the paper's fixed query set: it describes the tables
+// and columns of a materialized storage.Database (TPC-H or SSB) so that
+// ad-hoc SQL can be name-resolved and type-checked against exactly the
+// column vectors the engines execute over.
+//
+// A Catalog is derived from a Database (the relations carry names, types
+// and cardinalities already); the catalog adds the two pieces of schema
+// knowledge the planner needs that the storage layer does not record:
+// which column is a relation's unique key (hash joins build on the
+// key-unique side, and group-by keys collapse through key columns), and
+// the decimal scale of each fixed-point column (SQL literals are coerced
+// to the column's scale so `l_discount between 0.05 and 0.07` compares
+// raw scaled integers, §3's exact-integer arithmetic).
+package catalog
+
+import (
+	"sort"
+
+	"paradigms/internal/storage"
+)
+
+// Kind is the logical type of a column or expression value.
+type Kind uint8
+
+// Logical value kinds. All non-string kinds evaluate to 64-bit integers
+// during execution (dates as day numbers, numerics as scaled integers).
+const (
+	Int32 Kind = iota
+	Int64
+	Numeric
+	Date
+	Byte
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Numeric:
+		return "numeric"
+	case Date:
+		return "date"
+	case Byte:
+		return "byte"
+	case String:
+		return "string"
+	}
+	return "invalid"
+}
+
+// Type is a logical value type: a kind plus, for numerics, the decimal
+// scale (raw value = decimal value · 10^Scale).
+type Type struct {
+	Kind  Kind
+	Scale int
+}
+
+// Numeric kinds (int32/int64/numeric/date) support arithmetic and
+// ordered comparison as 64-bit integers.
+func (t Type) IsNumeric() bool {
+	return t.Kind == Int32 || t.Kind == Int64 || t.Kind == Numeric || t.Kind == Date
+}
+
+// Column is one named, typed column of a cataloged table.
+type Column struct {
+	Name  string
+	Type  Type
+	Table *Table
+}
+
+// Table describes one relation of the database.
+type Table struct {
+	Name string
+	// Rel is the backing relation; the lowering pass reads column
+	// vectors straight from it.
+	Rel *storage.Relation
+	// Key is the name of the table's unique key column ("" if none).
+	// Join builds keyed by it produce N:1 probes; group-by keys that
+	// include it functionally determine the table's other columns.
+	Key string
+
+	cols   []*Column
+	byName map[string]*Column
+}
+
+// Rows is the table cardinality (the planner's only statistic).
+func (t *Table) Rows() int { return t.Rel.Rows() }
+
+// Columns lists the columns in definition order.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// Catalog is the schema of one database.
+type Catalog struct {
+	DB     *storage.Database
+	tables map[string]*Table
+	order  []string
+}
+
+// uniqueKeys annotates the unique key column of every relation both
+// generators materialize (shared spellings: TPC-H and SSB dimensions use
+// the same key column names). Fact tables have no unique key.
+var uniqueKeys = map[string]string{
+	"customer": "c_custkey",
+	"orders":   "o_orderkey",
+	"supplier": "s_suppkey",
+	"part":     "p_partkey",
+	"nation":   "n_nationkey",
+	"region":   "r_regionkey",
+	"date":     "d_datekey",
+}
+
+// numericScales overrides the default scale-2 annotation of Numeric
+// columns. SSB stores lo_discount as a raw percentage point (1..10), so
+// its SQL literals are whole numbers.
+var numericScales = map[string]int{
+	"lo_discount": 0,
+}
+
+// FromDatabase derives the catalog of a generated database.
+func FromDatabase(db *storage.Database) *Catalog {
+	c := &Catalog{DB: db, tables: make(map[string]*Table)}
+	for _, name := range db.Relations() {
+		rel := db.Rel(name)
+		t := &Table{Name: name, Rel: rel, Key: uniqueKeys[name], byName: make(map[string]*Column)}
+		for _, col := range rel.Columns() {
+			typ := typeOf(col)
+			cc := &Column{Name: col.Name, Type: typ, Table: t}
+			t.cols = append(t.cols, cc)
+			t.byName[col.Name] = cc
+		}
+		c.tables[name] = t
+		c.order = append(c.order, name)
+	}
+	sort.Strings(c.order)
+	return c
+}
+
+// typeOf maps a physical column type to its logical type.
+func typeOf(col *storage.Column) Type {
+	switch col.Type {
+	case storage.Int32:
+		return Type{Kind: Int32}
+	case storage.Int64:
+		return Type{Kind: Int64}
+	case storage.Numeric:
+		scale := 2
+		if s, ok := numericScales[col.Name]; ok {
+			scale = s
+		}
+		return Type{Kind: Numeric, Scale: scale}
+	case storage.Date:
+		return Type{Kind: Date}
+	case storage.Byte:
+		return Type{Kind: Byte}
+	case storage.String:
+		return Type{Kind: String}
+	}
+	panic("catalog: unknown column type")
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables lists the table names in sorted order.
+func (c *Catalog) Tables() []string { return c.order }
+
+// Resolve finds every table among the given ones that has a column with
+// the given name — the binder's unqualified-name lookup. The result is
+// in the order of the input tables, so ambiguity messages are stable.
+func Resolve(tables []*Table, col string) []*Column {
+	var out []*Column
+	for _, t := range tables {
+		if c := t.Column(col); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}

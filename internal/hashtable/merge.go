@@ -8,6 +8,8 @@ type AggOp uint8
 const (
 	OpSum   AggOp = iota // two's-complement addition (SUM, COUNT)
 	OpFirst              // keep the first value seen (carried attributes)
+	OpMin                // signed int64 minimum
+	OpMax                // signed int64 maximum
 )
 
 // MergeSpill merges all partial rows of one spill partition. Rows have the
@@ -31,8 +33,17 @@ func MergeSpill(spill *Spill, partition int, ops []AggOp, emit func(row []uint64
 		for ref := merged.Lookup(h); ref != 0; ref = merged.Next(ref) {
 			if merged.Hash(ref) == h && merged.Word(ref, 0) == key {
 				for a, op := range ops {
-					if op == OpSum {
+					switch op {
+					case OpSum:
 						merged.SetWord(ref, 1+a, merged.Word(ref, 1+a)+row[2+a])
+					case OpMin:
+						if int64(row[2+a]) < int64(merged.Word(ref, 1+a)) {
+							merged.SetWord(ref, 1+a, row[2+a])
+						}
+					case OpMax:
+						if int64(row[2+a]) > int64(merged.Word(ref, 1+a)) {
+							merged.SetWord(ref, 1+a, row[2+a])
+						}
 					}
 				}
 				return

@@ -1,0 +1,90 @@
+package logical
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/registry"
+	"paradigms/internal/sql"
+	"paradigms/internal/storage"
+)
+
+// catalogs caches one derived catalog per database instance.
+var catalogs sync.Map // *storage.Database → *catalog.Catalog
+
+// CatalogFor returns (building on first use) the catalog of a database.
+func CatalogFor(db *storage.Database) *catalog.Catalog {
+	if c, ok := catalogs.Load(db); ok {
+		return c.(*catalog.Catalog)
+	}
+	c, _ := catalogs.LoadOrStore(db, catalog.FromDatabase(db))
+	return c.(*catalog.Catalog)
+}
+
+// RouteByTables picks the first database whose catalog has every FROM
+// table of the statement — the shared routing rule of the query
+// service and cmd/sqlsh. Nil databases are skipped.
+func RouteByTables(stmt string, dbs ...*storage.Database) (*storage.Database, error) {
+	tables, err := sql.Tables(stmt)
+	if err != nil {
+		return nil, err
+	}
+	for _, db := range dbs {
+		if db == nil {
+			continue
+		}
+		cat := CatalogFor(db)
+		all := true
+		for _, t := range tables {
+			if cat.Table(t) == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			return db, nil
+		}
+	}
+	return nil, fmt.Errorf("logical: no loaded database has tables %v", tables)
+}
+
+// Prepare parses, binds, and plans a SQL text against a database —
+// cmd/sqlsh's EXPLAIN path.
+func Prepare(db *storage.Database, text string) (*Plan, error) {
+	sel, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if err := sql.Bind(sel, CatalogFor(db)); err != nil {
+		return nil, err
+	}
+	return PlanQuery(sel, CatalogFor(db))
+}
+
+// Run executes an ad-hoc SQL text end to end: parse → bind → optimize →
+// lower → execute on the vectorized operator layer. Planner or executor
+// panics (which would otherwise take down the query service) surface as
+// errors.
+func Run(ctx context.Context, db *storage.Database, text string, workers, vecSize int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("logical: internal error executing query: %v", r)
+		}
+	}()
+	pl, err := Prepare(db, text)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Execute(ctx, workers, vecSize)
+}
+
+// The ad-hoc SQL path registers under the Tectorwise engine: lowering
+// targets its operator layer. (Typer would need a fused-loop code
+// generator; the registry reports it has no ad-hoc path.)
+func init() {
+	registry.RegisterAdHoc(registry.Tectorwise, func(ctx context.Context, db *storage.Database, text string, opt registry.Options) (any, error) {
+		return Run(ctx, db, text, opt.Workers, opt.VectorSize)
+	})
+}

@@ -1,0 +1,525 @@
+package logical
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/plan"
+	"paradigms/internal/sql"
+	"paradigms/internal/tw"
+	"paradigms/internal/vector"
+)
+
+// Execute lowers the plan and runs it morsel-parallel on the Tectorwise
+// operator layer. A canceled context drains the workers within one
+// morsel and returns a partial result the caller discards (the same
+// contract as the registered engine queries).
+func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, error) {
+	prog, err := lower(pl)
+	if err != nil {
+		return nil, err
+	}
+	e := plan.NewExec(ctx, workers, vecSize)
+	for _, ps := range prog.pipes {
+		ps.disp = e.ScanDisp(ps.scan.Table.Rel)
+		if ps.keyCol != nil {
+			ps.ht = hashtable.New(1+len(ps.pays), e.Workers)
+		}
+	}
+
+	agg := pl.Agg
+	keyed := agg != nil && len(agg.Keys) > 0
+	global := agg != nil && len(agg.Keys) == 0
+
+	var (
+		spill      *hashtable.Spill
+		partDisp   *exec.Dispatcher
+		htOps      []hashtable.AggOp
+		workerRows [][][]int64
+		partials   []globalPartial
+	)
+	switch {
+	case keyed:
+		htOps = make([]hashtable.AggOp, len(agg.Aggs))
+		for i, s := range agg.Aggs {
+			htOps[i] = s.Op.htOp()
+		}
+		spill = hashtable.NewSpill(e.Workers, tw.AggPartitions, 2+len(htOps))
+		partDisp = e.PartDisp(tw.AggPartitions)
+		workerRows = make([][][]int64, e.Workers)
+	case global:
+		partials = make([]globalPartial, e.Workers)
+	default:
+		workerRows = make([][][]int64, e.Workers)
+	}
+
+	e.Run(func(wid int, bufs *vector.Buffers) []plan.Stage {
+		w := &worker{bufs: bufs, colBuf: map[*pipeSpec]map[*catalog.Column][]uint64{}}
+		var stages []plan.Stage
+		for _, ps := range prog.pipes {
+			if ps.keyCol == nil {
+				continue
+			}
+			root := w.pipeOps(ps, e)
+			key := w.srcVecU64(ps, colSrc{base: ps.keyCol})
+			pays := make([]plan.VecU64, len(ps.pays))
+			for i, src := range ps.paySrc {
+				pays[i] = w.srcVecU64(ps, src)
+			}
+			stages = append(stages, plan.Stage{
+				Root: root,
+				Sink: plan.NewHashBuild(bufs, ps.ht, wid, key, pays...),
+			})
+		}
+
+		final := prog.final
+		root := w.pipeOps(final, e)
+		switch {
+		case keyed:
+			key := w.groupKey(final, agg)
+			vals := make([]plan.VecI64, len(agg.Aggs))
+			for i, s := range agg.Aggs {
+				vals[i] = w.aggInput(final, s)
+			}
+			stages = append(stages, plan.Stage{
+				Root: root,
+				Sink: plan.NewGroupBy(bufs, spill, wid, htOps, key, vals...),
+			})
+			nk := len(agg.Keys)
+			stages = append(stages, plan.MergeStage(partDisp, spill, htOps, func(wid int, row []uint64) {
+				out := make([]int64, nk+len(agg.Aggs))
+				decodeKeys(agg.Keys, row[1], out)
+				for j := range agg.Aggs {
+					out[nk+j] = int64(row[2+j])
+				}
+				workerRows[wid] = append(workerRows[wid], out)
+			}))
+		case global:
+			sink := newGlobalAggSink(w, final, agg, &partials[wid])
+			stages = append(stages, plan.Stage{Root: root, Sink: sink})
+		default:
+			sink := &collectSink{}
+			sink.exprs = make([]vec64, len(pl.Proj))
+			for i, e := range pl.Proj {
+				sink.exprs[i] = w.vecI64(final, e)
+			}
+			sink.out = &workerRows[wid]
+			stages = append(stages, plan.Stage{Root: root, Sink: sink})
+		}
+		return stages
+	})
+
+	// Merge phase: assemble output rows in slot layout [keys..., aggs...]
+	// (grouped/global) or item layout (projection).
+	var rows [][]int64
+	switch {
+	case global:
+		rows = [][]int64{mergeGlobal(agg, partials)}
+	default:
+		for _, wr := range workerRows {
+			rows = append(rows, wr...)
+		}
+	}
+
+	if pl.Having != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			v, _, err := evalScalar(pl.Having, pl.slotLookup(r))
+			if err != nil {
+				return nil, err
+			}
+			if v != 0 {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	if len(pl.Sort) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range pl.Sort {
+				a, b := pl.sortValue(rows[i], k), pl.sortValue(rows[j], k)
+				if a == b {
+					continue
+				}
+				if k.Desc {
+					return a > b
+				}
+				return a < b
+			}
+			return false
+		})
+	}
+	if pl.Limit >= 0 && len(rows) > pl.Limit {
+		rows = rows[:pl.Limit]
+	}
+
+	res := &Result{Cols: pl.Cols}
+	if agg != nil {
+		nk := len(agg.Keys)
+		for _, r := range rows {
+			out := make([]int64, len(agg.ItemSlots))
+			for i, s := range agg.ItemSlots {
+				if s.Key {
+					out[i] = r[s.Idx]
+				} else {
+					out[i] = r[nk+s.Idx]
+				}
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	} else {
+		res.Rows = rows
+	}
+	return res, nil
+}
+
+// htOp maps a logical aggregate operator to the shared merge machinery.
+func (op AggOp) htOp() hashtable.AggOp {
+	switch op {
+	case OpSum, OpCount:
+		return hashtable.OpSum
+	case OpMin:
+		return hashtable.OpMin
+	case OpMax:
+		return hashtable.OpMax
+	}
+	return hashtable.OpFirst
+}
+
+// decodeKeys unpacks the group-key word into the first len(keys) output
+// slots, restoring 32-bit signs for packed pairs.
+func decodeKeys(keys []*catalog.Column, word uint64, out []int64) {
+	if len(keys) == 1 {
+		out[0] = int64(word)
+		return
+	}
+	out[0] = int64(int32(uint32(word)))
+	out[1] = int64(int32(uint32(word >> 32)))
+}
+
+// slotLookup resolves HAVING leaves (grouping columns, aggregates) to
+// values of a merged row in slot layout.
+func (pl *Plan) slotLookup(row []int64) func(sql.Expr) (int64, bool) {
+	return func(e sql.Expr) (int64, bool) {
+		s, ok := pl.findSlot(e)
+		if !ok {
+			return 0, false
+		}
+		return pl.slotValue(row, s), true
+	}
+}
+
+func (pl *Plan) slotValue(row []int64, s Slot) int64 {
+	if s.Key {
+		return row[s.Idx]
+	}
+	return row[len(pl.Agg.Keys)+s.Idx]
+}
+
+// findSlot locates the output slot of a grouping column or aggregate.
+func (pl *Plan) findSlot(e sql.Expr) (Slot, bool) {
+	agg := pl.Agg
+	if agg == nil {
+		return Slot{}, false
+	}
+	switch x := e.(type) {
+	case *sql.Agg:
+		for i, s := range agg.Aggs {
+			if s.Op != OpFirst && sql.Equal(s.Src, x) {
+				return Slot{Key: false, Idx: i}, true
+			}
+		}
+	case *sql.ColRef:
+		if i, ok := agg.KeyOf[x.Col]; ok {
+			return Slot{Key: true, Idx: i}, true
+		}
+		for i, s := range agg.Aggs {
+			if s.Op == OpFirst {
+				if ref, ok := s.Arg.(*sql.ColRef); ok && ref.Col == x.Col {
+					return Slot{Key: false, Idx: i}, true
+				}
+			}
+		}
+	}
+	return Slot{}, false
+}
+
+func (pl *Plan) sortValue(row []int64, k SortKey) int64 {
+	if pl.Agg == nil {
+		return row[k.Item]
+	}
+	return pl.slotValue(row, k.Slot)
+}
+
+// mergeGlobal combines the per-worker partials of a global aggregate
+// into the single output row. With zero input rows, sums and counts are
+// 0 (the engine has no NULL).
+func mergeGlobal(agg *Aggregate, partials []globalPartial) []int64 {
+	out := make([]int64, len(agg.Aggs))
+	for j, s := range agg.Aggs {
+		switch s.Op {
+		case OpMin:
+			out[j] = math.MaxInt64
+		case OpMax:
+			out[j] = math.MinInt64
+		}
+	}
+	var total int64
+	for _, p := range partials {
+		if p.n == 0 {
+			continue
+		}
+		total += p.n
+		for j, s := range agg.Aggs {
+			switch s.Op {
+			case OpSum, OpCount:
+				out[j] += p.acc[j]
+			case OpMin:
+				if p.acc[j] < out[j] {
+					out[j] = p.acc[j]
+				}
+			case OpMax:
+				if p.acc[j] > out[j] {
+					out[j] = p.acc[j]
+				}
+			case OpFirst:
+				out[j] = p.acc[j]
+			}
+		}
+	}
+	if total == 0 {
+		for j := range out {
+			out[j] = 0
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Per-worker pipeline assembly
+// ---------------------------------------------------------------------
+
+// worker holds one worker's buffer arena and the gathered-column
+// buffers of each pipeline.
+type worker struct {
+	bufs   *vector.Buffers
+	colBuf map[*pipeSpec]map[*catalog.Column][]uint64
+	ones   []int64
+}
+
+// pipeOps assembles the operator tree of one pipeline for this worker.
+func (w *worker) pipeOps(ps *pipeSpec, e *plan.Exec) plan.Operator {
+	var op plan.Operator = e.NewScan(ps.disp)
+	if preds := w.filterPreds(ps); len(preds) > 0 {
+		op = plan.NewFilterChain(w.bufs, op, preds...)
+	}
+	bufs := map[*catalog.Column][]uint64{}
+	w.colBuf[ps] = bufs
+	var live [][]uint64
+	for _, st := range ps.steps {
+		spec := plan.ProbeSpec{HT: st.build.ht, Key: w.srcVecU64(ps, colSrc{base: st.probeKey})}
+		var added [][]uint64
+		for _, g := range st.gathers {
+			dst := w.bufs.Ref()
+			bufs[g.col] = dst
+			spec.GatherU64 = append(spec.GatherU64, plan.GatherU64{Word: g.word, Dst: dst})
+			added = append(added, dst)
+		}
+		for _, lb := range live {
+			spec.Carry = append(spec.Carry, plan.CarryU64(w.bufs, lb))
+		}
+		op = plan.NewHashProbe(w.bufs, op, spec)
+		live = append(live, added...)
+		for _, r := range st.residuals {
+			av := w.u64Vec(ps, r[0])
+			bv := w.u64Vec(ps, r[1])
+			var carries []plan.Carry
+			for _, lb := range live {
+				carries = append(carries, plan.CarryU64(w.bufs, lb))
+			}
+			op = plan.NewMatch(w.bufs, op,
+				func(b *plan.Batch, res []int32) int {
+					return tw.SelEqCols(av(b), bv(b), b.K, res)
+				}, carries...)
+		}
+	}
+	return op
+}
+
+// srcVecU64 builds a key/payload expression for a column source.
+func (w *worker) srcVecU64(ps *pipeSpec, src colSrc) plan.VecU64 {
+	if src.base == nil {
+		buf := w.colBuf[ps][srcColOf(ps, src)]
+		return plan.FromU64(buf)
+	}
+	c := src.base
+	rel := ps.scan.Table.Rel
+	switch c.Type.Kind {
+	case catalog.Int32:
+		return plan.KeyWiden(rel.Int32(c.Name))
+	case catalog.Date:
+		return plan.KeyWiden(rel.Date(c.Name))
+	case catalog.Numeric:
+		return plan.ColU64FromI64(rel.Numeric(c.Name))
+	case catalog.Int64:
+		return plan.ColU64FromI64(rel.Int64(c.Name))
+	}
+	panic("logical: column " + c.Name + " cannot be a key or payload")
+}
+
+// srcColOf finds the gathered column a derived source refers to.
+func srcColOf(ps *pipeSpec, src colSrc) *catalog.Column {
+	st := ps.steps[src.step]
+	for _, g := range st.gathers {
+		if g.word == src.word {
+			return g.col
+		}
+	}
+	panic("logical: dangling column source")
+}
+
+// u64Vec returns the source's uint64 vector for the current batch
+// (derived buffers as-is, base columns materialized through the
+// selection into a private buffer).
+func (w *worker) u64Vec(ps *pipeSpec, src colSrc) func(b *plan.Batch) []uint64 {
+	if src.base == nil {
+		buf := w.colBuf[ps][srcColOf(ps, src)]
+		return func(*plan.Batch) []uint64 { return buf }
+	}
+	expr := w.srcVecU64(ps, src)
+	scratch := w.bufs.Ref()
+	return func(b *plan.Batch) []uint64 { return expr(b, scratch) }
+}
+
+// groupKey builds the grouping-key expression: one key hashes directly,
+// two pack lo|hi<<32 like the hand-written Q2.1 plan.
+func (w *worker) groupKey(ps *pipeSpec, agg *Aggregate) plan.VecU64 {
+	if len(agg.Keys) == 1 {
+		return w.srcVecU64(ps, ps.resolve(agg.Keys[0]))
+	}
+	lo := w.u64Vec(ps, ps.resolve(agg.Keys[0]))
+	hi := w.u64Vec(ps, ps.resolve(agg.Keys[1]))
+	return func(b *plan.Batch, scratch []uint64) []uint64 {
+		tw.MapPackU64LoHi(lo(b), hi(b), b.K, scratch)
+		return scratch
+	}
+}
+
+// aggInput compiles one aggregate slot's input vector.
+func (w *worker) aggInput(ps *pipeSpec, s AggSpec) plan.VecI64 {
+	if s.Op == OpCount && s.Arg == nil { // COUNT(*)
+		return w.onesVec()
+	}
+	if s.Op == OpCount { // COUNT(expr): no NULLs, every row counts
+		return w.onesVec()
+	}
+	v := w.vecI64(ps, s.Arg)
+	return func(b *plan.Batch, _ []int64) []int64 { return v(b) }
+}
+
+func (w *worker) onesVec() plan.VecI64 {
+	if w.ones == nil {
+		w.ones = w.bufs.I64()
+		for i := range w.ones {
+			w.ones[i] = 1
+		}
+	}
+	ones := w.ones
+	return func(b *plan.Batch, _ []int64) []int64 { return ones }
+}
+
+// globalPartial is one worker's share of a global aggregate.
+type globalPartial struct {
+	acc []int64
+	n   int64
+}
+
+// globalAggSink reduces the final pipeline to per-worker accumulators —
+// the generic form of the hand plans' SumSink, so global SUM keeps the
+// identical fused multiply-sum hot loop.
+type globalAggSink struct {
+	specs []AggSpec
+	vals  []vec64
+	acc   []int64
+	n     int64
+	out   *globalPartial
+}
+
+func newGlobalAggSink(w *worker, ps *pipeSpec, agg *Aggregate, out *globalPartial) *globalAggSink {
+	s := &globalAggSink{specs: agg.Aggs, out: out, acc: make([]int64, len(agg.Aggs))}
+	s.vals = make([]vec64, len(agg.Aggs))
+	for i, spec := range agg.Aggs {
+		switch spec.Op {
+		case OpMin:
+			s.acc[i] = math.MaxInt64
+		case OpMax:
+			s.acc[i] = math.MinInt64
+		}
+		if spec.Op != OpCount {
+			s.vals[i] = w.vecI64(ps, spec.Arg)
+		}
+	}
+	return s
+}
+
+// Consume implements plan.Sink.
+func (s *globalAggSink) Consume(b *plan.Batch) {
+	s.n += int64(b.K)
+	for j, spec := range s.specs {
+		switch spec.Op {
+		case OpCount:
+			s.acc[j] += int64(b.K)
+		case OpSum:
+			s.acc[j] += tw.SumI64(s.vals[j](b), b.K)
+		case OpMin:
+			v := s.vals[j](b)
+			for i := 0; i < b.K; i++ {
+				if v[i] < s.acc[j] {
+					s.acc[j] = v[i]
+				}
+			}
+		case OpMax:
+			v := s.vals[j](b)
+			for i := 0; i < b.K; i++ {
+				if v[i] > s.acc[j] {
+					s.acc[j] = v[i]
+				}
+			}
+		}
+	}
+}
+
+// Finish implements plan.Sink.
+func (s *globalAggSink) Finish(bar *exec.Barrier, wid int) {
+	*s.out = globalPartial{acc: s.acc, n: s.n}
+	bar.Wait(nil)
+}
+
+// collectSink materializes projection rows per worker.
+type collectSink struct {
+	exprs []vec64
+	out   *[][]int64
+}
+
+// Consume implements plan.Sink.
+func (s *collectSink) Consume(b *plan.Batch) {
+	vecs := make([][]int64, len(s.exprs))
+	for j, e := range s.exprs {
+		vecs[j] = e(b)
+	}
+	for i := 0; i < b.K; i++ {
+		row := make([]int64, len(vecs))
+		for j := range vecs {
+			row[j] = vecs[j][i]
+		}
+		*s.out = append(*s.out, row)
+	}
+}
+
+// Finish implements plan.Sink.
+func (s *collectSink) Finish(bar *exec.Barrier, wid int) { bar.Wait(nil) }

@@ -1,0 +1,930 @@
+package logical
+
+import (
+	"sort"
+	"strings"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/sql"
+)
+
+// PlanQuery turns a bound SELECT into an optimized logical plan:
+// constant folding, predicate classification and pushdown, the
+// join-order pick, residual placement, grouping-key reduction, and
+// projection pruning — in that order.
+func PlanQuery(sel *sql.Select, cat *catalog.Catalog) (*Plan, error) {
+	p := &planner{
+		cat:     cat,
+		sel:     sel,
+		filters: map[*catalog.Table][]sql.Expr{},
+	}
+	for _, f := range sel.From {
+		p.tables = append(p.tables, f.Table)
+	}
+
+	// Rewrite 1: constant folding (1 - 0.05 → 0.95, pre-scaled).
+	foldSelect(sel)
+
+	// Rewrite 2: classify WHERE conjuncts — single-table predicates push
+	// down to their scan, two-column equalities become join edges.
+	if err := p.classify(sel.Where); err != nil {
+		return nil, err
+	}
+
+	// Rewrite 3: join order. Hash tables build on the smaller,
+	// key-unique side; the largest table streams through the probes.
+	root, err := p.orderTables(p.tables, p.edges, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	pl := &Plan{Root: root, Limit: sel.Limit, AlwaysFalse: p.alwaysFalse, cat: cat}
+
+	if sel.Grouped {
+		agg, err := p.planAggregate(pl)
+		if err != nil {
+			return nil, err
+		}
+		pl.Agg = agg
+	} else {
+		for _, it := range sel.Items {
+			t := sql.TypeOf(it.Expr)
+			if ref, ok := it.Expr.(*sql.ColRef); ok && ref.Col.Type.Kind == catalog.String {
+				return nil, sql.Errf(ref.P, "string column %q cannot be an output column (strings may only be filtered)", ref.Name)
+			}
+			_ = t
+			pl.Proj = append(pl.Proj, it.Expr)
+		}
+	}
+
+	for _, it := range sel.Items {
+		pl.Cols = append(pl.Cols, OutCol{Name: it.Name(), Type: sql.TypeOf(it.Expr)})
+	}
+
+	if sel.Having != nil {
+		if err := p.validateHaving(sel.Having, pl.Agg); err != nil {
+			return nil, err
+		}
+		pl.Having = sel.Having
+	}
+
+	if err := p.planSort(pl); err != nil {
+		return nil, err
+	}
+
+	// Rewrite 4: projection pruning — each scan lists only the columns
+	// later operators consume.
+	prune(pl)
+	return pl, nil
+}
+
+type edge struct{ a, b *catalog.Column }
+
+func (e edge) touches(t *catalog.Table) bool { return e.a.Table == t || e.b.Table == t }
+
+// side returns the edge's column on table t (nil if none).
+func (e edge) side(t *catalog.Table) *catalog.Column {
+	if e.a.Table == t {
+		return e.a
+	}
+	if e.b.Table == t {
+		return e.b
+	}
+	return nil
+}
+
+// other returns the edge's column not on table t.
+func (e edge) other(t *catalog.Table) *catalog.Column {
+	if e.a.Table == t {
+		return e.b
+	}
+	return e.a
+}
+
+type planner struct {
+	cat         *catalog.Catalog
+	sel         *sql.Select
+	tables      []*catalog.Table
+	filters     map[*catalog.Table][]sql.Expr
+	edges       []edge
+	alwaysFalse bool
+
+	uf map[*catalog.Column]*catalog.Column // equality classes over all edges
+}
+
+// ---------------------------------------------------------------------
+// Predicate classification and pushdown
+// ---------------------------------------------------------------------
+
+// classify splits the WHERE conjunction: constant conjuncts fold away
+// (a constant false marks the whole plan empty), single-table conjuncts
+// push down to their scan, and two-column equalities become join edges.
+// Anything else crossing tables is unsupported.
+func (p *planner) classify(where sql.Expr) error {
+	p.uf = map[*catalog.Column]*catalog.Column{}
+	var walk func(e sql.Expr) error
+	walk = func(e sql.Expr) error {
+		if b, ok := e.(*sql.Binary); ok && b.Op == sql.OpAnd {
+			if err := walk(b.L); err != nil {
+				return err
+			}
+			return walk(b.R)
+		}
+		// BETWEEN desugars into two conjuncts so the scan's selection
+		// cascade gets two cheap primitives instead of one generic one.
+		if bt, ok := e.(*sql.Between); ok && !bt.Negate {
+			if err := walk(&sql.Binary{P: bt.P, Op: sql.OpGe, L: bt.X, R: bt.Lo}); err != nil {
+				return err
+			}
+			return walk(&sql.Binary{P: bt.P, Op: sql.OpLe, L: bt.X, R: bt.Hi})
+		}
+		tabs := exprTables(e)
+		switch len(tabs) {
+		case 0:
+			v, err := evalConst(e)
+			if err != nil {
+				return err
+			}
+			if !v {
+				p.alwaysFalse = true
+			}
+			return nil
+		case 1:
+			p.filters[tabs[0]] = append(p.filters[tabs[0]], e)
+			return nil
+		case 2:
+			if b, ok := e.(*sql.Binary); ok && b.Op == sql.OpEq {
+				lr, lok := b.L.(*sql.ColRef)
+				rr, rok := b.R.(*sql.ColRef)
+				if lok && rok {
+					p.edges = append(p.edges, edge{lr.Col, rr.Col})
+					p.union(lr.Col, rr.Col)
+					return nil
+				}
+			}
+		}
+		return sql.Errf(e.Pos(), "unsupported cross-table predicate %s (only column = column equi-joins)", sql.String(e))
+	}
+	if where == nil {
+		return nil
+	}
+	return walk(where)
+}
+
+// exprTables lists the distinct tables referenced by an expression, in
+// first-reference order.
+func exprTables(e sql.Expr) []*catalog.Table {
+	var out []*catalog.Table
+	seen := map[*catalog.Table]bool{}
+	walkCols(e, func(c *catalog.Column) {
+		if !seen[c.Table] {
+			seen[c.Table] = true
+			out = append(out, c.Table)
+		}
+	})
+	return out
+}
+
+// walkCols visits every column reference in an expression.
+func walkCols(e sql.Expr, fn func(*catalog.Column)) {
+	switch x := e.(type) {
+	case *sql.ColRef:
+		fn(x.Col)
+	case *sql.Binary:
+		walkCols(x.L, fn)
+		walkCols(x.R, fn)
+	case *sql.Not:
+		walkCols(x.X, fn)
+	case *sql.Between:
+		walkCols(x.X, fn)
+		walkCols(x.Lo, fn)
+		walkCols(x.Hi, fn)
+	case *sql.InList:
+		walkCols(x.X, fn)
+		for _, l := range x.List {
+			walkCols(l, fn)
+		}
+	case *sql.Agg:
+		if x.Arg != nil {
+			walkCols(x.Arg, fn)
+		}
+	}
+}
+
+// union-find over equality edges: the planner's column equivalence
+// classes (valid on the final pipeline, where every edge has been
+// enforced by a hash join or a residual match).
+func (p *planner) find(c *catalog.Column) *catalog.Column {
+	r, ok := p.uf[c]
+	if !ok || r == c {
+		return c
+	}
+	root := p.find(r)
+	p.uf[c] = root
+	return root
+}
+
+func (p *planner) union(a, b *catalog.Column) {
+	ra, rb := p.find(a), p.find(b)
+	if ra != rb {
+		p.uf[ra] = rb
+	}
+}
+
+// ---------------------------------------------------------------------
+// Join order
+// ---------------------------------------------------------------------
+
+// orderTables builds the join tree for a table set: the spine (largest
+// table, or the forced attachment table of a chain) streams through
+// hash probes of the remaining tables' chains, ordered by estimated
+// build cardinality. Equality edges not usable as key-unique hash joins
+// become residual predicates on the join where both sides first meet.
+func (p *planner) orderTables(tables []*catalog.Table, edges []edge, forced *catalog.Table) (Node, error) {
+	if len(tables) == 1 {
+		return &Scan{Table: tables[0], Filters: p.filters[tables[0]]}, nil
+	}
+	spine := forced
+	if spine == nil {
+		spine = tables[0]
+		for _, t := range tables[1:] {
+			if t.Rows() > spine.Rows() || (t.Rows() == spine.Rows() && t.Name < spine.Name) {
+				spine = t
+			}
+		}
+	}
+
+	var rest []*catalog.Table
+	for _, t := range tables {
+		if t != spine {
+			rest = append(rest, t)
+		}
+	}
+	var restEdges, spineEdges []edge
+	for _, e := range edges {
+		if e.touches(spine) {
+			spineEdges = append(spineEdges, e)
+		} else {
+			restEdges = append(restEdges, e)
+		}
+	}
+
+	var chains []chainSpec
+	var residuals []edge
+
+	for _, comp := range components(rest, restEdges) {
+		inComp := map[*catalog.Table]bool{}
+		for _, t := range comp {
+			inComp[t] = true
+		}
+		var inner []edge
+		for _, e := range restEdges {
+			if inComp[e.a.Table] && inComp[e.b.Table] {
+				inner = append(inner, e)
+			}
+		}
+		var attach, valid []edge
+		for _, e := range spineEdges {
+			compCol := e.other(spine)
+			if inComp[compCol.Table] {
+				attach = append(attach, e)
+				if compCol.Table.Key == compCol.Name {
+					valid = append(valid, e)
+				}
+			}
+		}
+		switch {
+		case len(attach) == 0:
+			return nil, sql.Errf(sql.Pos{Line: 1, Col: 1},
+				"no join path between %s and %s (cross joins are not supported)", spine.Name, tableNames(comp))
+		case len(valid) == 0:
+			return nil, sql.Errf(sql.Pos{Line: 1, Col: 1},
+				"cannot join %s to %s: no join column is a unique key (N:M joins are not supported)", spine.Name, tableNames(comp))
+		case len(valid) == 1:
+			chains = append(chains, chainSpec{tables: comp, attach: valid[0], inner: inner})
+			for _, e := range attach {
+				if e != valid[0] {
+					residuals = append(residuals, e)
+				}
+			}
+		default:
+			// Several key-unique attachments (Q5's orders/supplier
+			// component): split the component into one chain per
+			// attachment by multi-source BFS over key-unique edges;
+			// cross-chain equalities become residuals.
+			subChains, extra, err := splitComponent(comp, inner, valid, spine)
+			if err != nil {
+				return nil, err
+			}
+			chains = append(chains, subChains...)
+			residuals = append(residuals, extra...)
+			for _, e := range attach {
+				used := false
+				for _, sc := range subChains {
+					if sc.attach == e {
+						used = true
+					}
+				}
+				if !used {
+					residuals = append(residuals, e)
+				}
+			}
+		}
+	}
+
+	// Cardinality heuristic: probe the smallest (post-filter) build side
+	// first. A chain's build cardinality is its attachment table's rows
+	// scaled by the selectivity guesses of every filter in the chain.
+	for i := range chains {
+		est := float64(chains[i].attach.other(spine).Table.Rows())
+		for _, t := range chains[i].tables {
+			for _, f := range p.filters[t] {
+				est *= selectivity(f)
+			}
+		}
+		chains[i].est = est
+	}
+	sort.SliceStable(chains, func(i, j int) bool {
+		if chains[i].est != chains[j].est {
+			return chains[i].est < chains[j].est
+		}
+		return chains[i].attach.other(spine).Table.Name < chains[j].attach.other(spine).Table.Name
+	})
+
+	node := Node(&Scan{Table: spine, Filters: p.filters[spine]})
+	avail := map[*catalog.Table]bool{spine: true}
+	pending := residuals
+	for _, ch := range chains {
+		build, err := p.orderTables(ch.tables, ch.inner, ch.attach.other(spine).Table)
+		if err != nil {
+			return nil, err
+		}
+		j := &Join{
+			Build:    build,
+			Probe:    node,
+			BuildKey: ch.attach.other(spine),
+			ProbeKey: ch.attach.side(spine),
+		}
+		for _, t := range ch.tables {
+			avail[t] = true
+		}
+		var still []edge
+		for _, r := range pending {
+			if avail[r.a.Table] && avail[r.b.Table] {
+				j.Residuals = append(j.Residuals, [2]*catalog.Column{r.a, r.b})
+			} else {
+				still = append(still, r)
+			}
+		}
+		pending = still
+		node = j
+	}
+	if len(pending) > 0 {
+		return nil, sql.Errf(sql.Pos{Line: 1, Col: 1}, "internal: unplaced join residual")
+	}
+	return node, nil
+}
+
+// chainSpec is one build-side chain hanging off a pipeline's spine.
+type chainSpec struct {
+	tables []*catalog.Table
+	attach edge // join edge: spine side = probe key, chain side = build key
+	inner  []edge
+	est    float64
+}
+
+// splitComponent assigns each component table to the nearest attachment
+// table by BFS over key-unique edges (an edge is traversable toward T
+// only if T's side is T's unique key, because T will be built into a
+// hash table probed from nearer the spine). Inner edges that end up
+// crossing two chains are returned as residuals.
+func splitComponent(comp []*catalog.Table, inner []edge, valid []edge, spine *catalog.Table) ([]chainSpec, []edge, error) {
+	owner := map[*catalog.Table]*catalog.Table{} // table → its chain's attachment table
+	var frontier []*catalog.Table
+	for _, e := range valid {
+		t := e.other(spine).Table
+		if owner[t] == nil {
+			owner[t] = t
+			frontier = append(frontier, t)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*catalog.Table
+		for _, s := range frontier {
+			for _, e := range inner {
+				if !e.touches(s) {
+					continue
+				}
+				t := e.other(s).Table
+				tCol := e.side(t)
+				if owner[t] != nil || tCol.Table.Key != tCol.Name {
+					continue
+				}
+				owner[t] = owner[s]
+				next = append(next, t)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Name < next[j].Name })
+		frontier = next
+	}
+	for _, t := range comp {
+		if owner[t] == nil {
+			return nil, nil, sql.Errf(sql.Pos{Line: 1, Col: 1},
+				"cannot join table %s: no key-unique join path reaches it", t.Name)
+		}
+	}
+	var chains []chainSpec
+	var residuals []edge
+	for _, e := range valid {
+		src := e.other(spine).Table
+		var ts []*catalog.Table
+		for _, t := range comp {
+			if owner[t] == src {
+				ts = append(ts, t)
+			}
+		}
+		var in []edge
+		for _, ie := range inner {
+			if owner[ie.a.Table] == src && owner[ie.b.Table] == src {
+				in = append(in, ie)
+			}
+		}
+		chains = append(chains, chainSpec{tables: ts, attach: e, inner: in})
+	}
+	for _, ie := range inner {
+		if owner[ie.a.Table] != owner[ie.b.Table] {
+			residuals = append(residuals, ie)
+		}
+	}
+	return chains, residuals, nil
+}
+
+// components partitions tables into connected components under edges,
+// each sorted by name for determinism.
+func components(tables []*catalog.Table, edges []edge) [][]*catalog.Table {
+	id := map[*catalog.Table]int{}
+	for i, t := range tables {
+		id[t] = i
+	}
+	parent := make([]int, len(tables))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ia, aok := id[e.a.Table]
+		ib, bok := id[e.b.Table]
+		if aok && bok {
+			parent[find(ia)] = find(ib)
+		}
+	}
+	groups := map[int][]*catalog.Table{}
+	for i, t := range tables {
+		r := find(i)
+		groups[r] = append(groups[r], t)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return groups[roots[i]][0].Name < groups[roots[j]][0].Name
+	})
+	out := make([][]*catalog.Table, 0, len(roots))
+	for _, r := range roots {
+		g := groups[r]
+		sort.Slice(g, func(i, j int) bool { return g[i].Name < g[j].Name })
+		out = append(out, g)
+	}
+	return out
+}
+
+// selectivity is the planner's per-predicate reduction guess.
+func selectivity(e sql.Expr) float64 {
+	switch x := e.(type) {
+	case *sql.Binary:
+		switch x.Op {
+		case sql.OpEq:
+			return 0.1
+		case sql.OpNe:
+			return 0.9
+		case sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+			return 0.3
+		}
+	case *sql.InList:
+		return 0.2
+	}
+	return 0.5
+}
+
+func tableNames(ts []*catalog.Table) string {
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ---------------------------------------------------------------------
+// Aggregation planning
+// ---------------------------------------------------------------------
+
+func (p *planner) planAggregate(pl *Plan) (*Aggregate, error) {
+	agg := &Aggregate{}
+	for _, g := range p.sel.GroupBy {
+		col := g.(*sql.ColRef).Col
+		switch col.Type.Kind {
+		case catalog.String, catalog.Byte:
+			return nil, sql.Errf(g.Pos(), "cannot group by %s column %q", col.Type.Kind, col.Name)
+		}
+		agg.GroupBy = append(agg.GroupBy, col)
+	}
+
+	// Grouping-key reduction: a group column functionally determined by
+	// the kept keys — via a table's unique key, closed over the join
+	// equivalence classes — is demoted to a first-value aggregate.
+	agg.Keys = p.reduceKeys(agg.GroupBy)
+	switch {
+	case len(agg.Keys) > 2:
+		return nil, sql.Errf(p.sel.GroupBy[0].Pos(),
+			"group key too wide: %d independent columns (at most 2)", len(agg.Keys))
+	case len(agg.Keys) == 2:
+		for _, k := range agg.Keys {
+			if k.Type.Kind != catalog.Int32 && k.Type.Kind != catalog.Date {
+				return nil, sql.Errf(p.sel.GroupBy[0].Pos(),
+					"group key too wide: two keys must both be 32-bit columns, %s is %s", k.Name, k.Type.Kind)
+			}
+		}
+	}
+	// Prefer the spine's own base column for a kept key when an
+	// equivalence class offers one (Q3 groups by o_orderkey as the
+	// lineitem pipeline's l_orderkey, exactly like the hand plan).
+	spine := pl.Root.Spine().Table
+	for i, k := range agg.Keys {
+		agg.Keys[i] = p.substituteToTable(k, spine)
+	}
+
+	// Demoted group columns ride along as first-value slots.
+	kept := map[*catalog.Column]bool{}
+	for _, k := range agg.Keys {
+		kept[k] = true
+	}
+	firstSlot := map[*catalog.Column]int{}
+	for _, g := range agg.GroupBy {
+		if kept[g] || p.determinedByKeysIsKept(agg.Keys, g) && kept[p.substituteToTable(g, spine)] {
+			continue
+		}
+		if _, dup := firstSlot[g]; dup {
+			continue
+		}
+		ref := &sql.ColRef{Name: g.Name, Col: g}
+		firstSlot[g] = len(agg.Aggs)
+		agg.Aggs = append(agg.Aggs, AggSpec{Op: OpFirst, Arg: ref, Src: ref, Type: g.Type})
+	}
+
+	addAgg := func(a *sql.Agg) int {
+		for i, s := range agg.Aggs {
+			if s.Op != OpFirst && sql.Equal(s.Src, a) {
+				return i
+			}
+		}
+		op := map[sql.AggFn]AggOp{sql.AggSum: OpSum, sql.AggCount: OpCount, sql.AggMin: OpMin, sql.AggMax: OpMax}[a.Fn]
+		agg.Aggs = append(agg.Aggs, AggSpec{Op: op, Arg: a.Arg, Src: a, Type: a.Typ})
+		return len(agg.Aggs) - 1
+	}
+
+	keyIndex := func(c *catalog.Column) int {
+		cs := p.substituteToTable(c, spine)
+		for i, k := range agg.Keys {
+			if k == cs || k == c {
+				return i
+			}
+		}
+		return -1
+	}
+	agg.KeyOf = map[*catalog.Column]int{}
+	for i, k := range agg.Keys {
+		agg.KeyOf[k] = i
+	}
+	for _, g := range agg.GroupBy {
+		if i := keyIndex(g); i >= 0 {
+			agg.KeyOf[g] = i
+		}
+	}
+
+	for _, it := range p.sel.Items {
+		switch e := it.Expr.(type) {
+		case *sql.Agg:
+			agg.ItemSlots = append(agg.ItemSlots, Slot{Key: false, Idx: addAgg(e)})
+		case *sql.ColRef:
+			if i := keyIndex(e.Col); i >= 0 {
+				agg.ItemSlots = append(agg.ItemSlots, Slot{Key: true, Idx: i})
+				continue
+			}
+			if i, ok := firstSlot[e.Col]; ok {
+				agg.ItemSlots = append(agg.ItemSlots, Slot{Key: false, Idx: i})
+				continue
+			}
+			// A group column equal (via join) to a demoted one: add its
+			// own first-value slot.
+			ref := &sql.ColRef{Name: e.Col.Name, Col: e.Col}
+			firstSlot[e.Col] = len(agg.Aggs)
+			agg.Aggs = append(agg.Aggs, AggSpec{Op: OpFirst, Arg: ref, Src: ref, Type: e.Col.Type})
+			agg.ItemSlots = append(agg.ItemSlots, Slot{Key: false, Idx: firstSlot[e.Col]})
+		default:
+			return nil, sql.Errf(it.Expr.Pos(), "select item %s must be a grouping column or aggregate", sql.String(it.Expr))
+		}
+	}
+
+	// HAVING and ORDER BY may use aggregates that are not select items;
+	// give them hidden slots.
+	addHidden := func(e sql.Expr) {
+		walkAggs(e, func(a *sql.Agg) { addAgg(a) })
+	}
+	if p.sel.Having != nil {
+		addHidden(p.sel.Having)
+	}
+	for _, o := range p.sel.OrderBy {
+		if o.Item < 0 {
+			addHidden(o.Expr)
+		}
+	}
+	return agg, nil
+}
+
+// determinedByKeysIsKept is a small helper: reports whether g's
+// spine-substituted form already appears among the kept keys (so g does
+// not need its own first-value slot when it IS a kept key spelled
+// through an equivalent column).
+func (p *planner) determinedByKeysIsKept(keys []*catalog.Column, g *catalog.Column) bool {
+	for _, k := range keys {
+		if p.find(k) == p.find(g) {
+			return true
+		}
+	}
+	return false
+}
+
+func walkAggs(e sql.Expr, fn func(*sql.Agg)) {
+	switch x := e.(type) {
+	case *sql.Agg:
+		fn(x)
+	case *sql.Binary:
+		walkAggs(x.L, fn)
+		walkAggs(x.R, fn)
+	case *sql.Not:
+		walkAggs(x.X, fn)
+	case *sql.Between:
+		walkAggs(x.X, fn)
+		walkAggs(x.Lo, fn)
+		walkAggs(x.Hi, fn)
+	case *sql.InList:
+		walkAggs(x.X, fn)
+		for _, l := range x.List {
+			walkAggs(l, fn)
+		}
+	}
+}
+
+// reduceKeys picks a minimal subset of the grouping columns that
+// functionally determines the rest.
+func (p *planner) reduceKeys(group []*catalog.Column) []*catalog.Column {
+	var kept []*catalog.Column
+	for _, g := range group {
+		if !p.determined(kept, g) {
+			kept = append(kept, g)
+		}
+	}
+	for i := 0; i < len(kept); {
+		others := make([]*catalog.Column, 0, len(kept)-1)
+		others = append(others, kept[:i]...)
+		others = append(others, kept[i+1:]...)
+		if len(others) > 0 && p.determined(others, kept[i]) {
+			kept = others
+		} else {
+			i++
+		}
+	}
+	return kept
+}
+
+// determined computes the functional closure of the key set — table
+// unique keys determine their table's columns, join equalities carry
+// determination across tables — and reports whether g is inside it.
+func (p *planner) determined(keys []*catalog.Column, g *catalog.Column) bool {
+	det := map[*catalog.Column]bool{}
+	for _, k := range keys {
+		det[k] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range p.tables {
+			if t.Key == "" {
+				continue
+			}
+			kc := t.Column(t.Key)
+			if !det[kc] {
+				continue
+			}
+			for _, c := range t.Columns() {
+				if !det[c] {
+					det[c] = true
+					changed = true
+				}
+			}
+		}
+		for _, e := range p.edges {
+			if det[e.a] != det[e.b] {
+				det[e.a], det[e.b] = true, true
+				changed = true
+			}
+		}
+	}
+	return det[g]
+}
+
+// substituteToTable maps a column to an equivalent column of the given
+// table when one exists in its equality class (safe on the final
+// pipeline, where every equality has been enforced).
+func (p *planner) substituteToTable(c *catalog.Column, t *catalog.Table) *catalog.Column {
+	if c.Table == t {
+		return c
+	}
+	root := p.find(c)
+	for _, col := range t.Columns() {
+		if p.find(col) == root && col != c {
+			return col
+		}
+	}
+	return c
+}
+
+// validateHaving checks that HAVING only references grouping columns
+// and aggregates (which all have slots by now).
+func (p *planner) validateHaving(e sql.Expr, agg *Aggregate) error {
+	if agg == nil {
+		return sql.Errf(e.Pos(), "HAVING requires aggregation")
+	}
+	// Columns under aggregate calls are always fine; bare column
+	// references must be grouping columns.
+	var err error
+	var bare func(x sql.Expr)
+	bare = func(x sql.Expr) {
+		switch n := x.(type) {
+		case *sql.Agg:
+			return
+		case *sql.ColRef:
+			if err == nil && !p.isGroupValue(agg, n.Col) {
+				err = sql.Errf(n.P, "HAVING may only reference grouping columns and aggregates (column %q is neither)", n.Name)
+			}
+		case *sql.Binary:
+			bare(n.L)
+			bare(n.R)
+		case *sql.Not:
+			bare(n.X)
+		case *sql.Between:
+			bare(n.X)
+			bare(n.Lo)
+			bare(n.Hi)
+		case *sql.InList:
+			bare(n.X)
+			for _, l := range n.List {
+				bare(l)
+			}
+		}
+	}
+	bare(e)
+	return err
+}
+
+func (p *planner) isGroupValue(agg *Aggregate, c *catalog.Column) bool {
+	for _, g := range agg.GroupBy {
+		if g == c {
+			return true
+		}
+	}
+	for _, k := range agg.Keys {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+// planSort resolves ORDER BY keys to output slots / item indexes.
+func (p *planner) planSort(pl *Plan) error {
+	for _, o := range p.sel.OrderBy {
+		item := o.Item
+		if item < 0 {
+			for i, it := range p.sel.Items {
+				if sql.Equal(o.Expr, it.Expr) {
+					item = i
+					break
+				}
+			}
+		}
+		if pl.Agg == nil {
+			if item < 0 {
+				return sql.Errf(o.Expr.Pos(), "ORDER BY %s must reference a selected column", sql.String(o.Expr))
+			}
+			pl.Sort = append(pl.Sort, SortKey{Item: item, Desc: o.Desc})
+			continue
+		}
+		if item >= 0 {
+			pl.Sort = append(pl.Sort, SortKey{Slot: pl.Agg.ItemSlots[item], Desc: o.Desc})
+			continue
+		}
+		slot, err := p.resolveSlot(o.Expr, pl.Agg)
+		if err != nil {
+			return err
+		}
+		pl.Sort = append(pl.Sort, SortKey{Slot: slot, Desc: o.Desc})
+	}
+	return nil
+}
+
+// resolveSlot maps an aggregate call or grouping column to its output
+// slot.
+func (p *planner) resolveSlot(e sql.Expr, agg *Aggregate) (Slot, error) {
+	switch x := e.(type) {
+	case *sql.Agg:
+		for i, s := range agg.Aggs {
+			if s.Op != OpFirst && sql.Equal(s.Src, x) {
+				return Slot{Key: false, Idx: i}, nil
+			}
+		}
+	case *sql.ColRef:
+		if i, ok := agg.KeyOf[x.Col]; ok {
+			return Slot{Key: true, Idx: i}, nil
+		}
+		for i, s := range agg.Aggs {
+			if s.Op == OpFirst {
+				if ref, ok := s.Arg.(*sql.ColRef); ok && ref.Col == x.Col {
+					return Slot{Key: false, Idx: i}, nil
+				}
+			}
+		}
+	}
+	return Slot{}, sql.Errf(e.Pos(), "%s is not a grouping column or aggregate of this query", sql.String(e))
+}
+
+// ---------------------------------------------------------------------
+// Projection pruning
+// ---------------------------------------------------------------------
+
+// prune lists, per scan, the columns later operators consume (filter
+// columns are read by the scan's own cascade and not listed).
+func prune(pl *Plan) {
+	need := map[*catalog.Column]bool{}
+	add := func(e sql.Expr) { walkCols(e, func(c *catalog.Column) { need[c] = true }) }
+	if pl.Agg != nil {
+		for _, k := range pl.Agg.Keys {
+			need[k] = true
+		}
+		for _, s := range pl.Agg.Aggs {
+			if s.Arg != nil {
+				add(s.Arg)
+			}
+		}
+	}
+	for _, e := range pl.Proj {
+		add(e)
+	}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if j, ok := n.(*Join); ok {
+			need[j.BuildKey] = true
+			need[j.ProbeKey] = true
+			for _, r := range j.Residuals {
+				need[r[0]] = true
+				need[r[1]] = true
+			}
+			walk(j.Build)
+			walk(j.Probe)
+		}
+	}
+	walk(pl.Root)
+	var assign func(n Node)
+	assign = func(n Node) {
+		switch x := n.(type) {
+		case *Scan:
+			x.Cols = nil
+			for _, c := range x.Table.Columns() {
+				if need[c] {
+					x.Cols = append(x.Cols, c)
+				}
+			}
+		case *Join:
+			assign(x.Build)
+			assign(x.Probe)
+		}
+	}
+	assign(pl.Root)
+}

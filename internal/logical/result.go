@@ -1,0 +1,109 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/types"
+)
+
+// Result is the output of an ad-hoc SQL query: typed columns and rows
+// of raw 64-bit values (dates as day numbers, numerics as scaled
+// integers) — the engines' physical representation, so cross-validation
+// against the reference oracles is bit-exact. Formatting happens only
+// at display time.
+type Result struct {
+	Cols []OutCol
+	Rows [][]int64
+}
+
+// Cell renders one value using its column type.
+func (r *Result) Cell(row, col int) string {
+	return formatValue(r.Rows[row][col], r.Cols[col].Type)
+}
+
+func formatValue(v int64, t catalog.Type) string {
+	switch t.Kind {
+	case catalog.Date:
+		return types.Date(v).String()
+	case catalog.Numeric:
+		if t.Scale == 0 {
+			return fmt.Sprintf("%d", v)
+		}
+		pow := int64(1)
+		for i := 0; i < t.Scale; i++ {
+			pow *= 10
+		}
+		sign := ""
+		if v < 0 {
+			sign = "-"
+			v = -v
+		}
+		return fmt.Sprintf("%s%d.%0*d", sign, v/pow, t.Scale, v%pow)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// String renders the result as an aligned text table (the cmd/sqlsh
+// output), capping very long results.
+func (r *Result) String() string {
+	const maxRows = 50
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c.Name)
+	}
+	n := len(r.Rows)
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	cells := make([][]string, shown)
+	for i := 0; i < shown; i++ {
+		cells[i] = make([]string, len(r.Cols))
+		for j := range r.Cols {
+			cells[i][j] = r.Cell(i, j)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var sb strings.Builder
+	for j, c := range r.Cols {
+		if j > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[j], c.Name)
+	}
+	sb.WriteByte('\n')
+	for j := range r.Cols {
+		if j > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[j]))
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < shown; i++ {
+		for j := range r.Cols {
+			if j > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%*s", widths[j], cells[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	if shown < n {
+		fmt.Fprintf(&sb, "... (%d rows total)\n", n)
+	} else {
+		fmt.Fprintf(&sb, "(%d row%s)\n", n, plural(n))
+	}
+	return sb.String()
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,0 +1,192 @@
+package logical
+
+import (
+	"strconv"
+
+	"paradigms/internal/sql"
+)
+
+// foldSelect runs the constant-folding rewrite over every expression of
+// the statement: literal arithmetic collapses to a single pre-scaled
+// literal (20 + 4 compared to l_quantity becomes 2400 raw), so the
+// lowering only ever sees column-vs-literal predicates.
+func foldSelect(sel *sql.Select) {
+	if sel.Where != nil {
+		sel.Where = foldExpr(sel.Where)
+	}
+	for i := range sel.Items {
+		sel.Items[i].Expr = foldExpr(sel.Items[i].Expr)
+	}
+	if sel.Having != nil {
+		sel.Having = foldExpr(sel.Having)
+	}
+	for i := range sel.OrderBy {
+		if sel.OrderBy[i].Item < 0 {
+			sel.OrderBy[i].Expr = foldExpr(sel.OrderBy[i].Expr)
+		}
+	}
+}
+
+// foldExpr folds literal arithmetic bottom-up. The binder has already
+// unified operand scales, so folding is plain integer arithmetic.
+func foldExpr(e sql.Expr) sql.Expr {
+	switch x := e.(type) {
+	case *sql.Binary:
+		x.L = foldExpr(x.L)
+		x.R = foldExpr(x.R)
+		l, lok := x.L.(*sql.NumLit)
+		r, rok := x.R.(*sql.NumLit)
+		if lok && rok {
+			var v int64
+			switch x.Op {
+			case sql.OpAdd:
+				v = l.Val + r.Val
+			case sql.OpSub:
+				v = l.Val - r.Val
+			case sql.OpMul:
+				v = l.Val * r.Val
+			default:
+				return x
+			}
+			return &sql.NumLit{P: x.P, Text: strconv.FormatInt(v, 10), Val: v, Typ: x.Typ}
+		}
+		return x
+	case *sql.Not:
+		x.X = foldExpr(x.X)
+		return x
+	case *sql.Between:
+		x.X = foldExpr(x.X)
+		x.Lo = foldExpr(x.Lo)
+		x.Hi = foldExpr(x.Hi)
+		return x
+	case *sql.InList:
+		x.X = foldExpr(x.X)
+		for i := range x.List {
+			x.List[i] = foldExpr(x.List[i])
+		}
+		return x
+	case *sql.Agg:
+		if x.Arg != nil {
+			x.Arg = foldExpr(x.Arg)
+		}
+		return x
+	}
+	return e
+}
+
+// evalConst evaluates a column-free predicate (e.g. 1 = 1 after
+// folding) at plan time.
+func evalConst(e sql.Expr) (bool, error) {
+	v, isBool, err := evalScalar(e, nil)
+	if err != nil {
+		return false, err
+	}
+	if !isBool {
+		return false, sql.Errf(e.Pos(), "constant conjunct %s is not a predicate", sql.String(e))
+	}
+	return v != 0, nil
+}
+
+// evalScalar evaluates an expression over scalar 64-bit values, with
+// leaves (column references, aggregate calls) resolved by lookup. It is
+// used for constant conjuncts at plan time and for HAVING / generic
+// filter predicates at execution time. Booleans are 0/1 with isBool
+// set.
+func evalScalar(e sql.Expr, lookup func(sql.Expr) (int64, bool)) (val int64, isBool bool, err error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch x := e.(type) {
+	case *sql.NumLit:
+		return x.Val, false, nil
+	case *sql.DateLit:
+		return int64(x.Days), false, nil
+	case *sql.ColRef, *sql.Agg:
+		if lookup != nil {
+			if v, ok := lookup(e); ok {
+				return v, false, nil
+			}
+		}
+		return 0, false, sql.Errf(e.Pos(), "cannot evaluate %s here", sql.String(e))
+	case *sql.Not:
+		v, _, err := evalScalar(x.X, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		return b2i(v == 0), true, nil
+	case *sql.Between:
+		v, _, err := evalScalar(x.X, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		lo, _, err := evalScalar(x.Lo, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		hi, _, err := evalScalar(x.Hi, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		in := v >= lo && v <= hi
+		return b2i(in != x.Negate), true, nil
+	case *sql.InList:
+		v, _, err := evalScalar(x.X, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		found := false
+		for _, l := range x.List {
+			lv, _, err := evalScalar(l, lookup)
+			if err != nil {
+				return 0, false, err
+			}
+			if lv == v {
+				found = true
+				break
+			}
+		}
+		return b2i(found != x.Negate), true, nil
+	case *sql.Binary:
+		l, _, err := evalScalar(x.L, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		// AND short-circuits so canceled-out predicates stay cheap.
+		if x.Op == sql.OpAnd && l == 0 {
+			return 0, true, nil
+		}
+		if x.Op == sql.OpOr && l != 0 {
+			return 1, true, nil
+		}
+		r, _, err := evalScalar(x.R, lookup)
+		if err != nil {
+			return 0, false, err
+		}
+		switch x.Op {
+		case sql.OpAdd:
+			return l + r, false, nil
+		case sql.OpSub:
+			return l - r, false, nil
+		case sql.OpMul:
+			return l * r, false, nil
+		case sql.OpEq:
+			return b2i(l == r), true, nil
+		case sql.OpNe:
+			return b2i(l != r), true, nil
+		case sql.OpLt:
+			return b2i(l < r), true, nil
+		case sql.OpLe:
+			return b2i(l <= r), true, nil
+		case sql.OpGt:
+			return b2i(l > r), true, nil
+		case sql.OpGe:
+			return b2i(l >= r), true, nil
+		case sql.OpAnd, sql.OpOr:
+			return b2i(r != 0), true, nil
+		}
+	}
+	return 0, false, sql.Errf(e.Pos(), "cannot evaluate %s", sql.String(e))
+}

@@ -46,6 +46,13 @@ type Exec struct {
 	Vec     int
 }
 
+// NewExec creates a plan executor for callers outside this package — the
+// SQL lowering pass (internal/logical) assembles ad-hoc operator trees
+// with exactly the machinery the hand-written plans use.
+func NewExec(ctx context.Context, nWorkers, vecSize int) *Exec {
+	return newExec(ctx, nWorkers, vecSize)
+}
+
 // newExec normalizes the execution knobs and creates the executor.
 func newExec(ctx context.Context, nWorkers, vecSize int) *Exec {
 	w := nWorkers

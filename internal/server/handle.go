@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,10 @@ type Handle struct {
 	workers   int
 	result    any
 	err       error
+
+	// latency mirrors finished.Sub(submitted) for lock-free reads
+	// before Done (see Latency); 0 means still in flight.
+	latency atomic.Int64
 }
 
 // ID is the service-assigned query id (1-based, in submission order).
@@ -73,5 +78,13 @@ func (h *Handle) QueueWait() time.Duration {
 	return h.started.Sub(h.submitted)
 }
 
-// Latency is the total submit-to-finish latency. Valid after Done.
-func (h *Handle) Latency() time.Duration { return h.finished.Sub(h.submitted) }
+// Latency is the total submit-to-finish latency. Callable at any time:
+// before the query finishes it reports the elapsed time so far (rather
+// than a nonsense difference against the zero finish time); after Done
+// it is the final submit-to-finish latency.
+func (h *Handle) Latency() time.Duration {
+	if d := h.latency.Load(); d != 0 {
+		return time.Duration(d)
+	}
+	return time.Since(h.submitted)
+}

@@ -258,6 +258,7 @@ func (s *Service) share() int {
 // finish records the query's outcome and releases its waiters.
 func (s *Service) finish(h *Handle, res any, err error) {
 	h.finished = time.Now()
+	h.latency.Store(int64(h.finished.Sub(h.submitted)) | 1) // non-zero even for a 0ns query
 	if err != nil {
 		h.err = err
 	} else {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -74,6 +75,36 @@ func (a *statsAcc) snapshot() Stats {
 		st.Max = s[n-1]
 	}
 	return st
+}
+
+// MarshalJSON renders the snapshot machine-readable (cmd/serve
+// -statsjson): durations as float milliseconds, throughput precomputed,
+// counters verbatim.
+func (st Stats) MarshalJSON() ([]byte, error) {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return json.Marshal(struct {
+		Served          uint64            `json:"served"`
+		Failed          uint64            `json:"failed"`
+		Canceled        uint64            `json:"canceled"`
+		Rejected        uint64            `json:"rejected"`
+		QPS             float64           `json:"qps"`
+		PerEngine       map[string]uint64 `json:"per_engine"`
+		InFlight        int               `json:"in_flight"`
+		Queued          int               `json:"queued"`
+		QueuedHighWater int               `json:"queued_high_water"`
+		P50Ms           float64           `json:"p50_ms"`
+		P95Ms           float64           `json:"p95_ms"`
+		P99Ms           float64           `json:"p99_ms"`
+		MaxMs           float64           `json:"max_ms"`
+		Morsels         int64             `json:"morsels_dispatched"`
+		UptimeMs        float64           `json:"uptime_ms"`
+	}{
+		Served: st.Served, Failed: st.Failed, Canceled: st.Canceled, Rejected: st.Rejected,
+		QPS: st.QPS(), PerEngine: st.PerEngine,
+		InFlight: st.InFlight, Queued: st.Queued, QueuedHighWater: st.QueuedHighWater,
+		P50Ms: ms(st.P50), P95Ms: ms(st.P95), P99Ms: ms(st.P99), MaxMs: ms(st.Max),
+		Morsels: st.MorselsDispatched, UptimeMs: ms(st.Uptime),
+	})
 }
 
 // QPS is the served-query throughput over the service's uptime.

@@ -1,0 +1,337 @@
+// Package sql is the front door of the ad-hoc query subsystem — an
+// extension beyond the paper's fixed query catalog: a hand-written lexer
+// and recursive-descent parser for a SELECT subset (projections,
+// SUM/COUNT/MIN/MAX aggregates, arithmetic, WHERE with AND / comparisons
+// / BETWEEN / IN, multi-table equi-joins via WHERE or JOIN...ON,
+// GROUP BY, HAVING, ORDER BY, LIMIT) producing a typed AST, plus a
+// binder that resolves names against an internal/catalog schema and
+// type-checks every expression. Every diagnostic names the offending
+// token with its line/column position. The logical planner
+// (internal/logical) consumes the bound AST and lowers it onto the
+// vectorized operator layer.
+package sql
+
+import (
+	"strings"
+
+	"paradigms/internal/catalog"
+)
+
+// Expr is a parsed (and, after Bind, typed) expression.
+type Expr interface {
+	Pos() Pos
+	exprNode()
+}
+
+// ColRef is a column reference, optionally table-qualified. Bind
+// resolves Col.
+type ColRef struct {
+	P     Pos
+	Table string // "" if unqualified
+	Name  string
+	Col   *catalog.Column
+}
+
+// NumLit is a numeric literal. The binder fixes Val and Typ from
+// context: compared or combined with a scale-s numeric column, the
+// literal is scaled to raw units (0.05 at scale 2 → 5; 24 at scale 2 →
+// 2400), so execution is pure integer arithmetic.
+type NumLit struct {
+	P    Pos
+	Text string
+	Val  int64
+	Typ  catalog.Type
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	P   Pos
+	Val string
+}
+
+// DateLit is a date literal (DATE 'YYYY-MM-DD'); Days is days since
+// 1970-01-01, the engines' physical date representation.
+type DateLit struct {
+	P    Pos
+	Text string
+	Days int32
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "and", "or"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is a binary expression. Typ is set by Bind for arithmetic ops.
+type Binary struct {
+	P    Pos
+	Op   BinOp
+	L, R Expr
+	Typ  catalog.Type
+}
+
+// Not is logical negation.
+type Not struct {
+	P Pos
+	X Expr
+}
+
+// Between is x [NOT] BETWEEN lo AND hi (inclusive).
+type Between struct {
+	P      Pos
+	X      Expr
+	Lo, Hi Expr
+	Negate bool
+}
+
+// InList is x [NOT] IN (literal, ...).
+type InList struct {
+	P      Pos
+	X      Expr
+	List   []Expr
+	Negate bool
+}
+
+// AggFn enumerates the aggregate functions.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggSum AggFn = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"sum", "count", "min", "max"}
+
+func (f AggFn) String() string { return aggNames[f] }
+
+// Agg is an aggregate call: SUM/MIN/MAX(expr), COUNT(expr), COUNT(*).
+type Agg struct {
+	P    Pos
+	Fn   AggFn
+	Star bool // COUNT(*)
+	Arg  Expr // nil when Star
+	Typ  catalog.Type
+}
+
+func (e *ColRef) Pos() Pos  { return e.P }
+func (e *NumLit) Pos() Pos  { return e.P }
+func (e *StrLit) Pos() Pos  { return e.P }
+func (e *DateLit) Pos() Pos { return e.P }
+func (e *Binary) Pos() Pos  { return e.P }
+func (e *Not) Pos() Pos     { return e.P }
+func (e *Between) Pos() Pos { return e.P }
+func (e *InList) Pos() Pos  { return e.P }
+func (e *Agg) Pos() Pos     { return e.P }
+
+func (*ColRef) exprNode()  {}
+func (*NumLit) exprNode()  {}
+func (*StrLit) exprNode()  {}
+func (*DateLit) exprNode() {}
+func (*Binary) exprNode()  {}
+func (*Not) exprNode()     {}
+func (*Between) exprNode() {}
+func (*InList) exprNode()  {}
+func (*Agg) exprNode()     {}
+
+// SelectItem is one projection of the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" if none
+}
+
+// Name returns the output column name of the item.
+func (it SelectItem) Name() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch e := it.Expr.(type) {
+	case *ColRef:
+		return e.Name
+	case *Agg:
+		if e.Star {
+			return "count"
+		}
+		return e.Fn.String()
+	}
+	return "expr"
+}
+
+// TableRef is one FROM (or JOIN) table. Bind resolves Table.
+type TableRef struct {
+	P     Pos
+	Name  string
+	Table *catalog.Table
+}
+
+// OrderItem is one ORDER BY key. The planner resolves Item to the index
+// of the select item the key sorts by (by alias, ordinal, or structural
+// match).
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+	Item int
+}
+
+// Select is a parsed SELECT statement. JOIN...ON conjuncts are folded
+// into Where at parse time, so the binder and planner see one predicate
+// set regardless of join spelling.
+type Select struct {
+	Items   []SelectItem
+	Star    bool // SELECT *
+	From    []TableRef
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   int // -1 = no limit
+
+	// Grouped is set by Bind: the query aggregates (GROUP BY present or
+	// any aggregate in the SELECT list).
+	Grouped bool
+}
+
+// TypeOf returns the bound type of an expression (zero Type for
+// booleans and strings; callers that care about those inspect the node).
+func TypeOf(e Expr) catalog.Type {
+	switch x := e.(type) {
+	case *ColRef:
+		return x.Col.Type
+	case *NumLit:
+		return x.Typ
+	case *DateLit:
+		return catalog.Type{Kind: catalog.Date}
+	case *Binary:
+		return x.Typ
+	case *Agg:
+		return x.Typ
+	}
+	return catalog.Type{}
+}
+
+// Equal reports structural equality of two bound expressions — the
+// planner's tool for matching HAVING and ORDER BY expressions against
+// SELECT items (e.g. ORDER BY sum(x) matches the item SELECT sum(x)).
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *ColRef:
+		y, ok := b.(*ColRef)
+		return ok && x.Col == y.Col
+	case *NumLit:
+		y, ok := b.(*NumLit)
+		return ok && x.Val == y.Val && x.Typ == y.Typ
+	case *StrLit:
+		y, ok := b.(*StrLit)
+		return ok && x.Val == y.Val
+	case *DateLit:
+		y, ok := b.(*DateLit)
+		return ok && x.Days == y.Days
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.X, y.X)
+	case *Between:
+		y, ok := b.(*Between)
+		return ok && x.Negate == y.Negate && Equal(x.X, y.X) && Equal(x.Lo, y.Lo) && Equal(x.Hi, y.Hi)
+	case *InList:
+		y, ok := b.(*InList)
+		if !ok || x.Negate != y.Negate || len(x.List) != len(y.List) || !Equal(x.X, y.X) {
+			return false
+		}
+		for i := range x.List {
+			if !Equal(x.List[i], y.List[i]) {
+				return false
+			}
+		}
+		return true
+	case *Agg:
+		y, ok := b.(*Agg)
+		if !ok || x.Fn != y.Fn || x.Star != y.Star {
+			return false
+		}
+		return x.Star || Equal(x.Arg, y.Arg)
+	}
+	return false
+}
+
+// String renders an expression in SQL-ish form for plan displays and
+// error messages.
+func String(e Expr) string {
+	var sb strings.Builder
+	format(&sb, e)
+	return sb.String()
+}
+
+func format(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *ColRef:
+		sb.WriteString(x.Name)
+	case *NumLit:
+		sb.WriteString(x.Text)
+	case *StrLit:
+		sb.WriteString("'" + x.Val + "'")
+	case *DateLit:
+		sb.WriteString("date '" + x.Text + "'")
+	case *Binary:
+		sb.WriteByte('(')
+		format(sb, x.L)
+		sb.WriteString(" " + x.Op.String() + " ")
+		format(sb, x.R)
+		sb.WriteByte(')')
+	case *Not:
+		sb.WriteString("not ")
+		format(sb, x.X)
+	case *Between:
+		format(sb, x.X)
+		if x.Negate {
+			sb.WriteString(" not")
+		}
+		sb.WriteString(" between ")
+		format(sb, x.Lo)
+		sb.WriteString(" and ")
+		format(sb, x.Hi)
+	case *InList:
+		format(sb, x.X)
+		if x.Negate {
+			sb.WriteString(" not")
+		}
+		sb.WriteString(" in (")
+		for i, l := range x.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			format(sb, l)
+		}
+		sb.WriteByte(')')
+	case *Agg:
+		sb.WriteString(x.Fn.String() + "(")
+		if x.Star {
+			sb.WriteByte('*')
+		} else {
+			format(sb, x.Arg)
+		}
+		sb.WriteByte(')')
+	}
+}

@@ -1,0 +1,643 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"paradigms/internal/catalog"
+)
+
+// Bind resolves every name in the statement against the catalog and
+// type-checks every expression, annotating the AST in place (column
+// pointers, literal values scaled to their context, result types).
+// After a successful Bind the statement is fully typed: the planner
+// never revisits names or types.
+func Bind(sel *Select, cat *catalog.Catalog) error {
+	b := &binder{cat: cat, sel: sel}
+	return b.bind()
+}
+
+// value classes seen by the type checker.
+type vclass int
+
+const (
+	vNum  vclass = iota // int32/int64/numeric/date — Type carries detail
+	vBool               // predicate
+	vStr                // string
+)
+
+type vtype struct {
+	cls vclass
+	t   catalog.Type
+}
+
+type binder struct {
+	cat    *catalog.Catalog
+	sel    *Select
+	tables []*catalog.Table
+}
+
+func (b *binder) bind() error {
+	// FROM tables.
+	seen := map[string]bool{}
+	for i := range b.sel.From {
+		ref := &b.sel.From[i]
+		t := b.cat.Table(ref.Name)
+		if t == nil {
+			return Errf(ref.P, "unknown table %q (known: %s)", ref.Name, strings.Join(b.cat.Tables(), ", "))
+		}
+		if seen[ref.Name] {
+			return Errf(ref.P, "table %q appears twice in FROM (self-joins are not supported)", ref.Name)
+		}
+		seen[ref.Name] = true
+		ref.Table = t
+		b.tables = append(b.tables, t)
+	}
+
+	// SELECT * expands to every column of every FROM table.
+	if b.sel.Star {
+		for _, t := range b.tables {
+			for _, c := range t.Columns() {
+				b.sel.Items = append(b.sel.Items, SelectItem{
+					Expr: &ColRef{Name: c.Name, Col: c},
+				})
+			}
+		}
+	}
+
+	// WHERE: boolean, no aggregates.
+	if b.sel.Where != nil {
+		vt, err := b.expr(&b.sel.Where, false)
+		if err != nil {
+			return err
+		}
+		if vt.cls != vBool {
+			return Errf(b.sel.Where.Pos(), "WHERE clause must be a predicate")
+		}
+	}
+
+	// GROUP BY: plain columns.
+	for i := range b.sel.GroupBy {
+		if _, err := b.expr(&b.sel.GroupBy[i], false); err != nil {
+			return err
+		}
+		if _, ok := b.sel.GroupBy[i].(*ColRef); !ok {
+			return Errf(b.sel.GroupBy[i].Pos(), "GROUP BY supports plain columns only")
+		}
+	}
+
+	// SELECT items: values only — a predicate as an output column has
+	// no vectorized value form (and would otherwise surface as an
+	// executor panic on a worker goroutine).
+	hasAgg := false
+	for i := range b.sel.Items {
+		vt, err := b.expr(&b.sel.Items[i].Expr, true)
+		if err != nil {
+			return err
+		}
+		if vt.cls == vBool {
+			return Errf(b.sel.Items[i].Expr.Pos(), "select item %s is a predicate, not a value", String(b.sel.Items[i].Expr))
+		}
+		if containsAgg(b.sel.Items[i].Expr) {
+			hasAgg = true
+		}
+	}
+	b.sel.Grouped = hasAgg || len(b.sel.GroupBy) > 0
+
+	if b.sel.Grouped {
+		for i := range b.sel.Items {
+			e := b.sel.Items[i].Expr
+			if _, isAgg := e.(*Agg); isAgg {
+				continue
+			}
+			if b.matchesGroupCol(e) {
+				continue
+			}
+			return Errf(e.Pos(), "%s must be a GROUP BY column or an aggregate", String(e))
+		}
+	}
+
+	// HAVING: grouped queries only; boolean over group cols/aggregates.
+	if b.sel.Having != nil {
+		if !b.sel.Grouped {
+			return Errf(b.sel.Having.Pos(), "HAVING requires GROUP BY or aggregates")
+		}
+		vt, err := b.expr(&b.sel.Having, true)
+		if err != nil {
+			return err
+		}
+		if vt.cls != vBool {
+			return Errf(b.sel.Having.Pos(), "HAVING clause must be a predicate")
+		}
+	}
+
+	// ORDER BY: alias, 1-based ordinal, or expression.
+	for i := range b.sel.OrderBy {
+		o := &b.sel.OrderBy[i]
+		if ref, ok := o.Expr.(*ColRef); ok && ref.Table == "" {
+			if idx := b.aliasIndex(ref.Name); idx >= 0 {
+				o.Item = idx
+				continue
+			}
+		}
+		if lit, ok := o.Expr.(*NumLit); ok && !strings.ContainsRune(lit.Text, '.') {
+			n := 0
+			for _, c := range lit.Text {
+				n = n*10 + int(c-'0')
+			}
+			if n < 1 || n > len(b.sel.Items) {
+				return Errf(lit.P, "ORDER BY position %d is out of range (1..%d)", n, len(b.sel.Items))
+			}
+			o.Item = n - 1
+			continue
+		}
+		if _, err := b.expr(&o.Expr, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aliasIndex returns the select-item index with the given alias, or -1.
+func (b *binder) aliasIndex(name string) int {
+	for i, it := range b.sel.Items {
+		if it.Alias == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// matchesGroupCol reports whether e structurally equals a GROUP BY
+// expression.
+func (b *binder) matchesGroupCol(e Expr) bool {
+	for _, g := range b.sel.GroupBy {
+		if Equal(e, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsAgg reports whether the expression contains an aggregate call.
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *Agg:
+		return true
+	case *Binary:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *Not:
+		return containsAgg(x.X)
+	case *Between:
+		return containsAgg(x.X) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	case *InList:
+		if containsAgg(x.X) {
+			return true
+		}
+		for _, l := range x.List {
+			if containsAgg(l) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expr binds and type-checks *ep in place (the pointer allows literal
+// rewrites, e.g. a string literal compared to a date column becoming a
+// DateLit).
+func (b *binder) expr(ep *Expr, allowAgg bool) (vtype, error) {
+	switch x := (*ep).(type) {
+	case *ColRef:
+		if x.Col == nil {
+			if err := b.resolve(x); err != nil {
+				return vtype{}, err
+			}
+		}
+		switch x.Col.Type.Kind {
+		case catalog.String:
+			return vtype{cls: vStr}, nil
+		case catalog.Byte:
+			return vtype{}, Errf(x.P, "column %q has unsupported type byte", x.Name)
+		}
+		return vtype{cls: vNum, t: x.Col.Type}, nil
+
+	case *NumLit:
+		// Intrinsic type: scale = number of fraction digits; context
+		// (comparisons, arithmetic) rescales via coerce.
+		if x.Typ.Kind == 0 && x.Val == 0 && x.Text != "" {
+			val, scale, ok := parseNum(x.Text)
+			if !ok {
+				return vtype{}, Errf(x.P, "bad numeric literal %q", x.Text)
+			}
+			x.Val = val
+			if scale > 0 {
+				x.Typ = catalog.Type{Kind: catalog.Numeric, Scale: scale}
+			} else {
+				x.Typ = catalog.Type{Kind: catalog.Int64}
+			}
+		}
+		return vtype{cls: vNum, t: x.Typ}, nil
+
+	case *StrLit:
+		return vtype{cls: vStr}, nil
+
+	case *DateLit:
+		return vtype{cls: vNum, t: catalog.Type{Kind: catalog.Date}}, nil
+
+	case *Binary:
+		return b.binary(ep, x, allowAgg)
+
+	case *Not:
+		vt, err := b.expr(&x.X, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		if vt.cls != vBool {
+			return vtype{}, Errf(x.P, "NOT requires a predicate operand")
+		}
+		return vtype{cls: vBool}, nil
+
+	case *Between:
+		vt, err := b.expr(&x.X, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		if vt.cls != vNum {
+			return vtype{}, Errf(x.P, "BETWEEN requires a numeric or date operand")
+		}
+		for _, p := range []*Expr{&x.Lo, &x.Hi} {
+			if _, err := b.expr(p, false); err != nil {
+				return vtype{}, err
+			}
+			if err := b.coerce(p, vt.t); err != nil {
+				return vtype{}, err
+			}
+		}
+		return vtype{cls: vBool}, nil
+
+	case *InList:
+		vt, err := b.expr(&x.X, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		for i := range x.List {
+			lv, err := b.expr(&x.List[i], false)
+			if err != nil {
+				return vtype{}, err
+			}
+			switch vt.cls {
+			case vNum:
+				if err := b.coerce(&x.List[i], vt.t); err != nil {
+					return vtype{}, err
+				}
+			case vStr:
+				if lv.cls != vStr {
+					return vtype{}, Errf(x.List[i].Pos(), "IN list value %s is not a string", String(x.List[i]))
+				}
+				if _, isLit := x.List[i].(*StrLit); !isLit {
+					return vtype{}, Errf(x.List[i].Pos(), "IN list values must be literals")
+				}
+			default:
+				return vtype{}, Errf(x.P, "IN requires a column or value operand")
+			}
+		}
+		return vtype{cls: vBool}, nil
+
+	case *Agg:
+		if !allowAgg {
+			return vtype{}, Errf(x.P, "aggregate %s is not allowed here", x.Fn)
+		}
+		if x.Star {
+			x.Typ = catalog.Type{Kind: catalog.Int64}
+			return vtype{cls: vNum, t: x.Typ}, nil
+		}
+		if containsAgg(x.Arg) {
+			return vtype{}, Errf(x.Arg.Pos(), "nested aggregates are not allowed")
+		}
+		vt, err := b.expr(&x.Arg, false)
+		if err != nil {
+			return vtype{}, err
+		}
+		if vt.cls != vNum {
+			return vtype{}, Errf(x.Arg.Pos(), "cannot aggregate %s: %s is not numeric", x.Fn, String(x.Arg))
+		}
+		switch x.Fn {
+		case AggCount:
+			x.Typ = catalog.Type{Kind: catalog.Int64}
+		case AggSum:
+			if vt.t.Kind == catalog.Date {
+				return vtype{}, Errf(x.Arg.Pos(), "cannot sum a date expression")
+			}
+			x.Typ = vt.t
+			if x.Typ.Kind == catalog.Int32 {
+				x.Typ.Kind = catalog.Int64
+			}
+		default: // min/max keep the argument type (dates included)
+			x.Typ = vt.t
+		}
+		return vtype{cls: vNum, t: x.Typ}, nil
+	}
+	return vtype{}, Errf((*ep).Pos(), "unsupported expression")
+}
+
+// binary type-checks comparisons, connectives, and arithmetic.
+func (b *binder) binary(ep *Expr, x *Binary, allowAgg bool) (vtype, error) {
+	switch x.Op {
+	case OpAnd, OpOr:
+		for _, p := range []*Expr{&x.L, &x.R} {
+			vt, err := b.expr(p, allowAgg)
+			if err != nil {
+				return vtype{}, err
+			}
+			if vt.cls != vBool {
+				return vtype{}, Errf((*p).Pos(), "%s operand %s is not a predicate", x.Op, String(*p))
+			}
+		}
+		return vtype{cls: vBool}, nil
+
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		lv, err := b.expr(&x.L, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		rv, err := b.expr(&x.R, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		switch {
+		case lv.cls == vStr || rv.cls == vStr:
+			// A string literal against a date column is a date literal.
+			if lv.cls == vNum && lv.t.Kind == catalog.Date {
+				if err := b.coerce(&x.R, lv.t); err != nil {
+					return vtype{}, err
+				}
+				return vtype{cls: vBool}, nil
+			}
+			if rv.cls == vNum && rv.t.Kind == catalog.Date {
+				if err := b.coerce(&x.L, rv.t); err != nil {
+					return vtype{}, err
+				}
+				return vtype{cls: vBool}, nil
+			}
+			if lv.cls != vStr || rv.cls != vStr {
+				return vtype{}, Errf(x.P, "cannot compare %s with %s", String(x.L), String(x.R))
+			}
+			if x.Op != OpEq && x.Op != OpNe {
+				return vtype{}, Errf(x.P, "only = and <> are supported for strings")
+			}
+			return vtype{cls: vBool}, nil
+		case lv.cls == vBool || rv.cls == vBool:
+			return vtype{}, Errf(x.P, "cannot compare predicates")
+		default:
+			if err := b.unify(&x.L, &x.R, lv.t, rv.t, x.P, "compare"); err != nil {
+				return vtype{}, err
+			}
+			return vtype{cls: vBool}, nil
+		}
+
+	case OpAdd, OpSub, OpMul:
+		lv, err := b.expr(&x.L, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		rv, err := b.expr(&x.R, allowAgg)
+		if err != nil {
+			return vtype{}, err
+		}
+		// Literal arithmetic folds immediately so the result can later
+		// coerce to a column's scale as one literal (20 + 4 compared to
+		// l_quantity becomes 2400 raw).
+		if ll, lok := x.L.(*NumLit); lok {
+			if rl, rok := x.R.(*NumLit); rok {
+				if folded, ok := foldLits(x.Op, ll, rl, x.P); ok {
+					*ep = folded
+					return vtype{cls: vNum, t: folded.Typ}, nil
+				}
+			}
+		}
+		for _, side := range []struct {
+			v vtype
+			e Expr
+		}{{lv, x.L}, {rv, x.R}} {
+			if side.v.cls != vNum {
+				return vtype{}, Errf(side.e.Pos(), "cannot apply %s to %s", x.Op, String(side.e))
+			}
+			if side.v.t.Kind == catalog.Date {
+				return vtype{}, Errf(side.e.Pos(), "cannot apply %s to date expression %s", x.Op, String(side.e))
+			}
+		}
+		if x.Op == OpMul {
+			// Multiplication sums decimal scales (2 × 2 → 4), exactly
+			// like the engines' fixed-point revenue expressions.
+			x.Typ = catalog.Type{Kind: resultKind(lv.t.Kind, rv.t.Kind), Scale: lv.t.Scale + rv.t.Scale}
+			return vtype{cls: vNum, t: x.Typ}, nil
+		}
+		if err := b.unify(&x.L, &x.R, lv.t, rv.t, x.P, x.Op.String()); err != nil {
+			return vtype{}, err
+		}
+		t := TypeOf(x.L)
+		x.Typ = catalog.Type{Kind: resultKind(t.Kind, TypeOf(x.R).Kind), Scale: t.Scale}
+		return vtype{cls: vNum, t: x.Typ}, nil
+
+	case OpDiv:
+		return vtype{}, Errf(x.P, "division is not supported")
+	}
+	return vtype{}, Errf(x.P, "unsupported operator")
+}
+
+// foldLits combines two bound numeric literals, aligning scales for
+// addition/subtraction and summing them for multiplication.
+func foldLits(op BinOp, l, r *NumLit, pos Pos) (*NumLit, bool) {
+	ls, rs := litScale(l), litScale(r)
+	lv, rv := l.Val, r.Val
+	var v int64
+	scale := ls
+	switch op {
+	case OpMul:
+		v = lv * rv
+		scale = ls + rs
+	case OpAdd, OpSub:
+		for ls < rs {
+			lv *= 10
+			ls++
+		}
+		for rs < ls {
+			rv *= 10
+			rs++
+		}
+		scale = ls
+		if op == OpAdd {
+			v = lv + rv
+		} else {
+			v = lv - rv
+		}
+	default:
+		return nil, false
+	}
+	typ := catalog.Type{Kind: catalog.Int64}
+	if scale > 0 {
+		typ = catalog.Type{Kind: catalog.Numeric, Scale: scale}
+	}
+	return &NumLit{P: pos, Text: strconv.FormatInt(v, 10), Val: v, Typ: typ}, true
+}
+
+func litScale(l *NumLit) int {
+	if l.Typ.Kind == catalog.Numeric {
+		return l.Typ.Scale
+	}
+	return 0
+}
+
+func resultKind(a, c catalog.Kind) catalog.Kind {
+	if a == catalog.Numeric || c == catalog.Numeric {
+		return catalog.Numeric
+	}
+	return catalog.Int64
+}
+
+// unify makes two numeric operands directly comparable/combinable,
+// rescaling literal sides where needed.
+func (b *binder) unify(lp, rp *Expr, lt, rt catalog.Type, pos Pos, what string) error {
+	if _, ok := (*lp).(*NumLit); ok {
+		return b.coerce(lp, rt)
+	}
+	if _, ok := (*rp).(*NumLit); ok {
+		return b.coerce(rp, lt)
+	}
+	if !compatible(lt, rt) {
+		return Errf(pos, "cannot %s %s (%s) with %s (%s)",
+			what, String(*lp), describeType(lt), String(*rp), describeType(rt))
+	}
+	return nil
+}
+
+// compatible reports whether two non-literal numeric types can be
+// compared or combined without conversion.
+func compatible(a, c catalog.Type) bool {
+	if a.Kind == catalog.Date || c.Kind == catalog.Date {
+		return a.Kind == c.Kind
+	}
+	if a.Kind == catalog.Numeric || c.Kind == catalog.Numeric {
+		return a.Scale == c.Scale
+	}
+	return true // int32/int64 mix freely
+}
+
+func describeType(t catalog.Type) string {
+	if t.Kind == catalog.Numeric {
+		return "numeric scale " + string(rune('0'+t.Scale))
+	}
+	return t.Kind.String()
+}
+
+// coerce adjusts a literal to a target column type: numeric literals are
+// rescaled to the column's raw units; string literals against date
+// columns become date literals. Non-literals fall back to compatibility
+// checking.
+func (b *binder) coerce(ep *Expr, target catalog.Type) error {
+	switch lit := (*ep).(type) {
+	case *NumLit:
+		if target.Kind == catalog.Date {
+			return Errf(lit.P, "cannot use number %s as a date (write date 'YYYY-MM-DD')", lit.Text)
+		}
+		have := lit.Typ.Scale
+		if lit.Typ.Kind != catalog.Numeric {
+			have = 0
+		}
+		want := 0
+		if target.Kind == catalog.Numeric {
+			want = target.Scale
+		}
+		if have > want {
+			return Errf(lit.P, "literal %s has more decimal digits than %s allows", lit.Text, describeType(target))
+		}
+		for i := have; i < want; i++ {
+			lit.Val *= 10
+		}
+		// An out-of-range literal against a 32-bit column would wrap in
+		// the typed selection primitives and invert the comparison.
+		if target.Kind == catalog.Int32 && (lit.Val > 1<<31-1 || lit.Val < -(1<<31)) {
+			return Errf(lit.P, "literal %s is out of range for 32-bit column comparison", lit.Text)
+		}
+		lit.Typ = target
+		return nil
+	case *StrLit:
+		if target.Kind != catalog.Date {
+			return Errf(lit.P, "cannot compare string '%s' with %s", lit.Val, describeType(target))
+		}
+		days, ok := parseDate(lit.Val)
+		if !ok {
+			return Errf(lit.P, "bad date literal '%s' (want 'YYYY-MM-DD')", lit.Val)
+		}
+		*ep = &DateLit{P: lit.P, Text: lit.Val, Days: days}
+		return nil
+	default:
+		vt, err := b.expr(ep, false)
+		if err != nil {
+			return err
+		}
+		if vt.cls != vNum || !compatible(vt.t, target) {
+			return Errf((*ep).Pos(), "cannot use %s as %s", String(*ep), describeType(target))
+		}
+		return nil
+	}
+}
+
+// resolve binds a column reference against the FROM tables.
+func (b *binder) resolve(ref *ColRef) error {
+	if ref.Table != "" {
+		for _, t := range b.tables {
+			if t.Name == ref.Table {
+				c := t.Column(ref.Name)
+				if c == nil {
+					return Errf(ref.P, "unknown column %q in table %q", ref.Name, ref.Table)
+				}
+				ref.Col = c
+				return nil
+			}
+		}
+		return Errf(ref.P, "table %q is not in the FROM clause", ref.Table)
+	}
+	matches := catalog.Resolve(b.tables, ref.Name)
+	switch len(matches) {
+	case 0:
+		return Errf(ref.P, "unknown column %q", ref.Name)
+	case 1:
+		ref.Col = matches[0]
+		return nil
+	default:
+		names := make([]string, len(matches))
+		for i, m := range matches {
+			names[i] = m.Table.Name
+		}
+		return Errf(ref.P, "ambiguous column %q (in tables %s)", ref.Name, strings.Join(names, ", "))
+	}
+}
+
+// parseNum parses an integer or decimal literal into (digits-as-int,
+// fraction length).
+func parseNum(s string) (val int64, scale int, ok bool) {
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '.' {
+			if seenDot {
+				return 0, 0, false
+			}
+			seenDot = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, 0, false
+		}
+		if val > (1<<62)/10 {
+			return 0, 0, false // overflow guard
+		}
+		val = val*10 + int64(c-'0')
+		if seenDot {
+			scale++
+		}
+	}
+	return val, scale, len(s) > 0
+}

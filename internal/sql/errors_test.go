@@ -1,0 +1,67 @@
+package sql
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden error files")
+
+// goldenCases are the diagnostics pinned by golden files: unknown
+// column/table and type-mismatch messages must name the offending token
+// with its line/column position, and must not drift silently.
+var goldenCases = []struct{ name, query string }{
+	{"unknown_table", "select x from nosuch"},
+	{"unknown_column", "select nope from lineitem"},
+	{"unknown_column_qualified", "select lineitem.nope\nfrom lineitem"},
+	{"table_not_in_from", "select nation.n_name from region"},
+	{"type_mismatch_date_number", "select count(*) from lineitem\nwhere l_shipdate > 5"},
+	{"type_mismatch_string_number", "select count(*) from customer where c_mktsegment = 5"},
+	{"type_mismatch_scale", "select count(*) from lineitem where l_discount = 0.055"},
+	{"type_mismatch_string_order", "select count(*) from customer where c_mktsegment < 'Z'"},
+	{"type_mismatch_date_arith", "select l_shipdate + 1 from lineitem"},
+	{"bad_date", "select count(*) from lineitem where l_shipdate > date '94-1-1'"},
+	{"keyword_expr", "select from lineitem"},
+}
+
+// TestGoldenErrors locks the front-end diagnostics to golden files
+// (testdata/errors/*.golden; regenerate with go test -update).
+func TestGoldenErrors(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sel, err := Parse(tc.query)
+			if err == nil {
+				err = Bind(sel, tpchCat())
+			}
+			if err == nil {
+				t.Fatalf("query %q bound without error", tc.query)
+			}
+			got := err.Error()
+			path := filepath.Join("testdata", "errors", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantBytes, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("missing golden file %s (run go test -update): %v", path, rerr)
+			}
+			want := strings.TrimRight(string(wantBytes), "\n")
+			if got != want {
+				t.Errorf("diagnostic drifted:\n got: %s\nwant: %s", got, want)
+			}
+			// Every diagnostic carries line:col and the offending token.
+			if !strings.Contains(got, ":") {
+				t.Errorf("diagnostic %q has no position", got)
+			}
+		})
+	}
+}

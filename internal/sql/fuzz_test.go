@@ -1,0 +1,31 @@
+package sql
+
+import "testing"
+
+// FuzzParse drives the whole front end (lex → parse → bind) with
+// arbitrary input: malformed SQL must produce positioned errors, never
+// a panic — a panic here would take down the query service's ad-hoc
+// path. CI runs a short -fuzz smoke on every push.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select 1",
+		"select * from lineitem",
+		"select sum(l_extendedprice * l_discount) as revenue from lineitem where l_shipdate >= date '1994-01-01' and l_discount between 0.05 and 0.07 and l_quantity < 24",
+		"select l_orderkey, count(*) from lineitem group by l_orderkey having sum(l_quantity) > 300 order by 2 desc limit 10",
+		"select a from b join c on a = b where x in (1, 2, 3) or not y = 'z' -- comment",
+		"select min(o_orderdate) from orders where o_custkey <> -7",
+		"select '''quoted''' from t",
+		"select ((1 + 2) * 3) from lineitem order by 1 asc;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := tpchCat()
+	f.Fuzz(func(t *testing.T, text string) {
+		sel, err := Parse(text)
+		if err != nil {
+			return
+		}
+		_ = Bind(sel, cat) // must not panic either
+	})
+}

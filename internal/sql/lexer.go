@@ -1,0 +1,186 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a 1-based source position of a token in the query text.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic: every parse, bind, and plan error
+// names the offending token and its line/column position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Errf builds a positioned diagnostic.
+func Errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind classifies a lexical token.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // integer or decimal literal, e.g. 24 or 0.05
+	tokString // single-quoted string literal (quotes stripped)
+	tokPunct  // one of ( ) , ; . * / + - = <> != < <= > >=
+)
+
+// token is one lexical token. Text preserves the source spelling except
+// for strings, where it is the unquoted value.
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// is reports whether the token is the given keyword (case-insensitive)
+// or punctuation. SQL keywords are contextual: the lexer emits them as
+// identifiers and the parser matches them where the grammar expects one,
+// so schema names like SSB's "date" table stay usable.
+func (t token) is(s string) bool {
+	if t.kind != tokIdent && t.kind != tokPunct {
+		return false
+	}
+	return strings.EqualFold(t.text, s)
+}
+
+// describe renders the token for diagnostics.
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex scans the whole input into tokens (the parser uses lookahead, and
+// query texts are tiny). It returns a positioned error on any byte it
+// cannot start a token with.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-': // line comment
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case isIdentStart(c):
+			start, p := i, Pos{line, col}
+			for i < len(src) && isIdentPart(src[i]) {
+				adv(1)
+			}
+			toks = append(toks, token{tokIdent, src[start:i], p})
+		case c >= '0' && c <= '9':
+			start, p := i, Pos{line, col}
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				adv(1)
+			}
+			if i+1 < len(src) && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				adv(1)
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					adv(1)
+				}
+			}
+			toks = append(toks, token{tokNumber, src[start:i], p})
+		case c == '\'':
+			p := Pos{line, col}
+			adv(1)
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' { // '' escape
+						sb.WriteByte('\'')
+						adv(2)
+						continue
+					}
+					adv(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				adv(1)
+			}
+			if !closed {
+				return nil, Errf(p, "unterminated string literal")
+			}
+			toks = append(toks, token{tokString, sb.String(), p})
+		case strings.IndexByte("(),;.*/+-=", c) >= 0:
+			toks = append(toks, token{tokPunct, src[i : i+1], Pos{line, col}})
+			adv(1)
+		case c == '<':
+			p := Pos{line, col}
+			switch {
+			case i+1 < len(src) && src[i+1] == '=':
+				toks = append(toks, token{tokPunct, "<=", p})
+				adv(2)
+			case i+1 < len(src) && src[i+1] == '>':
+				toks = append(toks, token{tokPunct, "<>", p})
+				adv(2)
+			default:
+				toks = append(toks, token{tokPunct, "<", p})
+				adv(1)
+			}
+		case c == '>':
+			p := Pos{line, col}
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokPunct, ">=", p})
+				adv(2)
+			} else {
+				toks = append(toks, token{tokPunct, ">", p})
+				adv(1)
+			}
+		case c == '!':
+			p := Pos{line, col}
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokPunct, "!=", p})
+				adv(2)
+			} else {
+				return nil, Errf(p, "unexpected character %q", string(c))
+			}
+		default:
+			return nil, Errf(Pos{line, col}, "unexpected character %q", string(c))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", Pos{line, col}})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/tpch"
+)
+
+var (
+	catOnce sync.Once
+	testCat *catalog.Catalog
+)
+
+func tpchCat() *catalog.Catalog {
+	catOnce.Do(func() { testCat = catalog.FromDatabase(tpch.Generate(0.001, 0)) })
+	return testCat
+}
+
+func mustParse(t *testing.T, text string) *Select {
+	t.Helper()
+	sel, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return sel
+}
+
+func mustBind(t *testing.T, text string) *Select {
+	t.Helper()
+	sel := mustParse(t, text)
+	if err := Bind(sel, tpchCat()); err != nil {
+		t.Fatalf("bind %q: %v", text, err)
+	}
+	return sel
+}
+
+func TestParseClauses(t *testing.T) {
+	sel := mustParse(t, `
+		select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue
+		from customer, orders, lineitem
+		where c_custkey = o_custkey and l_orderkey = o_orderkey
+		group by l_orderkey
+		having sum(l_extendedprice) > 5
+		order by revenue desc, l_orderkey asc
+		limit 10;`)
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "revenue" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 3 || sel.From[2].Name != "lineitem" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("missing where/group/having")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseJoinOnFoldsIntoWhere(t *testing.T) {
+	a := mustParse(t, `select o_orderkey from orders join customer on c_custkey = o_custkey where o_orderkey > 5`)
+	b := mustParse(t, `select o_orderkey from orders, customer where o_orderkey > 5 and c_custkey = o_custkey`)
+	if String(a.Where) != String(b.Where) {
+		t.Errorf("JOIN..ON where = %s, comma where = %s", String(a.Where), String(b.Where))
+	}
+	c := mustParse(t, `select o_orderkey from orders inner join customer on c_custkey = o_custkey join nation on n_nationkey = c_nationkey`)
+	if len(c.From) != 3 {
+		t.Errorf("chained joins from = %+v", c.From)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, `select 1 from lineitem where l_quantity < 1 + 2 * 3 and l_tax = 0 or l_discount = 1`)
+	// or(and(<, =), =)
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %s", String(sel.Where))
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("left of or = %s", String(or.L))
+	}
+	lt := and.L.(*Binary)
+	add := lt.R.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("rhs of < = %s", String(lt.R))
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != OpMul {
+		t.Errorf("precedence broken: %s", String(add))
+	}
+}
+
+func TestParseDateAndStrings(t *testing.T) {
+	sel := mustParse(t, `select 1 from lineitem where l_shipdate >= date '1994-01-01' and l_shipdate < '1995-01-01'`)
+	and := sel.Where.(*Binary)
+	ge := and.L.(*Binary)
+	if _, ok := ge.R.(*DateLit); !ok {
+		t.Errorf("date literal parsed as %T", ge.R)
+	}
+	// Bare string against a date column coerces at bind time.
+	if err := Bind(sel, tpchCat()); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	lt := sel.Where.(*Binary).R.(*Binary)
+	if _, ok := lt.R.(*DateLit); !ok {
+		t.Errorf("string literal not coerced to date, still %T", lt.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct{ text, want string }{
+		{`select`, "expected expression"},
+		{`select 1`, `expected "from"`},
+		{`select 1 from`, "expected table name"},
+		{`select 1 from lineitem where`, "expected expression"},
+		{`select 1 from lineitem limit x`, "expected integer after LIMIT"},
+		{`select 1 from lineitem; select 2`, "unexpected"},
+		{`select 'oops from lineitem`, "unterminated string"},
+		{`select date '19940101' from lineitem`, "bad date literal"},
+		{`select 1 from lineitem where l_tax ~ 3`, "unexpected character"},
+	} {
+		_, err := Parse(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+func TestBindLiteralScaling(t *testing.T) {
+	sel := mustBind(t, `select sum(l_extendedprice) from lineitem where l_quantity < 24 and l_discount between 0.05 and 0.07`)
+	and := sel.Where.(*Binary)
+	lt := and.L.(*Binary)
+	if lit := lt.R.(*NumLit); lit.Val != 2400 {
+		t.Errorf("quantity literal scaled to %d, want 2400", lit.Val)
+	}
+	bt := and.R.(*Between)
+	if lo := bt.Lo.(*NumLit); lo.Val != 5 {
+		t.Errorf("discount low bound = %d, want 5", lo.Val)
+	}
+}
+
+func TestBindAggregateRules(t *testing.T) {
+	for _, tc := range []struct{ text, want string }{
+		{`select l_orderkey, sum(l_quantity) from lineitem`, "must be a GROUP BY column"},
+		{`select sum(sum(l_quantity)) from lineitem`, "nested aggregates"},
+		{`select 1 from lineitem where sum(l_quantity) > 5`, "not allowed here"},
+		{`select l_orderkey from lineitem having l_orderkey > 5`, "HAVING requires"},
+		{`select count(*) from lineitem order by 3`, "out of range"},
+	} {
+		sel, err := Parse(tc.text)
+		if err == nil {
+			err = Bind(sel, tpchCat())
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("bind(%q) err = %v, want containing %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+func TestTablesAndIsQuery(t *testing.T) {
+	tabs, err := Tables(`select 1 from lineitem, orders`)
+	if err != nil || len(tabs) != 2 || tabs[0] != "lineitem" {
+		t.Errorf("Tables = %v, %v", tabs, err)
+	}
+	if !IsQuery("  SELECT 1 from x") || !IsQuery("select * from orders") {
+		t.Error("IsQuery rejects SQL texts")
+	}
+	if IsQuery("Q1") || IsQuery("selector") || IsQuery("sel") {
+		t.Error("IsQuery accepts non-SQL names")
+	}
+}

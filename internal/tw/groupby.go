@@ -120,15 +120,29 @@ func (g *GroupBy) HandleMisses(nMiss int, keys, hashes []uint64, vals [][]int64)
 func (g *GroupBy) UpdateAggs(n int, vals [][]int64) {
 	local := g.local
 	for j, op := range g.ops {
-		if op != hashtable.OpSum {
-			continue
-		}
 		col := vals[j]
 		w := 1 + j
-		for i := 0; i < n; i++ {
-			ref := g.Refs[i]
-			if ref != 0 {
-				local.SetWord(ref, w, local.Word(ref, w)+uint64(col[i]))
+		switch op {
+		case hashtable.OpSum:
+			for i := 0; i < n; i++ {
+				ref := g.Refs[i]
+				if ref != 0 {
+					local.SetWord(ref, w, local.Word(ref, w)+uint64(col[i]))
+				}
+			}
+		case hashtable.OpMin:
+			for i := 0; i < n; i++ {
+				ref := g.Refs[i]
+				if ref != 0 && col[i] < int64(local.Word(ref, w)) {
+					local.SetWord(ref, w, uint64(col[i]))
+				}
+			}
+		case hashtable.OpMax:
+			for i := 0; i < n; i++ {
+				ref := g.Refs[i]
+				if ref != 0 && col[i] > int64(local.Word(ref, w)) {
+					local.SetWord(ref, w, uint64(col[i]))
+				}
 			}
 		}
 	}

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"sync"
 
+	"paradigms/internal/logical"
 	"paradigms/internal/server"
+	"paradigms/internal/sql"
 )
 
 // ServiceOptions configures NewService. The zero value picks the
@@ -30,9 +32,14 @@ type ServiceOptions struct {
 // NewService builds a concurrent query service over the given databases.
 // Either database may be nil; queries routed to a missing database fail
 // with an error rather than panicking. Query names containing a dot
-// ("Q1.1") route to the SSB database, all others to TPC-H.
+// ("Q1.1") route to the SSB database, all others to TPC-H. Ad-hoc SQL
+// texts route by their FROM tables: the first loaded database whose
+// catalog has them all wins (TPC-H, then SSB).
 func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 	route := func(query string) (*DB, error) {
+		if sql.IsQuery(query) {
+			return logical.RouteByTables(query, tpchDB, ssbDB)
+		}
 		db := tpchDB
 		if strings.ContainsRune(query, '.') {
 			db = ssbDB
@@ -68,6 +75,11 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 		}
 		var refs sync.Map // query name → *refEntry
 		cfg.Validate = func(query string, result any) error {
+			if sql.IsQuery(query) {
+				// Ad-hoc SQL has no registered oracle; the SQL
+				// cross-validation suite covers the lowering.
+				return nil
+			}
 			db, err := route(query)
 			if err != nil {
 				return err

@@ -1,0 +1,128 @@
+package paradigms
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"paradigms/internal/logical"
+	"paradigms/internal/queries"
+	"paradigms/internal/registry"
+)
+
+var (
+	sqlDBOnce sync.Once
+	sqlTPCH   *DB
+	sqlSSB    *DB
+)
+
+func sqlDBs() (*DB, *DB) {
+	sqlDBOnce.Do(func() {
+		sqlTPCH = GenerateTPCH(0.01, 0)
+		sqlSSB = GenerateSSB(0.01, 0)
+	})
+	return sqlTPCH, sqlSSB
+}
+
+// TestRunContextSQL: the facade accepts raw SQL on the engine with an
+// ad-hoc path and rejects it on the one without.
+func TestRunContextSQL(t *testing.T) {
+	db, _ := sqlDBs()
+	const q6 = `select sum(l_extendedprice * l_discount) from lineitem
+		where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+		and l_discount between 0.05 and 0.07 and l_quantity < 24`
+
+	res, err := Run(db, Tectorwise, q6, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.(*logical.Result).Rows
+	if want := int64(queries.RefQ6(db)); len(rows) != 1 || rows[0][0] != want {
+		t.Errorf("SQL Q6 = %v, want [[%d]]", rows, want)
+	}
+
+	if _, err := Run(db, Typer, q6, Options{}); err == nil || !strings.Contains(err.Error(), "ad-hoc") {
+		t.Errorf("typer SQL err = %v, want no-ad-hoc-path error", err)
+	}
+
+	if _, err := Run(db, Tectorwise, "select nope from lineitem", Options{}); err == nil {
+		t.Error("bad SQL did not error")
+	}
+
+	if _, ok := registry.LookupAdHoc(registry.Tectorwise); !ok {
+		t.Error("tectorwise has no registered ad-hoc runner")
+	}
+}
+
+// TestServiceSQL: the query service accepts raw SQL in Submit/Do,
+// routing by the statement's FROM tables (TPC-H vs SSB), with oracle
+// validation skipped for ad-hoc texts and errors (not panics) for
+// malformed ones.
+func TestServiceSQL(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	svc := NewService(tpchDB, ssbDB, ServiceOptions{})
+	defer svc.Close()
+	ctx := context.Background()
+
+	res, err := svc.Do(ctx, string(Tectorwise), `select count(*) from orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := res.(*logical.Result).Rows; rows[0][0] != int64(tpchDB.Rel("orders").Rows()) {
+		t.Errorf("count(orders) = %v", rows)
+	}
+
+	// lineorder exists only in SSB: table routing must pick the SSB db.
+	res, err = svc.Do(ctx, string(Tectorwise), `select count(*) from lineorder`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := res.(*logical.Result).Rows; rows[0][0] != int64(ssbDB.Rel("lineorder").Rows()) {
+		t.Errorf("count(lineorder) = %v", rows)
+	}
+
+	if _, err := svc.Do(ctx, string(Tectorwise), `select zap from lineitem`); err == nil {
+		t.Error("malformed SQL served without error")
+	}
+	if _, err := svc.Do(ctx, string(Tectorwise), `select 1 from nosuch`); err == nil {
+		t.Error("unknown table served without error")
+	}
+
+	st := svc.Stats()
+	if st.Served != 2 || st.Failed != 2 {
+		t.Errorf("stats = served %d failed %d, want 2/2", st.Served, st.Failed)
+	}
+}
+
+// TestServiceSQLConcurrent: ad-hoc SQL and registered queries share the
+// admission control machinery; mixed load stays race-free and correct.
+func TestServiceSQLConcurrent(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	svc := NewService(tpchDB, ssbDB, ServiceOptions{WorkerBudget: 4, MaxConcurrent: 3})
+	defer svc.Close()
+	queriesMix := []string{
+		"Q6",
+		"Q1.1",
+		`select count(*) from orders`,
+		`select sum(lo_revenue) from lineorder where lo_discount between 1 and 3`,
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				q := queriesMix[(c+i)%len(queriesMix)]
+				if _, err := svc.Do(context.Background(), string(Tectorwise), q); err != nil {
+					t.Errorf("client %d query %q: %v", c, q, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := svc.Stats(); st.Served != 40 {
+		t.Errorf("served %d, want 40", st.Served)
+	}
+}
