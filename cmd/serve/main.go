@@ -14,11 +14,13 @@
 //
 // Engine "mixed" (the default) alternates Typer and Tectorwise per query.
 // -sql additionally mixes the canonical ad-hoc SQL texts of the
-// benchmark queries into the workload (submitted as raw SQL through the
-// front-end, always on Tectorwise — the engine with an ad-hoc path).
-// Every result is validated against the reference oracles unless
-// -novalidate is given. On exit the aggregate stats report is printed;
-// -statsjson additionally emits the machine-readable snapshot.
+// benchmark queries into the workload, submitted as raw SQL through the
+// front-end on whichever engine the rotation picks: Tectorwise lowers
+// them onto the vectorized operator layer, Typer onto the compiled
+// fused pipelines (internal/compiled). Every result is validated
+// against the reference oracles unless -novalidate is given. On exit
+// the aggregate stats report is printed; -statsjson additionally emits
+// the machine-readable snapshot.
 package main
 
 import (
@@ -35,7 +37,6 @@ import (
 	"paradigms"
 	"paradigms/internal/logical"
 	"paradigms/internal/server"
-	"paradigms/internal/sql"
 )
 
 func main() {
@@ -109,11 +110,6 @@ func main() {
 			for i := c; ctx.Err() == nil; i++ {
 				eng := engines[i%len(engines)]
 				q := queries[i%len(queries)]
-				if sql.IsQuery(q) {
-					// Ad-hoc SQL lowers onto the vectorized operator
-					// layer; Typer has no ad-hoc path.
-					eng = paradigms.Tectorwise
-				}
 				_, err := svc.Do(ctx, string(eng), q)
 				switch {
 				case err == nil || ctx.Err() != nil:

@@ -1,0 +1,241 @@
+// Command sqlsh is an interactive SQL shell over the generated TPC-H
+// and SSB databases: statements parse, bind, and optimize once, then
+// lower onto the engine selected with \engine — the Tectorwise
+// vectorized operator layer (default) or the Typer-style compiled
+// fused pipelines — and run morsel-parallel.
+//
+// Usage:
+//
+//	sqlsh -sf 0.1 -ssbsf 0.1 [-workers 0] [-vecsize 0] [-engine tectorwise]
+//
+// Statements end with ';'. Queries route to the database whose catalog
+// holds their FROM tables (TPC-H first, then SSB). Meta commands:
+//
+//	\tables            list tables of both catalogs
+//	\d <table>         describe a table
+//	\engine [name]     show or switch the execution backend
+//	                   (typer | tectorwise; tw is shorthand)
+//	\q                 quit
+//	explain <query>    print the backend and plan instead of running:
+//	                   the optimized logical plan, plus the compiled
+//	                   pipeline decomposition under \engine typer
+//
+// Example session:
+//
+//	sql> select sum(l_extendedprice * l_discount) as revenue
+//	...> from lineitem
+//	...> where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
+//	...>   and l_discount between 0.05 and 0.07 and l_quantity < 24;
+//	revenue
+//	-----------
+//	11803420.25
+//	(1 row)  [12.3ms]
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"paradigms"
+	"paradigms/internal/compiled"
+	"paradigms/internal/logical"
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.05, "TPC-H scale factor")
+	ssbsf := flag.Float64("ssbsf", 0.05, "SSB scale factor")
+	workers := flag.Int("workers", 0, "morsel workers per query (0 = GOMAXPROCS)")
+	vecSize := flag.Int("vecsize", 0, "vector size (0 = default; vectorized engine only)")
+	engine := flag.String("engine", registry.Tectorwise, "initial engine (typer | tectorwise)")
+	flag.Parse()
+
+	eng, ok := engineName(*engine)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sqlsh: unknown -engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating TPC-H SF=%g and SSB SF=%g...\n", *sf, *ssbsf)
+	sh := &shell{
+		dbs:     []*storage.Database{paradigms.GenerateTPCH(*sf, 0), paradigms.GenerateSSB(*ssbsf, 0)},
+		workers: *workers,
+		vecSize: *vecSize,
+		engine:  eng,
+		out:     os.Stdout,
+		clock:   time.Now,
+	}
+	fmt.Fprintln(os.Stderr, `ready — statements end with ';', \q quits, \tables lists tables, \engine switches backends`)
+	sh.run(os.Stdin)
+}
+
+// engineName canonicalizes an engine spelling ("tw" is shorthand).
+func engineName(s string) (string, bool) {
+	switch strings.ToLower(s) {
+	case registry.Typer:
+		return registry.Typer, true
+	case registry.Tectorwise, "tw":
+		return registry.Tectorwise, true
+	}
+	return "", false
+}
+
+// shell is the REPL state; run drives it from any reader so the REPL is
+// script-testable (see main_test.go).
+type shell struct {
+	dbs     []*storage.Database
+	workers int
+	vecSize int
+	engine  string
+	out     io.Writer
+	clock   func() time.Time
+}
+
+func (sh *shell) run(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Fprint(sh.out, prompt)
+		if !sc.Scan() {
+			fmt.Fprintln(sh.out)
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if sh.meta(trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		prompt = "sql> "
+		if stmt == "" {
+			continue
+		}
+		sh.statement(stmt)
+	}
+}
+
+// meta handles backslash commands; reports true on quit.
+func (sh *shell) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return true
+	case `\tables`:
+		for _, db := range sh.dbs {
+			cat := logical.CatalogFor(db)
+			fmt.Fprintf(sh.out, "%s:\n", db.Name)
+			for _, t := range cat.Tables() {
+				fmt.Fprintf(sh.out, "  %-12s %8d rows\n", t, cat.Table(t).Rows())
+			}
+		}
+	case `\d`:
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, `usage: \d <table>`)
+			return false
+		}
+		for _, db := range sh.dbs {
+			if t := logical.CatalogFor(db).Table(fields[1]); t != nil {
+				fmt.Fprintf(sh.out, "%s.%s (%d rows", db.Name, t.Name, t.Rows())
+				if t.Key != "" {
+					fmt.Fprintf(sh.out, ", key %s", t.Key)
+				}
+				fmt.Fprintln(sh.out, ")")
+				for _, c := range t.Columns() {
+					kind := c.Type.Kind.String()
+					if kind == "numeric" {
+						kind = fmt.Sprintf("numeric(%d)", c.Type.Scale)
+					}
+					fmt.Fprintf(sh.out, "  %-20s %s\n", c.Name, kind)
+				}
+				return false
+			}
+		}
+		fmt.Fprintf(sh.out, "unknown table %q\n", fields[1])
+	case `\engine`:
+		if len(fields) < 2 {
+			fmt.Fprintf(sh.out, "engine: %s\n", sh.engine)
+			return false
+		}
+		eng, ok := engineName(fields[1])
+		if !ok {
+			fmt.Fprintf(sh.out, "unknown engine %q (typer | tectorwise)\n", fields[1])
+			return false
+		}
+		sh.engine = eng
+		fmt.Fprintf(sh.out, "engine: %s\n", sh.engine)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s\n", fields[0])
+	}
+	return false
+}
+
+// statement routes, plans, and executes one statement (or explains it).
+func (sh *shell) statement(stmt string) {
+	explain := false
+	if f := strings.Fields(stmt); len(f) > 0 && strings.EqualFold(f[0], "explain") {
+		explain = true
+		stmt = strings.TrimSpace(stmt[len(f[0]):])
+	}
+	db, err := logical.RouteByTables(stmt, sh.dbs...)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	if explain {
+		sh.explain(db, stmt)
+		return
+	}
+	start := sh.clock()
+	run, _ := registry.LookupAdHoc(sh.engine)
+	res, err := run(context.Background(), db, stmt, registry.Options{Workers: sh.workers, VectorSize: sh.vecSize})
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	out := res.(*logical.Result).String()
+	fmt.Fprint(sh.out, strings.TrimSuffix(out, "\n"))
+	fmt.Fprintf(sh.out, "  [%s]\n", sh.clock().Sub(start).Round(100*time.Microsecond))
+}
+
+// explain prints the selected backend, the optimized logical plan, and
+// — for the compiled engine — the fused pipeline decomposition.
+func (sh *shell) explain(db *storage.Database, stmt string) {
+	pl, err := logical.Prepare(db, stmt)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	switch sh.engine {
+	case registry.Typer:
+		fmt.Fprintln(sh.out, "backend: typer (compiled fused pipelines)")
+		fmt.Fprint(sh.out, pl.Format())
+		shape, err := compiled.Explain(pl)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprint(sh.out, shape)
+	default:
+		fmt.Fprintln(sh.out, "backend: tectorwise (vectorized operator plan)")
+		fmt.Fprint(sh.out, pl.Format())
+	}
+}

@@ -24,7 +24,9 @@ var extensionPackages = map[string]string{
 	"registry": "extension", // engine-agnostic query catalog
 	"sql":      "extension", // ad-hoc SQL lexer/parser/binder
 	"catalog":  "extension", // schema layer of the SQL front-end
-	"logical":  "extension", // logical planner + lowering
+	"logical":  "extension", // logical planner + vectorized lowering
+	"compiled": "extension", // compiled (Typer-style) SQL lowering
+	"sqlcheck": "extension", // differential-test generator/oracle/minis
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -1,0 +1,531 @@
+package compiled
+
+import (
+	"bytes"
+	"math"
+	"unsafe"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/sql"
+	"paradigms/internal/storage"
+)
+
+// The row-level expression compiler: bound SQL expressions become
+// closures specialized by column type and scale, evaluated one tuple at
+// a time inside the fused pipeline loops — the Typer-idiom counterpart
+// of internal/logical's vector compiler. Value representation matches
+// the vectorized lowering exactly: base 32-bit columns sign-extend,
+// columns gathered through a hash probe travel as zero-extended 64-bit
+// words, so the two backends produce bit-identical rows.
+
+// scalarFn evaluates an int64 value for one row; fr is the pipeline's
+// gather frame (nil-safe for expressions over base columns only).
+type scalarFn func(i int, fr []int64) int64
+
+// predFn evaluates a boolean for one row.
+type predFn func(i int, fr []int64) bool
+
+// u64Fn produces the 64-bit word representation of a value (join keys,
+// hash-table payloads, residual comparisons): 32-bit base columns
+// zero-extend, 64-bit columns pass through, frame slots are raw words.
+type u64Fn func(i int, fr []int64) uint64
+
+// view32 and view64 reinterpret a typed column as its machine layout so
+// filter bounds and key accessors are free of per-row type dispatch.
+// (~int32 and ~int64 guarantee identical memory layout.)
+func view32[T ~int32](s []T) []int32 {
+	if len(s) == 0 {
+		return []int32{}
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&s[0])), len(s))
+}
+
+func view64[T ~int64](s []T) []int64 {
+	if len(s) == 0 {
+		return []int64{}
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&s[0])), len(s))
+}
+
+// baseViews returns the 32-bit or 64-bit machine view of a base column
+// (exactly one of the two results is non-nil on success).
+func baseViews(c *catalog.Column) ([]int32, []int64, error) {
+	rel := c.Table.Rel
+	switch c.Type.Kind {
+	case catalog.Int32:
+		return view32(rel.Int32(c.Name)), nil, nil
+	case catalog.Date:
+		return view32(rel.Date(c.Name)), nil, nil
+	case catalog.Numeric:
+		return nil, view64(rel.Numeric(c.Name)), nil
+	case catalog.Int64:
+		return nil, view64(rel.Int64(c.Name)), nil
+	}
+	return nil, nil, sql.Errf(sql.Pos{Line: 1, Col: 1},
+		"%s column %q cannot be a key or value", c.Type.Kind, c.Name)
+}
+
+// u64Get compiles a value source to its word representation — the same
+// encoding the vectorized lowering uses for keys and payloads (32-bit
+// zero-extension via MapWiden, 64-bit passthrough).
+func (p *pipe) u64Get(v valRef) (u64Fn, error) {
+	if v.base == nil {
+		slot := v.slot
+		return func(i int, fr []int64) uint64 { return uint64(fr[slot]) }, nil
+	}
+	c32, c64, err := baseViews(v.base)
+	if err != nil {
+		return nil, err
+	}
+	if c32 != nil {
+		return func(i int, fr []int64) uint64 { return uint64(uint32(c32[i])) }, nil
+	}
+	return func(i int, fr []int64) uint64 { return uint64(c64[i]) }, nil
+}
+
+// ---------------------------------------------------------------------
+// Scalar expressions
+// ---------------------------------------------------------------------
+
+// scalar compiles a value expression into a per-row closure within the
+// pipeline. Base column reads sign-extend (like the vectorized fetch
+// primitives); frame slots are read as the stored words.
+func (p *pipe) scalar(e sql.Expr) (scalarFn, error) {
+	switch x := e.(type) {
+	case *sql.NumLit:
+		v := x.Val
+		return func(int, []int64) int64 { return v }, nil
+	case *sql.DateLit:
+		v := int64(x.Days)
+		return func(int, []int64) int64 { return v }, nil
+	case *sql.ColRef:
+		return p.colScalar(x.Col)
+	case *sql.Binary:
+		switch x.Op {
+		case sql.OpMul:
+			if f := p.mulColsFast(x); f != nil {
+				return f, nil
+			}
+			return p.binScalar(x, func(l, r int64) int64 { return l * r })
+		case sql.OpAdd:
+			return p.binScalar(x, func(l, r int64) int64 { return l + r })
+		case sql.OpSub:
+			if f := p.rsubConstFast(x); f != nil {
+				return f, nil
+			}
+			return p.binScalar(x, func(l, r int64) int64 { return l - r })
+		}
+	}
+	return nil, sql.Errf(e.Pos(), "compiled: unsupported value expression %s", sql.String(e))
+}
+
+func (p *pipe) binScalar(x *sql.Binary, op func(l, r int64) int64) (scalarFn, error) {
+	l, err := p.scalar(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.scalar(x.R)
+	if err != nil {
+		return nil, err
+	}
+	return func(i int, fr []int64) int64 { return op(l(i, fr), r(i, fr)) }, nil
+}
+
+// colScalar reads one column as a signed value.
+func (p *pipe) colScalar(c *catalog.Column) (scalarFn, error) {
+	src := p.resolve(c)
+	if src.base == nil {
+		slot := src.slot
+		return func(i int, fr []int64) int64 { return fr[slot] }, nil
+	}
+	c32, c64, err := baseViews(c)
+	if err != nil {
+		return nil, err
+	}
+	if c32 != nil {
+		return func(i int, fr []int64) int64 { return int64(c32[i]) }, nil
+	}
+	return func(i int, fr []int64) int64 { return c64[i] }, nil
+}
+
+// mulColsFast fuses col*col over two 64-bit base columns into a single
+// closure (the revenue input of Q6 and Q1.1).
+func (p *pipe) mulColsFast(x *sql.Binary) scalarFn {
+	l := p.base64Col(x.L)
+	r := p.base64Col(x.R)
+	if l == nil || r == nil {
+		return nil
+	}
+	return func(i int, fr []int64) int64 { return l[i] * r[i] }
+}
+
+// rsubConstFast fuses literal-col over a 64-bit base column (the
+// 1 - l_discount of every revenue expression), pre-scaled by the binder.
+func (p *pipe) rsubConstFast(x *sql.Binary) scalarFn {
+	lit, ok := x.L.(*sql.NumLit)
+	if !ok {
+		return nil
+	}
+	col := p.base64Col(x.R)
+	if col == nil {
+		return nil
+	}
+	c := lit.Val
+	return func(i int, fr []int64) int64 { return c - col[i] }
+}
+
+// base64Col returns the machine view of a 64-bit-wide base column
+// reference of the pipeline's spine, or nil.
+func (p *pipe) base64Col(e sql.Expr) []int64 {
+	ref, ok := e.(*sql.ColRef)
+	if !ok || ref.Col.Table != p.scan.Table {
+		return nil
+	}
+	rel := p.scan.Table.Rel
+	switch ref.Col.Type.Kind {
+	case catalog.Numeric:
+		return view64(rel.Numeric(ref.Col.Name))
+	case catalog.Int64:
+		return view64(rel.Int64(ref.Col.Name))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Filter cascade
+// ---------------------------------------------------------------------
+
+// bound32/bound64 are inclusive per-column range checks, the normalized
+// form of every pushed-down col-vs-literal comparison. They are checked
+// inline in the fused scan loop (no closure call), which is what keeps
+// the compiled backend's filter cost at the hand-written engine's level.
+type bound32 struct {
+	col    []int32
+	lo, hi int64
+}
+
+type bound64 struct {
+	col    []int64
+	lo, hi int64
+}
+
+// strEq is an inline string-equality filter (col = 'literal' or
+// col <> 'literal') against the column's heap.
+type strEq struct {
+	heap *storage.StringHeap
+	val  []byte
+	eq   bool
+}
+
+// filt is a pipeline's compiled filter cascade: range bounds first
+// (cheapest, most common), then string equalities (checked inline, no
+// closure), then generic predicates.
+type filt struct {
+	b32   []bound32
+	b64   []bound64
+	strs  []strEq
+	preds []predFn
+}
+
+// compileFilters classifies the scan's pushed-down conjuncts. Ordered
+// col-vs-literal comparisons fold into per-column range bounds
+// (intersecting repeated bounds on one column, e.g. the two shipdate
+// conjuncts of Q6); string (in)equalities against literals check the
+// heap inline; everything else compiles to a per-row predicate.
+func (p *pipe) compileFilters() error {
+	at := map[*catalog.Column]int{} // column → index into b32/b64 (disjoint)
+	for _, f := range p.scan.Filters {
+		if s, ok := p.strEqOf(f); ok {
+			p.filt.strs = append(p.filt.strs, s)
+			continue
+		}
+		col, lo, hi, ok := p.rangeOf(f)
+		if !ok {
+			pred, err := p.pred(f)
+			if err != nil {
+				return err
+			}
+			p.filt.preds = append(p.filt.preds, pred)
+			continue
+		}
+		if idx, seen := at[col]; seen {
+			switch col.Type.Kind {
+			case catalog.Int32, catalog.Date:
+				b := &p.filt.b32[idx]
+				b.lo, b.hi = max(b.lo, lo), min(b.hi, hi)
+			default:
+				b := &p.filt.b64[idx]
+				b.lo, b.hi = max(b.lo, lo), min(b.hi, hi)
+			}
+			continue
+		}
+		c32, c64, err := baseViews(col)
+		if err != nil {
+			return err
+		}
+		if c32 != nil {
+			at[col] = len(p.filt.b32)
+			p.filt.b32 = append(p.filt.b32, bound32{col: c32, lo: lo, hi: hi})
+		} else {
+			at[col] = len(p.filt.b64)
+			p.filt.b64 = append(p.filt.b64, bound64{col: c64, lo: lo, hi: hi})
+		}
+	}
+	return nil
+}
+
+// strEqOf recognizes stringcol = 'lit' / stringcol <> 'lit' (either
+// operand order) over the spine.
+func (p *pipe) strEqOf(f sql.Expr) (strEq, bool) {
+	b, ok := f.(*sql.Binary)
+	if !ok || (b.Op != sql.OpEq && b.Op != sql.OpNe) {
+		return strEq{}, false
+	}
+	ref, refOK := b.L.(*sql.ColRef)
+	lit, litOK := b.R.(*sql.StrLit)
+	if !refOK || !litOK {
+		ref, refOK = b.R.(*sql.ColRef)
+		lit, litOK = b.L.(*sql.StrLit)
+	}
+	if !refOK || !litOK || ref.Col.Table != p.scan.Table || ref.Col.Type.Kind != catalog.String {
+		return strEq{}, false
+	}
+	return strEq{heap: p.scan.Table.Rel.String(ref.Col.Name), val: []byte(lit.Val), eq: b.Op == sql.OpEq}, true
+}
+
+// rangeOf recognizes col CMP literal (either operand order) over an
+// ordered column of the spine and returns the equivalent inclusive
+// range.
+func (p *pipe) rangeOf(f sql.Expr) (col *catalog.Column, lo, hi int64, ok bool) {
+	b, isBin := f.(*sql.Binary)
+	if !isBin {
+		return nil, 0, 0, false
+	}
+	op := b.Op
+	ref, refOK := b.L.(*sql.ColRef)
+	lit, litOK := literalValue(b.R)
+	if !refOK || !litOK {
+		if ref, refOK = b.R.(*sql.ColRef); !refOK {
+			return nil, 0, 0, false
+		}
+		if lit, litOK = literalValue(b.L); !litOK {
+			return nil, 0, 0, false
+		}
+		switch op { // literal CMP col flips the comparison
+		case sql.OpLt:
+			op = sql.OpGt
+		case sql.OpLe:
+			op = sql.OpGe
+		case sql.OpGt:
+			op = sql.OpLt
+		case sql.OpGe:
+			op = sql.OpLe
+		}
+	}
+	if ref.Col.Table != p.scan.Table || !ref.Col.Type.IsNumeric() {
+		return nil, 0, 0, false
+	}
+	lo, hi = math.MinInt64, math.MaxInt64
+	switch op {
+	case sql.OpEq:
+		lo, hi = lit, lit
+	case sql.OpGe:
+		lo = lit
+	case sql.OpGt:
+		if lit == math.MaxInt64 {
+			return nil, 0, 0, false
+		}
+		lo = lit + 1
+	case sql.OpLe:
+		hi = lit
+	case sql.OpLt:
+		if lit == math.MinInt64 {
+			return nil, 0, 0, false
+		}
+		hi = lit - 1
+	default:
+		return nil, 0, 0, false
+	}
+	return ref.Col, lo, hi, true
+}
+
+func literalValue(e sql.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *sql.NumLit:
+		return x.Val, true
+	case *sql.DateLit:
+		return int64(x.Days), true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Generic predicates
+// ---------------------------------------------------------------------
+
+// pred compiles an arbitrary predicate (OR, NOT, IN lists, string
+// comparisons, arithmetic comparisons) to a per-row closure — the
+// compiled counterpart of the vectorized lowering's generic row
+// predicate, covering the same expression shapes.
+func (p *pipe) pred(e sql.Expr) (predFn, error) {
+	switch x := e.(type) {
+	case *sql.Not:
+		inner, err := p.pred(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int, fr []int64) bool { return !inner(i, fr) }, nil
+	case *sql.Between:
+		v, err := p.scalar(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.scalar(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.scalar(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		neg := x.Negate
+		return func(i int, fr []int64) bool {
+			val := v(i, fr)
+			return (val >= lo(i, fr) && val <= hi(i, fr)) != neg
+		}, nil
+	case *sql.InList:
+		return p.inPred(x)
+	case *sql.Binary:
+		switch x.Op {
+		case sql.OpAnd:
+			l, err := p.pred(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.pred(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int, fr []int64) bool { return l(i, fr) && r(i, fr) }, nil
+		case sql.OpOr:
+			l, err := p.pred(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.pred(x.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(i int, fr []int64) bool { return l(i, fr) || r(i, fr) }, nil
+		case sql.OpEq, sql.OpNe:
+			if pr, ok, err := p.strEqPred(x); ok || err != nil {
+				return pr, err
+			}
+			return p.cmpPred(x)
+		case sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+			return p.cmpPred(x)
+		}
+	}
+	return nil, sql.Errf(e.Pos(), "compiled: unsupported predicate %s", sql.String(e))
+}
+
+func (p *pipe) cmpPred(x *sql.Binary) (predFn, error) {
+	l, err := p.scalar(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.scalar(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case sql.OpEq:
+		return func(i int, fr []int64) bool { return l(i, fr) == r(i, fr) }, nil
+	case sql.OpNe:
+		return func(i int, fr []int64) bool { return l(i, fr) != r(i, fr) }, nil
+	case sql.OpLt:
+		return func(i int, fr []int64) bool { return l(i, fr) < r(i, fr) }, nil
+	case sql.OpLe:
+		return func(i int, fr []int64) bool { return l(i, fr) <= r(i, fr) }, nil
+	case sql.OpGt:
+		return func(i int, fr []int64) bool { return l(i, fr) > r(i, fr) }, nil
+	case sql.OpGe:
+		return func(i int, fr []int64) bool { return l(i, fr) >= r(i, fr) }, nil
+	}
+	panic("compiled: not a comparison")
+}
+
+// strGet resolves a string operand (string column of the spine, or
+// literal) to a per-row byte getter.
+func (p *pipe) strGet(e sql.Expr) (func(i int) []byte, bool) {
+	switch x := e.(type) {
+	case *sql.StrLit:
+		v := []byte(x.Val)
+		return func(int) []byte { return v }, true
+	case *sql.ColRef:
+		if x.Col.Type.Kind == catalog.String && x.Col.Table == p.scan.Table {
+			heap := p.scan.Table.Rel.String(x.Col.Name)
+			return func(i int) []byte { return heap.Get(i) }, true
+		}
+	}
+	return nil, false
+}
+
+// strEqPred recognizes string equality/inequality between a string
+// column and a literal (or two string columns of the spine).
+func (p *pipe) strEqPred(x *sql.Binary) (predFn, bool, error) {
+	l, lok := p.strGet(x.L)
+	r, rok := p.strGet(x.R)
+	if !lok && !rok {
+		return nil, false, nil
+	}
+	if !lok || !rok {
+		return nil, true, sql.Errf(x.P, "cannot compare %s with %s", sql.String(x.L), sql.String(x.R))
+	}
+	eq := x.Op == sql.OpEq
+	return func(i int, fr []int64) bool { return bytes.Equal(l(i), r(i)) == eq }, true, nil
+}
+
+// inPred compiles x [NOT] IN (...) over strings or numeric values.
+func (p *pipe) inPred(x *sql.InList) (predFn, error) {
+	if get, isStr := p.strGet(x.X); isStr {
+		var lits [][]byte
+		for _, l := range x.List {
+			s, ok := l.(*sql.StrLit)
+			if !ok {
+				return nil, sql.Errf(l.Pos(), "IN list over a string column needs string literals")
+			}
+			lits = append(lits, []byte(s.Val))
+		}
+		neg := x.Negate
+		return func(i int, fr []int64) bool {
+			v := get(i)
+			for _, l := range lits {
+				if bytes.Equal(v, l) {
+					return !neg
+				}
+			}
+			return neg
+		}, nil
+	}
+	v, err := p.scalar(x.X)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]scalarFn, len(x.List))
+	for i, l := range x.List {
+		if items[i], err = p.scalar(l); err != nil {
+			return nil, err
+		}
+	}
+	neg := x.Negate
+	return func(i int, fr []int64) bool {
+		val := v(i, fr)
+		for _, it := range items {
+			if it(i, fr) == val {
+				return !neg
+			}
+		}
+		return neg
+	}, nil
+}

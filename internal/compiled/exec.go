@@ -1,0 +1,656 @@
+package compiled
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/logical"
+	"paradigms/internal/storage"
+)
+
+const (
+	// aggPartitions is the spill-partition count of the two-phase
+	// aggregation (matches internal/typer).
+	aggPartitions = 64
+	// preAggCapacity bounds each worker's pre-aggregation hash table so
+	// it stays cache resident; overflowing groups spill as single-tuple
+	// partials (matches internal/typer).
+	preAggCapacity = 1 << 14
+)
+
+// The compiled backend hashes keys with hashtable.Mix64, the same
+// low-latency finalizer the hand-written Typer pipelines use (see
+// typer.Hash) — called directly so the compiler can inline it into the
+// fused loops.
+
+// Run executes an ad-hoc SQL text end to end on the compiled backend:
+// parse → bind → optimize (all shared with the vectorized path) → lower
+// to fused pipelines → execute morsel-parallel. Lowering or executor
+// panics surface as errors, like logical.Run.
+func Run(ctx context.Context, db *storage.Database, text string, nWorkers int) (res *logical.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	pl, err := logical.Prepare(db, text)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(ctx, pl, nWorkers)
+}
+
+// Execute lowers an optimized logical plan to fused pipelines and runs
+// them morsel-parallel. A canceled context drains the workers within
+// one morsel and returns a partial result the caller discards — the
+// same contract as every registered engine query.
+func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	pr, err := lower(pl)
+	if err != nil {
+		return nil, err
+	}
+	w := workers(nWorkers)
+	for _, p := range pr.pipes {
+		p.disp = exec.NewDispatcherCtx(ctx, p.scan.Table.Rows(), 0)
+		if p.keyCol != nil {
+			p.ht = hashtable.New(1+len(p.pays), w)
+		}
+	}
+
+	agg := pl.Agg
+	keyed := agg != nil && len(agg.Keys) > 0
+	global := agg != nil && len(agg.Keys) == 0
+
+	var (
+		spill      *hashtable.Spill
+		partDisp   *exec.Dispatcher
+		htOps      []hashtable.AggOp
+		workerRows [][][]int64
+		partials   []logical.GlobalPartial
+	)
+	switch {
+	case keyed:
+		htOps = make([]hashtable.AggOp, len(agg.Aggs))
+		for i, s := range agg.Aggs {
+			htOps[i] = s.Op.HTOp()
+		}
+		spill = hashtable.NewSpill(w, aggPartitions, 2+len(htOps))
+		partDisp = exec.NewDispatcherCtx(ctx, aggPartitions, 1)
+		workerRows = make([][][]int64, w)
+	case global:
+		partials = make([]logical.GlobalPartial, w)
+	default:
+		workerRows = make([][][]int64, w)
+	}
+
+	// Sink expressions compile once, on this goroutine, so unsupported
+	// shapes surface as errors here instead of panics on workers. The
+	// compiled closures are stateless per row and shared by all workers.
+	final := pr.final
+	var (
+		specs  []groupSpec
+		keyGet u64Fn
+		items  []scalarFn
+	)
+	switch {
+	case keyed:
+		if specs, err = final.compileAggs(agg); err != nil {
+			return nil, err
+		}
+		if keyGet, err = final.groupKeyGet(agg); err != nil {
+			return nil, err
+		}
+	case global:
+		if specs, err = final.compileAggs(agg); err != nil {
+			return nil, err
+		}
+	default:
+		items = make([]scalarFn, len(pl.Proj))
+		for j, e := range pl.Proj {
+			if items[j], err = final.scalar(e); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	bar := exec.NewBarrier(w)
+	exec.Parallel(w, func(wid int) {
+		// Build pipelines in dependency order, each ending at its
+		// pipeline breaker (materialize → barrier → size directory →
+		// parallel insert).
+		for _, p := range pr.pipes {
+			if p.keyCol == nil {
+				continue
+			}
+			p.runBuild(wid)
+			bar.Wait(func() { p.ht.Prepare(p.ht.Rows()) })
+			p.ht.InsertShard(wid)
+			bar.Wait(nil)
+		}
+
+		switch {
+		case keyed:
+			final.runGrouped(wid, specs, keyGet, spill)
+			bar.Wait(nil)
+			// Phase two: per-partition merge of partial aggregates.
+			// Output rows subslice a per-partition arena (one
+			// allocation per partition instead of one per group).
+			width := agg.MergedWidth()
+			for {
+				pm, ok := partDisp.Next()
+				if !ok {
+					break
+				}
+				arena := make([]int64, spill.PartitionCount(pm.Begin)*width)
+				hashtable.MergeSpill(spill, pm.Begin, htOps, func(row []uint64) {
+					out := arena[:width:width]
+					arena = arena[width:]
+					agg.DecodeMergedRow(row, out)
+					workerRows[wid] = append(workerRows[wid], out)
+				})
+			}
+		case global:
+			partials[wid] = final.runGlobal(wid, specs)
+		default:
+			workerRows[wid] = final.runProject(wid, items)
+		}
+	})
+
+	var rows [][]int64
+	switch {
+	case global:
+		rows = [][]int64{logical.MergeGlobal(agg, partials)}
+	default:
+		for _, wr := range workerRows {
+			rows = append(rows, wr...)
+		}
+	}
+	return pl.FinalizeRows(rows)
+}
+
+// run drives the pipeline's fused tuple-at-a-time loop. The loop body
+// is what a data-centric code generator would emit per pipeline; per
+// DESIGN.md S1 the "generated code" for the dominant shapes is
+// committed here as specialized loop variants — a pure filter scan and
+// a filter scan + single probe, each with its bounds and probe state
+// hoisted into function-local variables — because one polymorphic loop
+// carries enough live state that Go spills it to the stack on every
+// row. Wider shapes (multi-probe pipelines like Q5's) take the generic
+// loop.
+func (p *pipe) run(sink func(i int, fr []int64)) {
+	if p.rejectAll {
+		return
+	}
+	frame := make([]int64, p.slots)
+	// checked filters beyond the unrolled range bounds and inline
+	// string equalities.
+	tail := len(p.filt.preds) > 0 || len(p.filt.b32) > 2 || len(p.filt.b64) > 2
+	switch {
+	case len(p.steps) == 0 && !tail:
+		p.runScan(frame, sink)
+	case len(p.steps) == 1 && !tail && len(p.steps[0].residuals) == 0 && len(p.filt.strs) == 0:
+		if len(p.filt.b32) <= 1 && len(p.filt.b64) == 0 && p.steps[0].key32 != nil {
+			p.runScanProbe32(frame, sink)
+		} else {
+			p.runScanProbe(frame, sink)
+		}
+	default:
+		p.runGeneric(frame, sink)
+	}
+}
+
+// runScanProbe32: at most one 32-bit range bound and one 32-bit-keyed
+// residual-free probe — the exact shape of every pipeline of Q3 and
+// Q18, kept register-resident.
+func (p *pipe) runScanProbe32(frame []int64, sink func(i int, fr []int64)) {
+	var (
+		c32    []int32
+		lo, hi int64
+	)
+	if len(p.filt.b32) > 0 {
+		c32, lo, hi = p.filt.b32[0].col, p.filt.b32[0].lo, p.filt.b32[0].hi
+	}
+	st := p.steps[0]
+	k32 := st.key32
+	ht := st.build.ht
+	gath := st.gathers
+	for {
+		m, ok := p.disp.Next()
+		if !ok {
+			return
+		}
+	rows:
+		for i := m.Begin; i < m.End; i++ {
+			if c32 != nil {
+				if v := int64(c32[i]); v < lo || v > hi {
+					continue rows
+				}
+			}
+			k := uint64(uint32(k32[i]))
+			ref := ht.Lookup(hashtable.Mix64(k))
+			for {
+				if ref == 0 {
+					continue rows
+				}
+				if row := ht.Row(ref); row[0] == k {
+					for _, g := range gath {
+						frame[g.slot] = int64(row[g.word])
+					}
+					break
+				}
+				ref = ht.Next(ref)
+			}
+			sink(i, frame)
+		}
+	}
+}
+
+// bounds returns the unrolled range-bound locals of the filter cascade
+// (nil col = absent slot). Callers checked that at most two bounds per
+// width exist.
+func (f *filt) bounds() (c32a, c32b []int32, lo32a, hi32a, lo32b, hi32b int64, c64a, c64b []int64, lo64a, hi64a, lo64b, hi64b int64) {
+	if len(f.b32) > 0 {
+		c32a, lo32a, hi32a = f.b32[0].col, f.b32[0].lo, f.b32[0].hi
+	}
+	if len(f.b32) > 1 {
+		c32b, lo32b, hi32b = f.b32[1].col, f.b32[1].lo, f.b32[1].hi
+	}
+	if len(f.b64) > 0 {
+		c64a, lo64a, hi64a = f.b64[0].col, f.b64[0].lo, f.b64[0].hi
+	}
+	if len(f.b64) > 1 {
+		c64b, lo64b, hi64b = f.b64[1].col, f.b64[1].lo, f.b64[1].hi
+	}
+	return
+}
+
+// runScan: filter-only pipeline — range bounds and inline string
+// equalities, no probes. The exact (one 32-bit, two 64-bit) shape of
+// Q6's cascade gets its own branch-free-slot loop.
+func (p *pipe) runScan(frame []int64, sink func(i int, fr []int64)) {
+	f := &p.filt
+	if len(f.b32) == 1 && len(f.b64) == 2 && len(f.strs) == 0 {
+		p.runScan122(frame, sink)
+		return
+	}
+	c32a, c32b, lo32a, hi32a, lo32b, hi32b, c64a, c64b, lo64a, hi64a, lo64b, hi64b := f.bounds()
+	strs := f.strs
+	for {
+		m, ok := p.disp.Next()
+		if !ok {
+			return
+		}
+	rows:
+		for i := m.Begin; i < m.End; i++ {
+			if c32a != nil {
+				if v := int64(c32a[i]); v < lo32a || v > hi32a {
+					continue rows
+				}
+			}
+			if c32b != nil {
+				if v := int64(c32b[i]); v < lo32b || v > hi32b {
+					continue rows
+				}
+			}
+			if c64a != nil {
+				if v := c64a[i]; v < lo64a || v > hi64a {
+					continue rows
+				}
+			}
+			if c64b != nil {
+				if v := c64b[i]; v < lo64b || v > hi64b {
+					continue rows
+				}
+			}
+			for _, s := range strs {
+				if bytes.Equal(s.heap.Get(i), s.val) != s.eq {
+					continue rows
+				}
+			}
+			sink(i, frame)
+		}
+	}
+}
+
+// runScan122: one 32-bit and two 64-bit bounds (Q6's and Q1.1's
+// cascade), all slots present — no per-slot nil checks.
+func (p *pipe) runScan122(frame []int64, sink func(i int, fr []int64)) {
+	f := &p.filt
+	c32, lo32, hi32 := f.b32[0].col, f.b32[0].lo, f.b32[0].hi
+	c64a, lo64a, hi64a := f.b64[0].col, f.b64[0].lo, f.b64[0].hi
+	c64b, lo64b, hi64b := f.b64[1].col, f.b64[1].lo, f.b64[1].hi
+	for {
+		m, ok := p.disp.Next()
+		if !ok {
+			return
+		}
+		for i := m.Begin; i < m.End; i++ {
+			if v := int64(c32[i]); v < lo32 || v > hi32 {
+				continue
+			}
+			if v := c64a[i]; v < lo64a || v > hi64a {
+				continue
+			}
+			if v := c64b[i]; v < lo64b || v > hi64b {
+				continue
+			}
+			sink(i, frame)
+		}
+	}
+}
+
+// runScanProbe: filter scan plus one residual-free probe (the shape of
+// every pipeline of Q3/Q18/Q1.1 and most of Q5's). Probe walks compare
+// the stored key directly — chains are per-bucket, so a key match is
+// definitive and one word cheaper than the hash prefilter on these
+// 1-word keys.
+func (p *pipe) runScanProbe(frame []int64, sink func(i int, fr []int64)) {
+	c32a, c32b, lo32a, hi32a, lo32b, hi32b, c64a, c64b, lo64a, hi64a, lo64b, hi64b := p.filt.bounds()
+	st := p.steps[0]
+	k32, k64 := st.key32, st.key64
+	ht := st.build.ht
+	gath := st.gathers
+	for {
+		m, ok := p.disp.Next()
+		if !ok {
+			return
+		}
+	rows:
+		for i := m.Begin; i < m.End; i++ {
+			if c32a != nil {
+				if v := int64(c32a[i]); v < lo32a || v > hi32a {
+					continue rows
+				}
+			}
+			if c32b != nil {
+				if v := int64(c32b[i]); v < lo32b || v > hi32b {
+					continue rows
+				}
+			}
+			if c64a != nil {
+				if v := c64a[i]; v < lo64a || v > hi64a {
+					continue rows
+				}
+			}
+			if c64b != nil {
+				if v := c64b[i]; v < lo64b || v > hi64b {
+					continue rows
+				}
+			}
+			var k uint64
+			if k32 != nil {
+				k = uint64(uint32(k32[i]))
+			} else {
+				k = uint64(k64[i])
+			}
+			ref := ht.Lookup(hashtable.Mix64(k))
+			for {
+				if ref == 0 {
+					continue rows
+				}
+				if row := ht.Row(ref); row[0] == k {
+					for _, g := range gath {
+						frame[g.slot] = int64(row[g.word])
+					}
+					break
+				}
+				ref = ht.Next(ref)
+			}
+			sink(i, frame)
+		}
+	}
+}
+
+// runGeneric handles every remaining shape: wide filter cascades,
+// generic predicates, multi-probe pipelines, and probe residuals.
+func (p *pipe) runGeneric(frame []int64, sink func(i int, fr []int64)) {
+	f := &p.filt
+	steps := p.steps
+	for {
+		m, ok := p.disp.Next()
+		if !ok {
+			return
+		}
+	rows:
+		for i := m.Begin; i < m.End; i++ {
+			for _, b := range f.b32 {
+				if v := int64(b.col[i]); v < b.lo || v > b.hi {
+					continue rows
+				}
+			}
+			for _, b := range f.b64 {
+				if v := b.col[i]; v < b.lo || v > b.hi {
+					continue rows
+				}
+			}
+			for _, s := range f.strs {
+				if bytes.Equal(s.heap.Get(i), s.val) != s.eq {
+					continue rows
+				}
+			}
+			for _, pr := range f.preds {
+				if !pr(i, frame) {
+					continue rows
+				}
+			}
+			for _, st := range steps {
+				var k uint64
+				if st.key32 != nil {
+					k = uint64(uint32(st.key32[i]))
+				} else {
+					k = uint64(st.key64[i])
+				}
+				ht := st.build.ht
+				ref := ht.Lookup(hashtable.Mix64(k))
+				for {
+					if ref == 0 {
+						continue rows
+					}
+					if row := ht.Row(ref); row[0] == k {
+						for _, g := range st.gathers {
+							frame[g.slot] = int64(row[g.word])
+						}
+						break
+					}
+					ref = ht.Next(ref)
+				}
+				for _, r := range st.residuals {
+					if r.a(i, frame) != r.b(i, frame) {
+						continue rows
+					}
+				}
+			}
+			sink(i, frame)
+		}
+	}
+}
+
+// runBuild drains the pipeline into its shard of the shared hash table
+// (key in word 0, payloads after), ready for the post-barrier insert.
+func (p *pipe) runBuild(wid int) {
+	ht := p.ht
+	sh := ht.Shard(wid)
+	keyGet, payGet := p.keyGet, p.payGet
+	p.run(func(i int, fr []int64) {
+		k := keyGet(i, fr)
+		ref, _ := sh.Alloc(ht, hashtable.Mix64(k))
+		row := ht.Row(ref)
+		row[0] = k
+		for j, get := range payGet {
+			row[1+j] = get(i, fr)
+		}
+	})
+}
+
+// groupSpec is the compiled form of one aggregate slot.
+type groupSpec struct {
+	op  logical.AggOp
+	val scalarFn // nil for COUNT
+}
+
+// compileAggs compiles the aggregate slots' input expressions.
+func (p *pipe) compileAggs(agg *logical.Aggregate) ([]groupSpec, error) {
+	specs := make([]groupSpec, len(agg.Aggs))
+	for j, s := range agg.Aggs {
+		specs[j].op = s.Op
+		if s.Op != logical.OpCount {
+			v, err := p.scalar(s.Arg)
+			if err != nil {
+				return nil, err
+			}
+			specs[j].val = v
+		}
+	}
+	return specs, nil
+}
+
+// groupKeyGet compiles the grouping-key expression: one key is its word
+// representation, two pack lo|hi<<32 — the same encoding the vectorized
+// lowering and the hand-written plans use, decoded by DecodeGroupKey.
+func (p *pipe) groupKeyGet(agg *logical.Aggregate) (u64Fn, error) {
+	k0, err := p.u64Get(p.resolve(agg.Keys[0]))
+	if err != nil {
+		return nil, err
+	}
+	if len(agg.Keys) == 1 {
+		return k0, nil
+	}
+	k1, err := p.u64Get(p.resolve(agg.Keys[1]))
+	if err != nil {
+		return nil, err
+	}
+	return func(i int, fr []int64) uint64 {
+		return uint64(uint32(k0(i, fr))) | k1(i, fr)<<32
+	}, nil
+}
+
+// runGrouped is phase one of the keyed aggregation: fused scan/probe
+// loop feeding a cache-resident pre-aggregation table, overflow and
+// final flush spilling partition-partial rows [hash, key, aggs...].
+func (p *pipe) runGrouped(wid int, specs []groupSpec, keyGet u64Fn, spill *hashtable.Spill) {
+	local := hashtable.New(1+len(specs), 1)
+	local.Prepare(preAggCapacity)
+	lsh := local.Shard(0)
+
+	p.run(func(i int, fr []int64) {
+		k := keyGet(i, fr)
+		h := hashtable.Mix64(k)
+		for ref := local.Lookup(h); ref != 0; ref = local.Next(ref) {
+			row := local.Row(ref)
+			if row[0] != k {
+				continue
+			}
+			for j := range specs {
+				s := &specs[j]
+				switch s.op {
+				case logical.OpSum:
+					row[1+j] += uint64(s.val(i, fr))
+				case logical.OpCount:
+					row[1+j]++
+				case logical.OpMin:
+					if v := s.val(i, fr); v < int64(row[1+j]) {
+						row[1+j] = uint64(v)
+					}
+				case logical.OpMax:
+					if v := s.val(i, fr); v > int64(row[1+j]) {
+						row[1+j] = uint64(v)
+					}
+				}
+			}
+			return
+		}
+		if local.Rows() < preAggCapacity {
+			ref, _ := lsh.Alloc(local, h)
+			row := local.Row(ref)
+			row[0] = k
+			for j := range specs {
+				row[1+j] = initWord(&specs[j], i, fr)
+			}
+			local.Insert(ref, h)
+		} else {
+			row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+			row[0] = h
+			row[1] = k
+			for j := range specs {
+				row[2+j] = initWord(&specs[j], i, fr)
+			}
+		}
+	})
+
+	local.ForEach(func(ref hashtable.Ref) {
+		h := local.Hash(ref)
+		row := spill.AppendRow(wid, hashtable.PartitionOf(h, aggPartitions))
+		row[0] = h
+		row[1] = local.Word(ref, 0)
+		for j := range specs {
+			row[2+j] = local.Word(ref, 1+j)
+		}
+	})
+}
+
+// initWord is a new group's first partial value for one slot.
+func initWord(s *groupSpec, i int, fr []int64) uint64 {
+	if s.op == logical.OpCount {
+		return 1
+	}
+	return uint64(s.val(i, fr))
+}
+
+// runGlobal reduces the final pipeline to one worker's accumulators —
+// the fused form of the generic global-aggregate sink, merged by
+// logical.MergeGlobal so the empty-input semantics stay identical.
+func (p *pipe) runGlobal(wid int, specs []groupSpec) logical.GlobalPartial {
+	acc := make([]int64, len(specs))
+	for j := range specs {
+		switch specs[j].op {
+		case logical.OpMin:
+			acc[j] = math.MaxInt64
+		case logical.OpMax:
+			acc[j] = math.MinInt64
+		}
+	}
+	var n int64
+	p.run(func(i int, fr []int64) {
+		n++
+		for j := range specs {
+			s := &specs[j]
+			switch s.op {
+			case logical.OpSum:
+				acc[j] += s.val(i, fr)
+			case logical.OpCount:
+				acc[j]++
+			case logical.OpMin:
+				if v := s.val(i, fr); v < acc[j] {
+					acc[j] = v
+				}
+			case logical.OpMax:
+				if v := s.val(i, fr); v > acc[j] {
+					acc[j] = v
+				}
+			}
+		}
+	})
+	return logical.GlobalPartial{Acc: acc, N: n}
+}
+
+// runProject materializes projection rows for one worker.
+func (p *pipe) runProject(wid int, items []scalarFn) [][]int64 {
+	var out [][]int64
+	p.run(func(i int, fr []int64) {
+		row := make([]int64, len(items))
+		for j, v := range items {
+			row[j] = v(i, fr)
+		}
+		out = append(out, row)
+	})
+	return out
+}

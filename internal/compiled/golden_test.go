@@ -1,0 +1,61 @@
+package compiled
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paradigms/internal/logical"
+)
+
+var update = flag.Bool("update", false, "rewrite the plan-shape golden files")
+
+// TestCompiledPlanShapes pins the compiled lowering's pipeline
+// decomposition for the canonical queries: breaker placement, build and
+// probe sides, gathers, and residual equalities. Planner or lowering
+// changes that silently reshape the compiled path fail here; regenerate
+// deliberately with `go test ./internal/compiled -run PlanShapes
+// -update`.
+func TestCompiledPlanShapes(t *testing.T) {
+	tp, sb := testDBs()
+	for _, tc := range []struct {
+		db   string
+		name string
+	}{
+		{"tpch", "Q6"}, {"tpch", "Q3"}, {"tpch", "Q5"}, {"tpch", "Q18"},
+		{"ssb", "Q1.1"}, {"ssb", "Q2.1"},
+	} {
+		db := tp[0.01]
+		if tc.db == "ssb" {
+			db = sb[0.01]
+		}
+		text, ok := logical.SQLText(tc.db, tc.name)
+		if !ok {
+			t.Fatalf("no SQL text for %s/%s", tc.db, tc.name)
+		}
+		pl, err := logical.Prepare(db, text)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.db, tc.name, err)
+		}
+		got, err := Explain(pl)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.db, tc.name, err)
+		}
+		file := filepath.Join("testdata", tc.db+"_"+strings.ReplaceAll(tc.name, ".", "_")+".golden")
+		if *update {
+			if err := os.WriteFile(file, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s/%s: %v (run with -update to create)", tc.db, tc.name, err)
+		}
+		if got != string(want) {
+			t.Errorf("%s/%s: compiled pipeline shape changed\n got:\n%s\nwant:\n%s", tc.db, tc.name, got, want)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package compiled is the second lowering backend of the ad-hoc SQL
+// subsystem — an extension beyond the paper's fixed query catalog: it
+// takes the same optimized logical plan internal/logical produces and
+// emits a fused, data-centric executor in the Typer idiom (one
+// tuple-at-a-time loop per pipeline, pipeline breakers at hash builds
+// and aggregations), instead of lowering onto the vectorized operator
+// layer. Expression evaluation is compiled to closures specialized by
+// column type and scale; pushed-down comparison filters are normalized
+// to per-column range bounds checked inline in the scan loop, so the
+// hot filter cascade costs what the hand-written Typer queries pay.
+// Pipelines run morsel-parallel under the shared internal/exec
+// dispatcher with context cancellation, build into the shared
+// internal/hashtable structures, and aggregate with the same two-phase
+// spill/merge algorithm as internal/typer — only the execution paradigm
+// differs from the Tectorwise lowering, exactly the paper's setup. The
+// package registers as the Typer engine's ad-hoc SQL path, so every SQL
+// text is executable on both engines and differentially testable.
+package compiled
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/exec"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/logical"
+	"paradigms/internal/sql"
+)
+
+// The lowering pass mirrors internal/logical's pipeline decomposition:
+// each logical Node becomes one pipeline — scan → filter cascade →
+// probes of its build chains → terminal (hash-table build, grouped
+// spill, global accumulate, or row collection). Where the vectorized
+// lowering assembles operator trees over batches, this pass compiles
+// every pipeline into a single fused loop driven row by row.
+
+// valRef locates a column's value within one pipeline: a base column of
+// the pipeline's spine table, or a frame slot filled by a probe gather.
+type valRef struct {
+	base *catalog.Column // nil for gathered columns
+	slot int
+}
+
+// gather copies one hash-table payload word into a frame slot at probe
+// time (word 0 is the join key itself).
+type gather struct {
+	word int
+	slot int
+	col  *catalog.Column
+}
+
+// step is one hash probe of the pipeline's fused loop.
+type step struct {
+	join     *logical.Join
+	build    *pipe
+	probeKey *catalog.Column // base column of this pipeline's spine
+
+	gathers   []gather
+	residuals []residual
+
+	// Compiled probe-key accessors (exactly one non-nil).
+	key32 []int32
+	key64 []int64
+}
+
+// residual is a cross-chain equality enforced after a probe.
+type residual struct {
+	cols [2]*catalog.Column
+	a, b u64Fn
+}
+
+// pipe is one compiled pipeline.
+type pipe struct {
+	ord   int // 1-based position in execution order (explain labels)
+	scan  *logical.Scan
+	steps []*step
+	slots int
+	srcOf map[*catalog.Column]valRef
+
+	rejectAll bool
+
+	// Build-side output: hash-table key column (a base column of the
+	// spine) plus payload columns in word order (word 1+i). Nil keyCol
+	// marks the final pipeline.
+	keyCol *catalog.Column
+	pays   []*catalog.Column
+	paySrc []valRef
+
+	// Compiled forms.
+	filt   filt
+	keyGet u64Fn   // build key (build pipelines)
+	payGet []u64Fn // payload words (build pipelines)
+
+	// Per-execution shared state.
+	ht   *hashtable.Table
+	disp *exec.Dispatcher
+}
+
+// prog is a fully lowered query: pipelines in execution order (build
+// pipelines before their prober, the final pipeline last).
+type prog struct {
+	pl    *logical.Plan
+	pipes []*pipe
+	final *pipe
+}
+
+// lower compiles the optimized logical plan into fused pipelines.
+func lower(pl *logical.Plan) (*prog, error) {
+	pr := &prog{pl: pl}
+	needed := map[*catalog.Column]bool{}
+	mark := func(c *catalog.Column) { needed[c] = true }
+	if pl.Agg != nil {
+		for _, k := range pl.Agg.Keys {
+			needed[k] = true
+		}
+		for _, s := range pl.Agg.Aggs {
+			if s.Arg != nil {
+				sql.WalkCols(s.Arg, mark)
+			}
+		}
+	}
+	for _, e := range pl.Proj {
+		sql.WalkCols(e, mark)
+	}
+	final, err := pr.compilePipe(pl.Root, sortedCols(needed))
+	if err != nil {
+		return nil, err
+	}
+	final.rejectAll = pl.AlwaysFalse
+	pr.final = final
+	for i, p := range pr.pipes {
+		p.ord = i + 1
+		if err := p.prep(); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}
+
+// compilePipe compiles the pipeline rooted at n, which must expose the
+// needed columns to its consumer. Build pipelines append themselves
+// before their prober (execution order), exactly like the vectorized
+// lowering, so the two backends decompose every plan identically.
+func (pr *prog) compilePipe(n logical.Node, needed []*catalog.Column) (*pipe, error) {
+	spine := n.Spine()
+	var joins []*logical.Join
+	for cur := n; ; {
+		j, ok := cur.(*logical.Join)
+		if !ok {
+			break
+		}
+		joins = append([]*logical.Join{j}, joins...) // innermost probe first
+		cur = j.Probe
+	}
+
+	p := &pipe{scan: spine, srcOf: map[*catalog.Column]valRef{}}
+
+	req := map[*catalog.Column]bool{}
+	for _, c := range needed {
+		req[c] = true
+	}
+	for _, j := range joins {
+		for _, r := range j.Residuals {
+			req[r[0]] = true
+			req[r[1]] = true
+		}
+	}
+	reqList := sortedCols(req)
+
+	for _, j := range joins {
+		chainTabs := tablesUnder(j.Build)
+		var pays []*catalog.Column
+		for _, c := range reqList {
+			if chainTabs[c.Table] && c != j.BuildKey {
+				pays = append(pays, c)
+			}
+		}
+		bp, err := pr.compilePipe(j.Build, pays)
+		if err != nil {
+			return nil, err
+		}
+		bp.keyCol = j.BuildKey
+		bp.pays = pays
+		bp.paySrc = make([]valRef, len(pays))
+		for pi, c := range pays {
+			bp.paySrc[pi] = bp.resolve(c)
+		}
+		st := &step{join: j, build: bp, probeKey: j.ProbeKey}
+		for _, c := range reqList {
+			if !chainTabs[c.Table] {
+				continue
+			}
+			word := 0
+			if c != j.BuildKey {
+				word = 1 + indexOfCol(pays, c)
+			}
+			st.gathers = append(st.gathers, gather{word: word, slot: p.slots, col: c})
+			p.srcOf[c] = valRef{slot: p.slots}
+			p.slots++
+		}
+		for _, r := range j.Residuals {
+			st.residuals = append(st.residuals, residual{cols: r})
+		}
+		p.steps = append(p.steps, st)
+	}
+	pr.pipes = append(pr.pipes, p)
+	return p, nil
+}
+
+// prep compiles the pipeline's row-level closures: the filter cascade,
+// probe-key accessors, residual comparators, and build-side outputs.
+func (p *pipe) prep() error {
+	if err := p.compileFilters(); err != nil {
+		return err
+	}
+	for _, st := range p.steps {
+		k32, k64, err := baseViews(st.probeKey)
+		if err != nil {
+			return err
+		}
+		st.key32, st.key64 = k32, k64
+		for i := range st.residuals {
+			r := &st.residuals[i]
+			var err error
+			if r.a, err = p.u64Get(p.resolve(r.cols[0])); err != nil {
+				return err
+			}
+			if r.b, err = p.u64Get(p.resolve(r.cols[1])); err != nil {
+				return err
+			}
+		}
+	}
+	if p.keyCol != nil {
+		var err error
+		if p.keyGet, err = p.u64Get(valRef{base: p.keyCol}); err != nil {
+			return err
+		}
+		p.payGet = make([]u64Fn, len(p.paySrc))
+		for i, src := range p.paySrc {
+			if p.payGet[i], err = p.u64Get(src); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resolve locates a column within the pipeline.
+func (p *pipe) resolve(c *catalog.Column) valRef {
+	if c.Table == p.scan.Table {
+		return valRef{base: c}
+	}
+	src, ok := p.srcOf[c]
+	if !ok {
+		panic("compiled: column " + c.Table.Name + "." + c.Name + " not materialized in pipeline over " + p.scan.Table.Name)
+	}
+	return src
+}
+
+func indexOfCol(cols []*catalog.Column, c *catalog.Column) int {
+	for i, x := range cols {
+		if x == c {
+			return i
+		}
+	}
+	panic("compiled: column missing from payload list")
+}
+
+// sortedCols renders a column set deterministic (same order as the
+// vectorized lowering, so payload layouts and explains line up).
+func sortedCols(set map[*catalog.Column]bool) []*catalog.Column {
+	out := make([]*catalog.Column, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table.Name != out[j].Table.Name {
+			return out[i].Table.Name < out[j].Table.Name
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func tablesUnder(n logical.Node) map[*catalog.Table]bool {
+	out := map[*catalog.Table]bool{}
+	var walk func(logical.Node)
+	walk = func(n logical.Node) {
+		switch x := n.(type) {
+		case *logical.Scan:
+			out[x.Table] = true
+		case *logical.Join:
+			walk(x.Build)
+			walk(x.Probe)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// workers normalizes a worker-count argument (shards cap at
+// hashtable.MaxShards, same bound the hand-written engines live with).
+func workers(n int) int {
+	w := n
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > hashtable.MaxShards {
+		w = hashtable.MaxShards
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------
+
+// Explain renders the compiled pipeline decomposition of a plan — the
+// EXPLAIN surface of cmd/sqlsh under \engine typer and the assertion
+// surface of the plan-shape golden tests: breaker placement, build and
+// probe sides, gathers, residuals, and the terminal of every pipeline.
+func Explain(pl *logical.Plan) (string, error) {
+	pr, err := lower(pl)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pipelines: %d\n", len(pr.pipes))
+	for _, p := range pr.pipes {
+		fmt.Fprintf(&sb, "P%d: scan %s", p.ord, p.scan.Table.Name)
+		if p.rejectAll {
+			sb.WriteString(" σ(false)")
+		}
+		for _, f := range p.scan.Filters {
+			fmt.Fprintf(&sb, " σ(%s)", sql.String(f))
+		}
+		for _, st := range p.steps {
+			fmt.Fprintf(&sb, " → probe[P%d %s = %s]", st.build.ord, st.probeKey.Name, st.build.keyCol.Name)
+			if len(st.gathers) > 0 {
+				names := make([]string, len(st.gathers))
+				for i, g := range st.gathers {
+					names[i] = g.col.Name
+				}
+				fmt.Fprintf(&sb, " gather[%s]", strings.Join(names, " "))
+			}
+			for _, r := range st.residuals {
+				fmt.Fprintf(&sb, " residual(%s = %s)", r.cols[0].Name, r.cols[1].Name)
+			}
+		}
+		switch {
+		case p.keyCol != nil:
+			names := make([]string, len(p.pays))
+			for i, c := range p.pays {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(&sb, " → build[%s] pays[%s]", p.keyCol.Name, strings.Join(names, " "))
+		case pl.Agg != nil && len(pl.Agg.Keys) > 0:
+			names := make([]string, len(pl.Agg.Keys))
+			for i, c := range pl.Agg.Keys {
+				names[i] = c.Name
+			}
+			fmt.Fprintf(&sb, " → groupby keys=[%s] aggs=[%s]", strings.Join(names, " "), aggList(pl.Agg))
+		case pl.Agg != nil:
+			fmt.Fprintf(&sb, " → aggregate [%s]", aggList(pl.Agg))
+		default:
+			items := make([]string, len(pl.Proj))
+			for i, e := range pl.Proj {
+				items[i] = sql.String(e)
+			}
+			fmt.Fprintf(&sb, " → project [%s]", strings.Join(items, ", "))
+		}
+		sb.WriteByte('\n')
+	}
+	if pl.Having != nil {
+		fmt.Fprintf(&sb, "having %s\n", sql.String(pl.Having))
+	}
+	if len(pl.Sort) > 0 {
+		fmt.Fprintf(&sb, "sort keys: %d\n", len(pl.Sort))
+	}
+	if pl.Limit >= 0 {
+		fmt.Fprintf(&sb, "limit %d\n", pl.Limit)
+	}
+	return sb.String(), nil
+}
+
+func aggList(agg *logical.Aggregate) string {
+	parts := make([]string, len(agg.Aggs))
+	for i, a := range agg.Aggs {
+		if a.Arg == nil {
+			parts[i] = fmt.Sprintf("%s(*)", a.Op)
+		} else {
+			parts[i] = fmt.Sprintf("%s(%s)", a.Op, sql.String(a.Arg))
+		}
+	}
+	return strings.Join(parts, ", ")
+}

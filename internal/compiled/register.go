@@ -1,0 +1,20 @@
+package compiled
+
+import (
+	"context"
+
+	"paradigms/internal/registry"
+	"paradigms/internal/storage"
+)
+
+// The compiled lowering registers as the Typer engine's ad-hoc SQL
+// path, the counterpart of internal/logical's Tectorwise registration:
+// paradigms.RunContext and the query service dispatch raw SQL texts to
+// either engine through these two entries, so every ad-hoc statement is
+// a live two-engine experiment. Fused pipelines have no vector size;
+// the option is ignored, exactly like the registered Typer queries.
+func init() {
+	registry.RegisterAdHoc(registry.Typer, func(ctx context.Context, db *storage.Database, text string, opt registry.Options) (any, error) {
+		return Run(ctx, db, text, opt.Workers)
+	})
+}

@@ -280,6 +280,18 @@ func (t *Table) Word(ref Ref, i int) uint64 {
 	return s.words[ref.offset()+headerWords+uint64(i)]
 }
 
+// Row returns the entry's payload words as one slice (length = payload
+// width), resolving the shard and offset once — the generic executor's
+// replacement for the struct-pointer casts of the hand-written
+// pipelines. The slice aliases the shard arena: like Alloc's payload
+// pointer it is invalidated by a later Alloc on the same shard (arena
+// growth may reallocate), so use it before allocating again.
+func (t *Table) Row(ref Ref) []uint64 {
+	s := t.shards[ref.shard()]
+	off := ref.offset() + headerWords
+	return s.words[off : off+uint64(t.rowWords-headerWords)]
+}
+
 // SetWord stores payload word i of the entry.
 func (t *Table) SetWord(ref Ref, i int, v uint64) {
 	s := t.shards[ref.shard()]

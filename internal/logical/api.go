@@ -80,9 +80,10 @@ func Run(ctx context.Context, db *storage.Database, text string, workers, vecSiz
 	return pl.Execute(ctx, workers, vecSize)
 }
 
-// The ad-hoc SQL path registers under the Tectorwise engine: lowering
-// targets its operator layer. (Typer would need a fused-loop code
-// generator; the registry reports it has no ad-hoc path.)
+// This lowering registers as the Tectorwise ad-hoc SQL path: it targets
+// the vectorized operator layer. The Typer ad-hoc path is the compiled
+// lowering of internal/compiled, which consumes the same optimized Plan
+// and registers itself the same way.
 func init() {
 	registry.RegisterAdHoc(registry.Tectorwise, func(ctx context.Context, db *storage.Database, text string, opt registry.Options) (any, error) {
 		return Run(ctx, db, text, opt.Workers, opt.VectorSize)

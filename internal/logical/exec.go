@@ -40,19 +40,19 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 		partDisp   *exec.Dispatcher
 		htOps      []hashtable.AggOp
 		workerRows [][][]int64
-		partials   []globalPartial
+		partials   []GlobalPartial
 	)
 	switch {
 	case keyed:
 		htOps = make([]hashtable.AggOp, len(agg.Aggs))
 		for i, s := range agg.Aggs {
-			htOps[i] = s.Op.htOp()
+			htOps[i] = s.Op.HTOp()
 		}
 		spill = hashtable.NewSpill(e.Workers, tw.AggPartitions, 2+len(htOps))
 		partDisp = e.PartDisp(tw.AggPartitions)
 		workerRows = make([][][]int64, e.Workers)
 	case global:
-		partials = make([]globalPartial, e.Workers)
+		partials = make([]GlobalPartial, e.Workers)
 	default:
 		workerRows = make([][][]int64, e.Workers)
 	}
@@ -89,13 +89,9 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 				Root: root,
 				Sink: plan.NewGroupBy(bufs, spill, wid, htOps, key, vals...),
 			})
-			nk := len(agg.Keys)
 			stages = append(stages, plan.MergeStage(partDisp, spill, htOps, func(wid int, row []uint64) {
-				out := make([]int64, nk+len(agg.Aggs))
-				decodeKeys(agg.Keys, row[1], out)
-				for j := range agg.Aggs {
-					out[nk+j] = int64(row[2+j])
-				}
+				out := make([]int64, agg.MergedWidth())
+				agg.DecodeMergedRow(row, out)
 				workerRows[wid] = append(workerRows[wid], out)
 			}))
 		case global:
@@ -118,12 +114,24 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 	var rows [][]int64
 	switch {
 	case global:
-		rows = [][]int64{mergeGlobal(agg, partials)}
+		rows = [][]int64{MergeGlobal(agg, partials)}
 	default:
 		for _, wr := range workerRows {
 			rows = append(rows, wr...)
 		}
 	}
+
+	return pl.FinalizeRows(rows)
+}
+
+// FinalizeRows turns merged rows — slot layout [keys..., aggs...] for
+// grouped/global queries, item layout for projections — into the final
+// Result: HAVING filtering, ORDER BY, LIMIT, and the item-slot mapping.
+// It is the shared tail of both lowering backends (the vectorized path
+// above and internal/compiled's fused path), so HAVING/sort/limit
+// semantics cannot drift between the engines.
+func (pl *Plan) FinalizeRows(rows [][]int64) (*Result, error) {
+	agg := pl.Agg
 
 	if pl.Having != nil {
 		kept := rows[:0]
@@ -140,19 +148,9 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 	}
 
 	if len(pl.Sort) > 0 {
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range pl.Sort {
-				a, b := pl.sortValue(rows[i], k), pl.sortValue(rows[j], k)
-				if a == b {
-					continue
-				}
-				if k.Desc {
-					return a > b
-				}
-				return a < b
-			}
-			return false
-		})
+		// A concrete sorter: sort.SliceStable's reflect-based swapper
+		// costs real time on large group counts (Q3/Q18 shapes).
+		sort.Stable(&rowSorter{pl: pl, rows: rows})
 	}
 	if pl.Limit >= 0 && len(rows) > pl.Limit {
 		rows = rows[:pl.Limit]
@@ -178,8 +176,32 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 	return res, nil
 }
 
-// htOp maps a logical aggregate operator to the shared merge machinery.
-func (op AggOp) htOp() hashtable.AggOp {
+// rowSorter orders merged rows by the plan's ORDER BY keys (stable, so
+// input order breaks ties deterministically per backend).
+type rowSorter struct {
+	pl   *Plan
+	rows [][]int64
+}
+
+func (s *rowSorter) Len() int      { return len(s.rows) }
+func (s *rowSorter) Swap(i, j int) { s.rows[i], s.rows[j] = s.rows[j], s.rows[i] }
+func (s *rowSorter) Less(i, j int) bool {
+	for _, k := range s.pl.Sort {
+		a, b := s.pl.sortValue(s.rows[i], k), s.pl.sortValue(s.rows[j], k)
+		if a == b {
+			continue
+		}
+		if k.Desc {
+			return a > b
+		}
+		return a < b
+	}
+	return false
+}
+
+// HTOp maps a logical aggregate operator to the shared merge machinery;
+// both lowering backends use it for the partition-merge phase.
+func (op AggOp) HTOp() hashtable.AggOp {
 	switch op {
 	case OpSum, OpCount:
 		return hashtable.OpSum
@@ -191,9 +213,27 @@ func (op AggOp) htOp() hashtable.AggOp {
 	return hashtable.OpFirst
 }
 
-// decodeKeys unpacks the group-key word into the first len(keys) output
-// slots, restoring 32-bit signs for packed pairs.
-func decodeKeys(keys []*catalog.Column, word uint64, out []int64) {
+// MergedWidth is the slot-layout width of a merged group row:
+// [keys..., aggs...].
+func (agg *Aggregate) MergedWidth() int { return len(agg.Keys) + len(agg.Aggs) }
+
+// DecodeMergedRow fills out (slot layout [keys..., aggs...], length
+// MergedWidth) from one merged spill row [hash, key, aggs...] — the one
+// decode both lowering backends use for aggregation phase two, so the
+// row layout cannot drift between engines.
+func (agg *Aggregate) DecodeMergedRow(row []uint64, out []int64) {
+	DecodeGroupKey(agg.Keys, row[1], out)
+	nk := len(agg.Keys)
+	for j := range agg.Aggs {
+		out[nk+j] = int64(row[2+j])
+	}
+}
+
+// DecodeGroupKey unpacks the group-key word into the first len(keys)
+// output slots, restoring 32-bit signs for packed pairs. It is the
+// decode side of the key encoding both lowering backends share (single
+// keys as zero-extended words, 32-bit pairs packed lo|hi<<32).
+func DecodeGroupKey(keys []*catalog.Column, word uint64, out []int64) {
 	if len(keys) == 1 {
 		out[0] = int64(word)
 		return
@@ -256,10 +296,11 @@ func (pl *Plan) sortValue(row []int64, k SortKey) int64 {
 	return pl.slotValue(row, k.Slot)
 }
 
-// mergeGlobal combines the per-worker partials of a global aggregate
+// MergeGlobal combines the per-worker partials of a global aggregate
 // into the single output row. With zero input rows, sums and counts are
-// 0 (the engine has no NULL).
-func mergeGlobal(agg *Aggregate, partials []globalPartial) []int64 {
+// 0 (the engine has no NULL). Shared by both lowering backends so the
+// empty-input and min/max-sentinel semantics stay identical.
+func MergeGlobal(agg *Aggregate, partials []GlobalPartial) []int64 {
 	out := make([]int64, len(agg.Aggs))
 	for j, s := range agg.Aggs {
 		switch s.Op {
@@ -271,24 +312,24 @@ func mergeGlobal(agg *Aggregate, partials []globalPartial) []int64 {
 	}
 	var total int64
 	for _, p := range partials {
-		if p.n == 0 {
+		if p.N == 0 {
 			continue
 		}
-		total += p.n
+		total += p.N
 		for j, s := range agg.Aggs {
 			switch s.Op {
 			case OpSum, OpCount:
-				out[j] += p.acc[j]
+				out[j] += p.Acc[j]
 			case OpMin:
-				if p.acc[j] < out[j] {
-					out[j] = p.acc[j]
+				if p.Acc[j] < out[j] {
+					out[j] = p.Acc[j]
 				}
 			case OpMax:
-				if p.acc[j] > out[j] {
-					out[j] = p.acc[j]
+				if p.Acc[j] > out[j] {
+					out[j] = p.Acc[j]
 				}
 			case OpFirst:
-				out[j] = p.acc[j]
+				out[j] = p.Acc[j]
 			}
 		}
 	}
@@ -433,10 +474,12 @@ func (w *worker) onesVec() plan.VecI64 {
 	return func(b *plan.Batch, _ []int64) []int64 { return ones }
 }
 
-// globalPartial is one worker's share of a global aggregate.
-type globalPartial struct {
-	acc []int64
-	n   int64
+// GlobalPartial is one worker's share of a global aggregate: the
+// accumulator per aggregate slot plus the worker's input row count (so
+// MergeGlobal can zero the output when no row qualified anywhere).
+type GlobalPartial struct {
+	Acc []int64
+	N   int64
 }
 
 // globalAggSink reduces the final pipeline to per-worker accumulators —
@@ -447,10 +490,10 @@ type globalAggSink struct {
 	vals  []vec64
 	acc   []int64
 	n     int64
-	out   *globalPartial
+	out   *GlobalPartial
 }
 
-func newGlobalAggSink(w *worker, ps *pipeSpec, agg *Aggregate, out *globalPartial) *globalAggSink {
+func newGlobalAggSink(w *worker, ps *pipeSpec, agg *Aggregate, out *GlobalPartial) *globalAggSink {
 	s := &globalAggSink{specs: agg.Aggs, out: out, acc: make([]int64, len(agg.Aggs))}
 	s.vals = make([]vec64, len(agg.Aggs))
 	for i, spec := range agg.Aggs {
@@ -496,7 +539,7 @@ func (s *globalAggSink) Consume(b *plan.Batch) {
 
 // Finish implements plan.Sink.
 func (s *globalAggSink) Finish(bar *exec.Barrier, wid int) {
-	*s.out = globalPartial{acc: s.acc, n: s.n}
+	*s.out = GlobalPartial{Acc: s.acc, N: s.n}
 	bar.Wait(nil)
 }
 

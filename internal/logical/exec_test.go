@@ -7,7 +7,7 @@ import (
 	"sync"
 	"testing"
 
-	"paradigms/internal/queries"
+	"paradigms/internal/sqlcheck"
 	"paradigms/internal/ssb"
 	"paradigms/internal/storage"
 	"paradigms/internal/tpch"
@@ -31,42 +31,6 @@ func testDBs() (map[float64]*storage.Database, map[float64]*storage.Database) {
 	return tpchDBs, ssbDBs
 }
 
-// refRows converts a reference-oracle result into the SQL subsystem's
-// raw row representation for bit-exact comparison.
-func refRows(db *storage.Database, name string) [][]int64 {
-	switch name {
-	case "Q6":
-		return [][]int64{{int64(queries.RefQ6(db))}}
-	case "Q3":
-		var out [][]int64
-		for _, r := range queries.RefQ3(db) {
-			out = append(out, []int64{int64(r.OrderKey), r.Revenue, int64(r.OrderDate), int64(r.ShipPriority)})
-		}
-		return out
-	case "Q5":
-		var out [][]int64
-		for _, r := range queries.RefQ5(db) {
-			out = append(out, []int64{int64(r.Nation), r.Revenue})
-		}
-		return out
-	case "Q18":
-		var out [][]int64
-		for _, r := range queries.RefQ18(db) {
-			out = append(out, []int64{int64(r.CustKey), int64(r.OrderKey), int64(r.OrderDate), int64(r.TotalPrice), r.SumQty})
-		}
-		return out
-	case "Q1.1":
-		return [][]int64{{int64(queries.RefSSBQ11(db))}}
-	case "Q2.1":
-		var out [][]int64
-		for _, r := range queries.RefSSBQ21(db) {
-			out = append(out, []int64{int64(r.Year), int64(r.Brand), r.Revenue})
-		}
-		return out
-	}
-	panic("no reference for " + name)
-}
-
 // TestSQLMatchesReference is the subsystem's headline proof: the SQL
 // texts of TPC-H Q6/Q3/Q5/Q18 and SSB Q1.1/Q2.1 parse, plan, lower, and
 // execute bit-identical to the reference oracles across vector sizes
@@ -80,7 +44,7 @@ func TestSQLMatchesReference(t *testing.T) {
 				if !ok {
 					t.Fatalf("no SQL text for %s/%s", db.Name, name)
 				}
-				want := refRows(db, name)
+				want := sqlcheck.RefRows(db, name)
 				for _, workers := range []int{1, 4} {
 					for _, vec := range []int{1, 1000, 4096} {
 						res, err := Run(context.Background(), db, text, workers, vec)

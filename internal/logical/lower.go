@@ -6,6 +6,7 @@ import (
 	"paradigms/internal/catalog"
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
+	"paradigms/internal/sql"
 )
 
 // The lowering pass turns the optimized logical plan into pipeline
@@ -76,12 +77,12 @@ func lower(pl *Plan) (*program, error) {
 		}
 		for _, s := range pl.Agg.Aggs {
 			if s.Arg != nil {
-				walkCols(s.Arg, func(c *catalog.Column) { needed[c] = true })
+				sql.WalkCols(s.Arg, func(c *catalog.Column) { needed[c] = true })
 			}
 		}
 	}
 	for _, e := range pl.Proj {
-		walkCols(e, func(c *catalog.Column) { needed[c] = true })
+		sql.WalkCols(e, func(c *catalog.Column) { needed[c] = true })
 	}
 	final, err := compilePipe(pl.Root, sortedCols(needed), prog)
 	if err != nil {

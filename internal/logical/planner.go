@@ -176,39 +176,13 @@ func (p *planner) classify(where sql.Expr) error {
 func exprTables(e sql.Expr) []*catalog.Table {
 	var out []*catalog.Table
 	seen := map[*catalog.Table]bool{}
-	walkCols(e, func(c *catalog.Column) {
+	sql.WalkCols(e, func(c *catalog.Column) {
 		if !seen[c.Table] {
 			seen[c.Table] = true
 			out = append(out, c.Table)
 		}
 	})
 	return out
-}
-
-// walkCols visits every column reference in an expression.
-func walkCols(e sql.Expr, fn func(*catalog.Column)) {
-	switch x := e.(type) {
-	case *sql.ColRef:
-		fn(x.Col)
-	case *sql.Binary:
-		walkCols(x.L, fn)
-		walkCols(x.R, fn)
-	case *sql.Not:
-		walkCols(x.X, fn)
-	case *sql.Between:
-		walkCols(x.X, fn)
-		walkCols(x.Lo, fn)
-		walkCols(x.Hi, fn)
-	case *sql.InList:
-		walkCols(x.X, fn)
-		for _, l := range x.List {
-			walkCols(l, fn)
-		}
-	case *sql.Agg:
-		if x.Arg != nil {
-			walkCols(x.Arg, fn)
-		}
-	}
 }
 
 // union-find over equality edges: the planner's column equivalence
@@ -240,20 +214,39 @@ func (p *planner) union(a, b *catalog.Column) {
 // hash probes of the remaining tables' chains, ordered by estimated
 // build cardinality. Equality edges not usable as key-unique hash joins
 // become residual predicates on the join where both sides first meet.
+// If the preferred spine admits no key-unique attachment for some chain
+// (possible when cardinalities tie, e.g. synthetic edge databases where
+// every relation has the same row count — or none), the next candidate
+// spine is tried before giving up, with the first failure reported.
 func (p *planner) orderTables(tables []*catalog.Table, edges []edge, forced *catalog.Table) (Node, error) {
 	if len(tables) == 1 {
 		return &Scan{Table: tables[0], Filters: p.filters[tables[0]]}, nil
 	}
-	spine := forced
-	if spine == nil {
-		spine = tables[0]
-		for _, t := range tables[1:] {
-			if t.Rows() > spine.Rows() || (t.Rows() == spine.Rows() && t.Name < spine.Name) {
-				spine = t
-			}
+	if forced != nil {
+		return p.orderWithSpine(tables, edges, forced)
+	}
+	cands := append([]*catalog.Table(nil), tables...)
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Rows() != cands[j].Rows() {
+			return cands[i].Rows() > cands[j].Rows()
+		}
+		return cands[i].Name < cands[j].Name
+	})
+	var firstErr error
+	for _, spine := range cands {
+		n, err := p.orderWithSpine(tables, edges, spine)
+		if err == nil {
+			return n, nil
+		}
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
+	return nil, firstErr
+}
 
+// orderWithSpine builds the join tree streaming the given spine.
+func (p *planner) orderWithSpine(tables []*catalog.Table, edges []edge, spine *catalog.Table) (Node, error) {
 	var rest []*catalog.Table
 	for _, t := range tables {
 		if t != spine {
@@ -883,7 +876,7 @@ func (p *planner) resolveSlot(e sql.Expr, agg *Aggregate) (Slot, error) {
 // columns are read by the scan's own cascade and not listed).
 func prune(pl *Plan) {
 	need := map[*catalog.Column]bool{}
-	add := func(e sql.Expr) { walkCols(e, func(c *catalog.Column) { need[c] = true }) }
+	add := func(e sql.Expr) { sql.WalkCols(e, func(c *catalog.Column) { need[c] = true }) }
 	if pl.Agg != nil {
 		for _, k := range pl.Agg.Keys {
 			need[k] = true

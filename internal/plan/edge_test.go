@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"paradigms/internal/queries"
+	"paradigms/internal/sqlcheck"
 	"paradigms/internal/storage"
-	"paradigms/internal/types"
 )
 
 // Edge-case coverage for every registered plan-based query (Q6, Q3,
@@ -15,206 +15,8 @@ import (
 // (every vector dies in the cascade), and GroupBy sinks over zero
 // surviving rows (spill partitions merge empty). Each scenario is
 // asserted against the reference oracle on the same synthetic database.
-
-// miniTPCH builds a schema-compatible TPC-H instance with hand-picked
-// values. n is the lineitem/orders/customer cardinality; qualify
-// controls whether any row passes the queries' predicates.
-func miniTPCH(n int, qualify bool) *storage.Database {
-	db := storage.NewDatabase("tpch", 0)
-
-	seg := "AUTOMOBILE"
-	if qualify {
-		seg = queries.Q3Segment
-	}
-	region := storage.NewRelation("region")
-	rname := storage.NewStringHeap(1, 8)
-	if qualify {
-		rname.AppendString(queries.Q5Region)
-	} else {
-		rname.AppendString("EUROPE")
-	}
-	region.AddInt32("r_regionkey", []int32{0})
-	region.AddString("r_name", rname)
-	db.Add(region)
-
-	nation := storage.NewRelation("nation")
-	nation.AddInt32("n_nationkey", []int32{0, 1})
-	nh := storage.NewStringHeap(2, 8)
-	nh.AppendString("ALPHA")
-	nh.AppendString("BETA")
-	nation.AddString("n_name", nh)
-	nation.AddInt32("n_regionkey", []int32{0, 0})
-	db.Add(nation)
-
-	supp := storage.NewRelation("supplier")
-	sk := make([]int32, max(1, n/10))
-	snat := make([]int32, len(sk))
-	for i := range sk {
-		sk[i] = int32(i + 1)
-		snat[i] = int32(i % 2)
-	}
-	supp.AddInt32("s_suppkey", sk)
-	supp.AddInt32("s_nationkey", snat)
-	db.Add(supp)
-
-	cust := storage.NewRelation("customer")
-	ck := make([]int32, n)
-	cnat := make([]int32, n)
-	segs := storage.NewStringHeap(n, 10)
-	for i := 0; i < n; i++ {
-		ck[i] = int32(i + 1)
-		cnat[i] = int32(i % 2)
-		segs.AppendString(seg)
-	}
-	cust.AddInt32("c_custkey", ck)
-	cust.AddInt32("c_nationkey", cnat)
-	cust.AddString("c_mktsegment", segs)
-	db.Add(cust)
-
-	ord := storage.NewRelation("orders")
-	ok := make([]int32, n)
-	ocust := make([]int32, n)
-	odate := make([]types.Date, n)
-	oprio := make([]int32, n)
-	ototal := make([]types.Numeric, n)
-	date := queries.Q3Date - 10 // qualifies for Q3/Q5 windows
-	if !qualify {
-		date = queries.Q3Date + 1000
-	}
-	for i := 0; i < n; i++ {
-		ok[i] = int32(i + 1)
-		ocust[i] = int32(i%n + 1)
-		odate[i] = date
-		oprio[i] = int32(i)
-		ototal[i] = types.Numeric(int64(i+1) * 100)
-	}
-	ord.AddInt32("o_orderkey", ok)
-	ord.AddInt32("o_custkey", ocust)
-	ord.AddDate("o_orderdate", odate)
-	ord.AddInt32("o_shippriority", oprio)
-	ord.AddNumeric("o_totalprice", ototal)
-	db.Add(ord)
-
-	li := storage.NewRelation("lineitem")
-	lok := make([]int32, n)
-	lsk := make([]int32, n)
-	lship := make([]types.Date, n)
-	lqty := make([]types.Numeric, n)
-	lext := make([]types.Numeric, n)
-	ldisc := make([]types.Numeric, n)
-	ship := queries.Q6DateLo + 5
-	qty := types.Numeric(10 * types.NumericScale) // < Q6's 24, < 300 HAVING
-	if !qualify {
-		ship = queries.Q6DateLo - 1000 // outside every date window
-	}
-	for i := 0; i < n; i++ {
-		lok[i] = int32(i + 1)
-		lsk[i] = sk[i%len(sk)]
-		lship[i] = ship
-		lqty[i] = qty
-		lext[i] = types.Numeric(int64(i+1) * 100)
-		ldisc[i] = queries.Q6DiscLo
-	}
-	li.AddInt32("l_orderkey", lok)
-	li.AddInt32("l_suppkey", lsk)
-	li.AddDate("l_shipdate", lship)
-	li.AddNumeric("l_quantity", lqty)
-	li.AddNumeric("l_extendedprice", lext)
-	li.AddNumeric("l_discount", ldisc)
-	db.Add(li)
-	return db
-}
-
-// miniSSB builds a schema-compatible SSB instance for Q2.1.
-func miniSSB(n int, qualify bool) *storage.Database {
-	db := storage.NewDatabase("ssb", 0)
-
-	cat := int32(99)
-	if qualify {
-		cat = queries.SSBQ21Categ
-	}
-	part := storage.NewRelation("part")
-	pk := make([]int32, max(1, n/10))
-	pcat := make([]int32, len(pk))
-	pbrand := make([]int32, len(pk))
-	for i := range pk {
-		pk[i] = int32(i + 1)
-		pcat[i] = cat
-		pbrand[i] = int32(i%4 + 1)
-	}
-	part.AddInt32("p_partkey", pk)
-	part.AddInt32("p_category", pcat)
-	part.AddInt32("p_brand1", pbrand)
-	db.Add(part)
-
-	supp := storage.NewRelation("supplier")
-	sk := []int32{1, 2}
-	supp.AddInt32("s_suppkey", sk)
-	supp.AddInt32("s_region", []int32{queries.SSBQ21Region, queries.SSBQ21Region})
-	db.Add(supp)
-
-	date := storage.NewRelation("date")
-	dk := []types.Date{types.MakeDate(1993, 1, 1), types.MakeDate(1994, 1, 1)}
-	date.AddDate("d_datekey", dk)
-	date.AddInt32("d_year", []int32{1993, 1994})
-	db.Add(date)
-
-	lo := storage.NewRelation("lineorder")
-	lopk := make([]int32, n)
-	losk := make([]int32, n)
-	lod := make([]types.Date, n)
-	rev := make([]types.Numeric, n)
-	for i := 0; i < n; i++ {
-		lopk[i] = pk[i%len(pk)]
-		losk[i] = sk[i%len(sk)]
-		lod[i] = dk[i%len(dk)]
-		rev[i] = types.Numeric(int64(i+1) * 10)
-	}
-	lo.AddInt32("lo_partkey", lopk)
-	lo.AddInt32("lo_suppkey", losk)
-	lo.AddDate("lo_orderdate", lod)
-	lo.AddNumeric("lo_revenue", rev)
-	db.Add(lo)
-	return db
-}
-
-// emptyTPCH/emptySSB: zero-row base relations — every scan yields no
-// morsel at all.
-func emptyMinis() (*storage.Database, *storage.Database) {
-	tp := miniTPCH(1, true)
-	sb := miniSSB(1, true)
-	et := storage.NewDatabase("tpch", 0)
-	es := storage.NewDatabase("ssb", 0)
-	for _, name := range []string{"region", "nation", "supplier", "customer", "orders", "lineitem"} {
-		et.Add(truncated(tp.Rel(name)))
-	}
-	for _, name := range []string{"part", "supplier", "date", "lineorder"} {
-		es.Add(truncated(sb.Rel(name)))
-	}
-	return et, es
-}
-
-// truncated clones a relation's schema with zero rows.
-func truncated(r *storage.Relation) *storage.Relation {
-	out := storage.NewRelation(r.Name)
-	for _, c := range r.Columns() {
-		switch c.Type {
-		case storage.Int32:
-			out.AddInt32(c.Name, nil)
-		case storage.Int64:
-			out.AddInt64(c.Name, nil)
-		case storage.Numeric:
-			out.AddNumeric(c.Name, nil)
-		case storage.Date:
-			out.AddDate(c.Name, nil)
-		case storage.Byte:
-			out.AddByte(c.Name, nil)
-		case storage.String:
-			out.AddString(c.Name, storage.NewStringHeap(0, 0))
-		}
-	}
-	return out
-}
+// The mini databases live in internal/sqlcheck, shared with the
+// compiled-backend edge suite so both engines face identical scenarios.
 
 // checkAll runs every registered plan query on the synthetic databases
 // and compares against the oracles, across worker counts that exceed
@@ -247,7 +49,7 @@ func checkRows[T any](t *testing.T, label, q string, workers, vec int, got, want
 }
 
 func TestPlanEmptyRelations(t *testing.T) {
-	tp, sb := emptyMinis()
+	tp, sb := sqlcheck.EmptyMinis()
 	checkAll(t, "empty", tp, sb)
 }
 
@@ -255,11 +57,11 @@ func TestPlanAllFalseSelections(t *testing.T) {
 	// Rows exist but no predicate passes: every FilterChain narrows to
 	// zero, every downstream GroupBy merges zero groups, Q18's HAVING
 	// table stays empty.
-	checkAll(t, "all-false", miniTPCH(10, false), miniSSB(10, false))
+	checkAll(t, "all-false", sqlcheck.MiniTPCH(10, false), sqlcheck.MiniSSB(10, false))
 }
 
 func TestPlanTinyQualifyingSets(t *testing.T) {
 	// A handful of qualifying rows with more workers than morsels:
 	// some workers see empty batches while others aggregate real groups.
-	checkAll(t, "tiny", miniTPCH(7, true), miniSSB(7, true))
+	checkAll(t, "tiny", sqlcheck.MiniTPCH(7, true), sqlcheck.MiniSSB(7, true))
 }

@@ -276,6 +276,34 @@ func Equal(a, b Expr) bool {
 	return false
 }
 
+// WalkCols visits every column reference in an expression (including
+// aggregate arguments) — the shared requirement walker of the two
+// lowering backends and the differential-test oracle.
+func WalkCols(e Expr, fn func(*catalog.Column)) {
+	switch x := e.(type) {
+	case *ColRef:
+		fn(x.Col)
+	case *Binary:
+		WalkCols(x.L, fn)
+		WalkCols(x.R, fn)
+	case *Not:
+		WalkCols(x.X, fn)
+	case *Between:
+		WalkCols(x.X, fn)
+		WalkCols(x.Lo, fn)
+		WalkCols(x.Hi, fn)
+	case *InList:
+		WalkCols(x.X, fn)
+		for _, l := range x.List {
+			WalkCols(l, fn)
+		}
+	case *Agg:
+		if x.Arg != nil {
+			WalkCols(x.Arg, fn)
+		}
+	}
+}
+
 // String renders an expression in SQL-ish form for plan displays and
 // error messages.
 func String(e Expr) string {

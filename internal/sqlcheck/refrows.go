@@ -1,0 +1,44 @@
+package sqlcheck
+
+import (
+	"paradigms/internal/queries"
+	"paradigms/internal/storage"
+)
+
+// RefRows converts a hand-written reference-oracle result into the SQL
+// subsystem's raw row representation (logical.Result.Rows layout) for
+// bit-exact comparison — the one mapping shared by every parity test of
+// the canonical benchmark texts.
+func RefRows(db *storage.Database, name string) [][]int64 {
+	switch name {
+	case "Q6":
+		return [][]int64{{int64(queries.RefQ6(db))}}
+	case "Q3":
+		var out [][]int64
+		for _, r := range queries.RefQ3(db) {
+			out = append(out, []int64{int64(r.OrderKey), r.Revenue, int64(r.OrderDate), int64(r.ShipPriority)})
+		}
+		return out
+	case "Q5":
+		var out [][]int64
+		for _, r := range queries.RefQ5(db) {
+			out = append(out, []int64{int64(r.Nation), r.Revenue})
+		}
+		return out
+	case "Q18":
+		var out [][]int64
+		for _, r := range queries.RefQ18(db) {
+			out = append(out, []int64{int64(r.CustKey), int64(r.OrderKey), int64(r.OrderDate), int64(r.TotalPrice), r.SumQty})
+		}
+		return out
+	case "Q1.1":
+		return [][]int64{{int64(queries.RefSSBQ11(db))}}
+	case "Q2.1":
+		var out [][]int64
+		for _, r := range queries.RefSSBQ21(db) {
+			out = append(out, []int64{int64(r.Year), int64(r.Brand), r.Revenue})
+		}
+		return out
+	}
+	panic("sqlcheck: no reference for " + name)
+}

@@ -317,12 +317,12 @@ func Q1(db *storage.Database) queries.Q1Result {
 	)
 	sel := NewSelect(scan, func(t Tuple) bool { return t[0] <= int64(queries.Q1Cutoff) })
 	proj := NewProject(sel,
-		func(t Tuple) int64 { return t[1] },                           // group key
-		func(t Tuple) int64 { return t[2] },                           // qty
-		func(t Tuple) int64 { return t[3] },                           // base
-		func(t Tuple) int64 { return t[3] * (100 - t[4]) },            // disc price
+		func(t Tuple) int64 { return t[1] },                               // group key
+		func(t Tuple) int64 { return t[2] },                               // qty
+		func(t Tuple) int64 { return t[3] },                               // base
+		func(t Tuple) int64 { return t[3] * (100 - t[4]) },                // disc price
 		func(t Tuple) int64 { return t[3] * (100 - t[4]) * (100 + t[5]) }, // charge
-		func(t Tuple) int64 { return t[4] },                           // discount
+		func(t Tuple) int64 { return t[4] },                               // discount
 	)
 	agg := NewHashAggregate(proj, []int{0}, []int{1, 2, 3, 4, 5})
 	agg.Open()
@@ -397,10 +397,10 @@ func Q3(db *storage.Database) queries.Q3Result {
 	// join2 output: lineitem 0..3, join1 4..9 (orders 4..7, customer 8..9).
 
 	proj := NewProject(join2,
-		func(t Tuple) int64 { return t[0] },               // orderkey
+		func(t Tuple) int64 { return t[0] },                // orderkey
 		func(t Tuple) int64 { return t[2] * (100 - t[3]) }, // revenue
-		func(t Tuple) int64 { return t[6] },               // orderdate
-		func(t Tuple) int64 { return t[7] },               // shippriority
+		func(t Tuple) int64 { return t[6] },                // orderdate
+		func(t Tuple) int64 { return t[7] },                // shippriority
 	)
 	agg := NewHashAggregate(proj, []int{0, 2, 3}, []int{1})
 	agg.Open()

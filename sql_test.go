@@ -25,33 +25,42 @@ func sqlDBs() (*DB, *DB) {
 	return sqlTPCH, sqlSSB
 }
 
-// TestRunContextSQL: the facade accepts raw SQL on the engine with an
-// ad-hoc path and rejects it on the one without.
+// TestRunContextSQL: the facade accepts raw SQL on both engines — the
+// vectorized lowering on Tectorwise and the compiled fused-pipeline
+// lowering on Typer — with bit-identical results, and rejects engines
+// without an ad-hoc path.
 func TestRunContextSQL(t *testing.T) {
 	db, _ := sqlDBs()
 	const q6 = `select sum(l_extendedprice * l_discount) from lineitem
 		where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
 		and l_discount between 0.05 and 0.07 and l_quantity < 24`
 
-	res, err := Run(db, Tectorwise, q6, Options{Workers: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows := res.(*logical.Result).Rows
-	if want := int64(queries.RefQ6(db)); len(rows) != 1 || rows[0][0] != want {
-		t.Errorf("SQL Q6 = %v, want [[%d]]", rows, want)
-	}
-
-	if _, err := Run(db, Typer, q6, Options{}); err == nil || !strings.Contains(err.Error(), "ad-hoc") {
-		t.Errorf("typer SQL err = %v, want no-ad-hoc-path error", err)
-	}
-
-	if _, err := Run(db, Tectorwise, "select nope from lineitem", Options{}); err == nil {
-		t.Error("bad SQL did not error")
+	want := int64(queries.RefQ6(db))
+	for _, engine := range []Engine{Tectorwise, Typer} {
+		res, err := Run(db, engine, q6, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := res.(*logical.Result).Rows
+		if len(rows) != 1 || rows[0][0] != want {
+			t.Errorf("%s SQL Q6 = %v, want [[%d]]", engine, rows, want)
+		}
 	}
 
-	if _, ok := registry.LookupAdHoc(registry.Tectorwise); !ok {
-		t.Error("tectorwise has no registered ad-hoc runner")
+	if _, err := Run(db, Engine("reference"), q6, Options{}); err == nil || !strings.Contains(err.Error(), "ad-hoc") {
+		t.Errorf("reference SQL err = %v, want no-ad-hoc-path error", err)
+	}
+
+	for _, engine := range []Engine{Tectorwise, Typer} {
+		if _, err := Run(db, engine, "select nope from lineitem", Options{}); err == nil {
+			t.Errorf("%s: bad SQL did not error", engine)
+		}
+	}
+
+	for _, engine := range []string{registry.Tectorwise, registry.Typer} {
+		if _, ok := registry.LookupAdHoc(engine); !ok {
+			t.Errorf("%s has no registered ad-hoc runner", engine)
+		}
 	}
 }
 
@@ -96,7 +105,8 @@ func TestServiceSQL(t *testing.T) {
 }
 
 // TestServiceSQLConcurrent: ad-hoc SQL and registered queries share the
-// admission control machinery; mixed load stays race-free and correct.
+// admission control machinery on both engines (the vectorized and the
+// compiled SQL backends); mixed load stays race-free and correct.
 func TestServiceSQLConcurrent(t *testing.T) {
 	tpchDB, ssbDB := sqlDBs()
 	svc := NewService(tpchDB, ssbDB, ServiceOptions{WorkerBudget: 4, MaxConcurrent: 3})
@@ -107,6 +117,7 @@ func TestServiceSQLConcurrent(t *testing.T) {
 		`select count(*) from orders`,
 		`select sum(lo_revenue) from lineorder where lo_discount between 1 and 3`,
 	}
+	engines := []Engine{Tectorwise, Typer}
 	var wg sync.WaitGroup
 	for c := 0; c < 8; c++ {
 		wg.Add(1)
@@ -114,8 +125,9 @@ func TestServiceSQLConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
 				q := queriesMix[(c+i)%len(queriesMix)]
-				if _, err := svc.Do(context.Background(), string(Tectorwise), q); err != nil {
-					t.Errorf("client %d query %q: %v", c, q, err)
+				eng := engines[(c+i)%len(engines)]
+				if _, err := svc.Do(context.Background(), string(eng), q); err != nil {
+					t.Errorf("client %d query %q on %s: %v", c, q, eng, err)
 					return
 				}
 			}
