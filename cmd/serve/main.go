@@ -11,6 +11,7 @@
 //	serve -clients 4 -engine typer -queries Q1,Q6
 //	serve -clients 16 -budget 8 -maxconc 16 -novalidate
 //	serve -clients 8 -sql -statsjson
+//	serve -clients 8 -prepared -engine auto
 //
 // Engine "mixed" (the default) alternates Typer and Tectorwise per query.
 // -sql additionally mixes the canonical ad-hoc SQL texts of the
@@ -21,6 +22,17 @@
 // against the reference oracles unless -novalidate is given. On exit
 // the aggregate stats report is printed; -statsjson additionally emits
 // the machine-readable snapshot.
+//
+// -prepared switches to the prepared-statement workload: clients
+// prepare a parameterized template per execution (Service.Prepare —
+// every prepare after each template's first is a plan-cache hit) and
+// execute it with randomized argument bindings, no per-query parse or
+// plan. In this mode "mixed" rotates Typer, Tectorwise, and "auto";
+// -engine auto routes every execution through each statement's
+// adaptive router, which converges onto the empirically faster backend
+// per statement — the paper's finding that neither paradigm dominates,
+// exploited live. The final report includes plan-cache hit/miss/
+// eviction counters.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -38,6 +51,58 @@ import (
 	"paradigms/internal/logical"
 	"paradigms/internal/server"
 )
+
+// prepSpec is one parameterized template of the -prepared workload:
+// the SQL text (with `?` placeholders) plus an argument sampler.
+type prepSpec struct {
+	text string
+	args func(r *rand.Rand) []string
+}
+
+// preparedWorkload mixes the two regimes the paper separates:
+// computation-heavy scans (Q6/Q1.1 shapes, where the compiled engine
+// wins) and join/probe-heavy aggregations (Q3 shape, where the
+// vectorized engine wins) — so adaptive auto-routing has something
+// real to learn per statement.
+func preparedWorkload() []prepSpec {
+	date := func(y, m, d int) string { return fmt.Sprintf("%04d-%02d-%02d", y, m, d) }
+	return []prepSpec{
+		{
+			text: `select sum(l_extendedprice * l_discount) as revenue from lineitem
+				where l_shipdate >= ? and l_shipdate < ? and l_discount between ? and ? and l_quantity < ?`,
+			args: func(r *rand.Rand) []string {
+				y := 1993 + r.Intn(4)
+				lo := 2 + r.Intn(6)
+				return []string{date(y, 1, 1), date(y+1, 1, 1),
+					fmt.Sprintf("0.0%d", lo), fmt.Sprintf("0.0%d", lo+2),
+					fmt.Sprintf("%d", 20+r.Intn(15))}
+			},
+		},
+		{
+			text: `select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+				o_orderdate, o_shippriority
+				from customer, orders, lineitem
+				where c_mktsegment = 'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey
+				and o_orderdate < ? and l_shipdate > ?
+				group by l_orderkey, o_orderdate, o_shippriority
+				order by revenue desc, o_orderdate, l_orderkey limit 10`,
+			args: func(r *rand.Rand) []string {
+				d := date(1995, 1+r.Intn(6), 1+r.Intn(28))
+				return []string{d, d}
+			},
+		},
+		{
+			text: `select sum(lo_extendedprice * lo_discount) as revenue from lineorder, date
+				where lo_orderdate = d_datekey and d_year = ? and lo_discount between ? and ? and lo_quantity < ?`,
+			args: func(r *rand.Rand) []string {
+				lo := 1 + r.Intn(3)
+				return []string{fmt.Sprintf("%d", 1992+r.Intn(6)),
+					fmt.Sprintf("%d", lo), fmt.Sprintf("%d", lo+2),
+					fmt.Sprintf("%d", 20+r.Intn(15))}
+			},
+		},
+	}
+}
 
 func main() {
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
@@ -52,6 +117,7 @@ func main() {
 	vecSize := flag.Int("vecsize", 0, "Tectorwise vector size (0 = default)")
 	novalidate := flag.Bool("novalidate", false, "skip checking results against the reference oracles")
 	withSQL := flag.Bool("sql", false, "mix ad-hoc SQL texts of the benchmark queries into the workload")
+	prepared := flag.Bool("prepared", false, "prepared-statement workload: parameterized templates, plan cache, adaptive auto-routing")
 	statsJSON := flag.Bool("statsjson", false, "also emit the final stats as JSON")
 	flag.Parse()
 
@@ -61,8 +127,17 @@ func main() {
 		engines = []paradigms.Engine{paradigms.Typer}
 	case "tectorwise":
 		engines = []paradigms.Engine{paradigms.Tectorwise}
+	case "auto":
+		if !*prepared {
+			fmt.Fprintln(os.Stderr, "serve: -engine auto requires -prepared (adaptive routing lives on prepared statements)")
+			os.Exit(2)
+		}
+		engines = []paradigms.Engine{paradigms.Auto}
 	case "mixed":
 		engines = []paradigms.Engine{paradigms.Typer, paradigms.Tectorwise}
+		if *prepared {
+			engines = append(engines, paradigms.Auto)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "serve: unknown -engine %q\n", *engine)
 		os.Exit(2)
@@ -95,8 +170,33 @@ func main() {
 		SkipValidation: *novalidate,
 	})
 
-	fmt.Fprintf(os.Stderr, "serving: %d clients, %s, engines %v, %d queries\n",
-		*clients, *duration, engines, len(queries))
+	// The prepared workload validates every template up front (fail
+	// fast on a broken text, and warm the plan cache); clients then
+	// re-prepare per execution — cache hits — and execute.
+	var specs []prepSpec
+	var stmts []*server.Prepared
+	if *prepared {
+		specs = preparedWorkload()
+		for _, sp := range specs {
+			st, err := svc.Prepare(sp.text)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: prepare %q: %v\n", sp.text, err)
+				os.Exit(1)
+			}
+			stmts = append(stmts, st)
+		}
+	}
+
+	mode := "queries"
+	if *prepared {
+		mode = "prepared statements"
+	}
+	n := len(queries)
+	if *prepared {
+		n = len(stmts)
+	}
+	fmt.Fprintf(os.Stderr, "serving: %d clients, %s, engines %v, %d %s\n",
+		*clients, *duration, engines, n, mode)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
@@ -106,11 +206,29 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(c)))
 			// Stagger starting points so clients don't run in lockstep.
 			for i := c; ctx.Err() == nil; i++ {
 				eng := engines[i%len(engines)]
-				q := queries[i%len(queries)]
-				_, err := svc.Do(ctx, string(eng), q)
+				var q string
+				var err error
+				if *prepared {
+					// Statement choice is random (seeded per client) so
+					// it never runs in lockstep with the engine rotation
+					// — every statement sees every engine. Re-preparing
+					// per execution is the realistic client behavior the
+					// plan cache amortizes: all but the first prepare of
+					// each template are cache hits.
+					k := rnd.Intn(len(stmts))
+					q = specs[k].text
+					var p *server.Prepared
+					if p, err = svc.Prepare(q); err == nil {
+						_, err = svc.DoPrepared(ctx, string(eng), p, specs[k].args(rnd)...)
+					}
+				} else {
+					q = queries[i%len(queries)]
+					_, err = svc.Do(ctx, string(eng), q)
+				}
 				switch {
 				case err == nil || ctx.Err() != nil:
 				case errors.Is(err, server.ErrOverloaded):

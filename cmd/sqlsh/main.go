@@ -1,8 +1,12 @@
 // Command sqlsh is an interactive SQL shell over the generated TPC-H
 // and SSB databases: statements parse, bind, and optimize once, then
 // lower onto the engine selected with \engine — the Tectorwise
-// vectorized operator layer (default) or the Typer-style compiled
-// fused pipelines — and run morsel-parallel.
+// vectorized operator layer (default), the Typer-style compiled fused
+// pipelines, or auto, which routes each execution to whichever backend
+// the statement's adaptive router measures as faster — and run
+// morsel-parallel. Every statement's optimized plan is held in an LRU
+// plan cache keyed on the normalized SQL text, so re-running a
+// statement skips parse, bind, and plan.
 //
 // Usage:
 //
@@ -14,7 +18,15 @@
 //	\tables            list tables of both catalogs
 //	\d <table>         describe a table
 //	\engine [name]     show or switch the execution backend
-//	                   (typer | tectorwise; tw is shorthand)
+//	                   (typer | tectorwise | auto; tw is shorthand)
+//	\prepare           list the named prepared statements and their
+//	                   per-engine routing state
+//	\prepare <name> <sql>
+//	                   prepare a statement (one line, `?` placeholders
+//	                   allowed) under a name
+//	\execute <name> [arg ...]
+//	                   run a prepared statement with one argument per
+//	                   placeholder (dates as YYYY-MM-DD)
 //	\q                 quit
 //	explain <query>    print the backend and plan instead of running:
 //	                   the optimized logical plan, plus the compiled
@@ -22,14 +34,15 @@
 //
 // Example session:
 //
-//	sql> select sum(l_extendedprice * l_discount) as revenue
-//	...> from lineitem
-//	...> where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01'
-//	...>   and l_discount between 0.05 and 0.07 and l_quantity < 24;
+//	sql> \prepare rev select sum(l_extendedprice * l_discount) as revenue
+//	       from lineitem where l_shipdate >= ? and l_shipdate < ?
+//	       and l_discount between ? and ? and l_quantity < ?
+//	prepared rev (5 parameters)
+//	sql> \execute rev 1994-01-01 1995-01-01 0.05 0.07 24
 //	revenue
 //	-----------
 //	11803420.25
-//	(1 row)  [12.3ms]
+//	(1 row)  [12.3ms typer]
 package main
 
 import (
@@ -39,12 +52,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"paradigms"
 	"paradigms/internal/compiled"
 	"paradigms/internal/logical"
+	"paradigms/internal/prepcache"
 	"paradigms/internal/registry"
 	"paradigms/internal/storage"
 )
@@ -54,7 +69,7 @@ func main() {
 	ssbsf := flag.Float64("ssbsf", 0.05, "SSB scale factor")
 	workers := flag.Int("workers", 0, "morsel workers per query (0 = GOMAXPROCS)")
 	vecSize := flag.Int("vecsize", 0, "vector size (0 = default; vectorized engine only)")
-	engine := flag.String("engine", registry.Tectorwise, "initial engine (typer | tectorwise)")
+	engine := flag.String("engine", registry.Tectorwise, "initial engine (typer | tectorwise | auto)")
 	flag.Parse()
 
 	eng, ok := engineName(*engine)
@@ -83,12 +98,16 @@ func engineName(s string) (string, bool) {
 		return registry.Typer, true
 	case registry.Tectorwise, "tw":
 		return registry.Tectorwise, true
+	case prepcache.Auto:
+		return prepcache.Auto, true
 	}
 	return "", false
 }
 
 // shell is the REPL state; run drives it from any reader so the REPL is
-// script-testable (see main_test.go).
+// script-testable (see main_test.go). Every executed statement goes
+// through the plan cache, and named prepared statements (\prepare)
+// carry their own adaptive engine router.
 type shell struct {
 	dbs     []*storage.Database
 	workers int
@@ -96,9 +115,18 @@ type shell struct {
 	engine  string
 	out     io.Writer
 	clock   func() time.Time
+
+	cache *prepcache.Cache
+	stmts map[string]*prepcache.Statement
 }
 
 func (sh *shell) run(in io.Reader) {
+	if sh.cache == nil {
+		sh.cache = prepcache.New(0)
+	}
+	if sh.stmts == nil {
+		sh.stmts = map[string]*prepcache.Statement{}
+	}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -177,18 +205,63 @@ func (sh *shell) meta(cmd string) bool {
 		}
 		eng, ok := engineName(fields[1])
 		if !ok {
-			fmt.Fprintf(sh.out, "unknown engine %q (typer | tectorwise)\n", fields[1])
+			fmt.Fprintf(sh.out, "unknown engine %q (typer | tectorwise | auto)\n", fields[1])
 			return false
 		}
 		sh.engine = eng
 		fmt.Fprintf(sh.out, "engine: %s\n", sh.engine)
+	case `\prepare`:
+		rest := strings.TrimSpace(cmd[len(`\prepare`):])
+		if rest == "" {
+			sh.listPrepared()
+			return false
+		}
+		idx := strings.IndexAny(rest, " \t")
+		if idx < 0 {
+			fmt.Fprintln(sh.out, `usage: \prepare <name> <select ...>`)
+			return false
+		}
+		name := rest[:idx]
+		text := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest[idx:]), ";"))
+		db, err := logical.RouteByTables(text, sh.dbs...)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return false
+		}
+		st, _, err := sh.cache.GetOrPrepare(logical.CatalogFor(db), text, func() (*logical.Plan, error) {
+			return logical.Prepare(db, text)
+		})
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return false
+		}
+		sh.stmts[name] = st
+		fmt.Fprintf(sh.out, "prepared %s (%d parameter%s)\n", name, st.NumParams(), plural(st.NumParams()))
+	case `\execute`:
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, `usage: \execute <name> [arg ...]`)
+			return false
+		}
+		st, ok := sh.stmts[fields[1]]
+		if !ok {
+			fmt.Fprintf(sh.out, "unknown prepared statement %q\n", fields[1])
+			return false
+		}
+		vals, err := st.BindTexts(fields[2:])
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return false
+		}
+		sh.runStatement(st, vals)
 	default:
 		fmt.Fprintf(sh.out, "unknown command %s\n", fields[0])
 	}
 	return false
 }
 
-// statement routes, plans, and executes one statement (or explains it).
+// statement routes one statement through the plan cache and executes
+// it (or explains it). Re-running a statement — any spelling that
+// normalizes equally — skips parse, bind, and plan.
 func (sh *shell) statement(stmt string) {
 	explain := false
 	if f := strings.Fields(stmt); len(f) > 0 && strings.EqualFold(f[0], "explain") {
@@ -204,16 +277,66 @@ func (sh *shell) statement(stmt string) {
 		sh.explain(db, stmt)
 		return
 	}
-	start := sh.clock()
-	run, _ := registry.LookupAdHoc(sh.engine)
-	res, err := run(context.Background(), db, stmt, registry.Options{Workers: sh.workers, VectorSize: sh.vecSize})
+	st, _, err := sh.cache.GetOrPrepare(logical.CatalogFor(db), stmt, func() (*logical.Plan, error) {
+		return logical.Prepare(db, stmt)
+	})
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return
 	}
-	out := res.(*logical.Result).String()
-	fmt.Fprint(sh.out, strings.TrimSuffix(out, "\n"))
-	fmt.Fprintf(sh.out, "  [%s]\n", sh.clock().Sub(start).Round(100*time.Microsecond))
+	if n := st.NumParams(); n > 0 {
+		fmt.Fprintf(sh.out, "statement has %d parameter%s; use \\prepare <name> <sql> and \\execute <name> <args>\n", n, plural(n))
+		return
+	}
+	sh.runStatement(st, nil)
+}
+
+// runStatement executes a cached statement with bound values on the
+// shell's engine; "auto" resolves through the statement's router and
+// the resolved backend is reported next to the timing.
+func (sh *shell) runStatement(st *prepcache.Statement, vals []int64) {
+	start := sh.clock()
+	res, used, err := st.Execute(context.Background(), sh.engine, vals, sh.workers, sh.vecSize)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	fmt.Fprint(sh.out, strings.TrimSuffix(res.String(), "\n"))
+	elapsed := sh.clock().Sub(start).Round(100 * time.Microsecond)
+	if sh.engine == prepcache.Auto {
+		fmt.Fprintf(sh.out, "  [%s auto→%s]\n", elapsed, used)
+	} else {
+		fmt.Fprintf(sh.out, "  [%s]\n", elapsed)
+	}
+}
+
+// listPrepared prints the named prepared statements with their
+// per-engine routing state.
+func (sh *shell) listPrepared() {
+	if len(sh.stmts) == 0 {
+		fmt.Fprintln(sh.out, "no prepared statements")
+		return
+	}
+	names := make([]string, 0, len(sh.stmts))
+	for n := range sh.stmts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := sh.stmts[n]
+		fmt.Fprintf(sh.out, "%-12s %d parameter%s", n, st.NumParams(), plural(st.NumParams()))
+		for _, arm := range st.Router().Snapshot() {
+			fmt.Fprintf(sh.out, "  %s=%d", arm.Engine, arm.N)
+		}
+		fmt.Fprintf(sh.out, "  %s\n", st.Text)
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
 }
 
 // explain prints the selected backend, the optimized logical plan, and
@@ -234,6 +357,9 @@ func (sh *shell) explain(db *storage.Database, stmt string) {
 			return
 		}
 		fmt.Fprint(sh.out, shape)
+	case prepcache.Auto:
+		fmt.Fprintln(sh.out, "backend: auto (adaptive per-statement routing; vectorized plan shown)")
+		fmt.Fprint(sh.out, pl.Format())
 	default:
 		fmt.Fprintln(sh.out, "backend: tectorwise (vectorized operator plan)")
 		fmt.Fprint(sh.out, pl.Format())

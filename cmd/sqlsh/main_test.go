@@ -18,8 +18,12 @@ var update = flag.Bool("update", false, "rewrite the REPL session golden file")
 // TestREPLSession drives the shell with a scripted stdin over small
 // synthetic databases and pins the full transcript: \tables, \d, the
 // \engine switch, explain on both backends, query execution on both
-// backends, an error diagnostic, and an unknown meta command. The clock
-// is frozen so timings render as [0s].
+// backends, prepared statements (\prepare/\execute with `?` arguments,
+// the \prepare listing with router arm counts, argument errors), one
+// deterministic auto-routed execution, an error diagnostic, and an
+// unknown meta command. The clock is frozen so timings render as [0s].
+// (Only the first auto execution is scripted: router picks beyond the
+// try-each-arm-once phase depend on real latencies.)
 func TestREPLSession(t *testing.T) {
 	script := strings.Join([]string{
 		`\tables`,
@@ -37,6 +41,17 @@ func TestREPLSession(t *testing.T) {
 		`explain select sum(lo_revenue) from lineorder, date where lo_orderdate = d_datekey and d_year = 1993;`,
 		`\engine bogus`,
 		`\engine tw`,
+		`\prepare`,
+		`\prepare rev`,
+		`\prepare rev select sum(l_extendedprice) as total from lineitem where l_quantity < ?`,
+		`\execute rev 30`,
+		`\engine auto`,
+		`\execute rev 10`,
+		`\prepare`,
+		`\execute nosuch 1`,
+		`\execute rev`,
+		`\execute rev abc`,
+		`select count(*) from orders where o_custkey < ?;`,
 		`select nope from orders;`,
 		`select count(*) from nosuch;`,
 		`\x`,

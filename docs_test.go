@@ -19,14 +19,15 @@ import (
 // extensionPackages are internal packages that extend the repo beyond the
 // paper; their package doc must state a role instead of a paper section.
 var extensionPackages = map[string]string{
-	"server":   "extension", // inter-query concurrency layer
-	"iosim":    "substrate", // out-of-memory experiment substrate
-	"registry": "extension", // engine-agnostic query catalog
-	"sql":      "extension", // ad-hoc SQL lexer/parser/binder
-	"catalog":  "extension", // schema layer of the SQL front-end
-	"logical":  "extension", // logical planner + vectorized lowering
-	"compiled": "extension", // compiled (Typer-style) SQL lowering
-	"sqlcheck": "extension", // differential-test generator/oracle/minis
+	"server":    "extension", // inter-query concurrency layer
+	"iosim":     "substrate", // out-of-memory experiment substrate
+	"registry":  "extension", // engine-agnostic query catalog
+	"sql":       "extension", // ad-hoc SQL lexer/parser/binder
+	"catalog":   "extension", // schema layer of the SQL front-end
+	"logical":   "extension", // logical planner + vectorized lowering
+	"compiled":  "extension", // compiled (Typer-style) SQL lowering
+	"sqlcheck":  "extension", // differential-test generator/oracle/minis
+	"prepcache": "extension", // prepared statements, plan cache, adaptive routing
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -16,6 +16,7 @@ package catalog
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"paradigms/internal/storage"
 )
@@ -98,10 +99,19 @@ func (t *Table) Column(name string) *Column { return t.byName[name] }
 
 // Catalog is the schema of one database.
 type Catalog struct {
-	DB     *storage.Database
+	DB *storage.Database
+	// Version uniquely identifies this derived catalog instance
+	// process-wide — the plan cache's key component, so statements
+	// prepared against one database can never serve another (or a
+	// regenerated instance of the same schema).
+	Version uint64
+
 	tables map[string]*Table
 	order  []string
 }
+
+// versions hands out catalog version numbers.
+var versions atomic.Uint64
 
 // uniqueKeys annotates the unique key column of every relation both
 // generators materialize (shared spellings: TPC-H and SSB dimensions use
@@ -125,7 +135,7 @@ var numericScales = map[string]int{
 
 // FromDatabase derives the catalog of a generated database.
 func FromDatabase(db *storage.Database) *Catalog {
-	c := &Catalog{DB: db, tables: make(map[string]*Table)}
+	c := &Catalog{DB: db, Version: versions.Add(1), tables: make(map[string]*Table)}
 	for _, name := range db.Relations() {
 		rel := db.Rel(name)
 		t := &Table{Name: name, Rel: rel, Key: uniqueKeys[name], byName: make(map[string]*Column)}

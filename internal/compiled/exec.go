@@ -44,16 +44,34 @@ func Run(ctx context.Context, db *storage.Database, text string, nWorkers int) (
 	return Execute(ctx, pl, nWorkers)
 }
 
+// ExecuteArgs is Execute for parameterized plans: the argument binding
+// substitutes into a copy-on-write clone of the cached plan
+// (logical.(*Plan).BindArgs — shared with the vectorized backend, so
+// the two engines bind identically) and the bound plan lowers to fused
+// pipelines and runs. The template plan is never mutated; concurrent
+// executions of one cached statement are safe.
+func ExecuteArgs(ctx context.Context, pl *logical.Plan, nWorkers int, args []int64) (*logical.Result, error) {
+	bound, err := pl.BindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(ctx, bound, nWorkers)
+}
+
 // Execute lowers an optimized logical plan to fused pipelines and runs
 // them morsel-parallel. A canceled context drains the workers within
 // one morsel and returns a partial result the caller discards — the
-// same contract as every registered engine query.
+// same contract as every registered engine query. Parameterized plans
+// must go through ExecuteArgs.
 func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("compiled: internal error executing query: %v", r)
 		}
 	}()
+	if len(pl.Params) > 0 {
+		return nil, fmt.Errorf("compiled: statement has %d unbound parameter(s); use ExecuteArgs", len(pl.Params))
+	}
 	pr, err := lower(pl)
 	if err != nil {
 		return nil, err

@@ -150,6 +150,19 @@ type Plan struct {
 	// false: the top scan is planned with a reject-all filter.
 	AlwaysFalse bool
 
+	// Params lists the statement's parameter slot types in placeholder
+	// order (empty for ordinary statements). A parameterized plan is an
+	// execution template: BindArgs substitutes one argument binding and
+	// ExecuteArgs runs the bound copy, so a single optimized plan —
+	// join order, pushdown, pruning all decided once — serves every
+	// binding of a prepared statement.
+	Params []catalog.Type
+	// ParamConds are WHERE conjuncts referencing no tables but at
+	// least one parameter (`? = 1`): they cannot fold at plan time and
+	// are evaluated per execution by BindArgs (a false one rejects all
+	// rows, like a plan-time constant false).
+	ParamConds []sql.Expr
+
 	cat *catalog.Catalog
 }
 

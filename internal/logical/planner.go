@@ -38,7 +38,11 @@ func PlanQuery(sel *sql.Select, cat *catalog.Catalog) (*Plan, error) {
 		return nil, err
 	}
 
-	pl := &Plan{Root: root, Limit: sel.Limit, AlwaysFalse: p.alwaysFalse, cat: cat}
+	pl := &Plan{Root: root, Limit: sel.Limit, AlwaysFalse: p.alwaysFalse, cat: cat,
+		ParamConds: p.paramConds}
+	for _, prm := range sel.Params {
+		pl.Params = append(pl.Params, prm.Typ)
+	}
 
 	if sel.Grouped {
 		agg, err := p.planAggregate(pl)
@@ -108,6 +112,7 @@ type planner struct {
 	filters     map[*catalog.Table][]sql.Expr
 	edges       []edge
 	alwaysFalse bool
+	paramConds  []sql.Expr
 
 	uf map[*catalog.Column]*catalog.Column // equality classes over all edges
 }
@@ -141,6 +146,12 @@ func (p *planner) classify(where sql.Expr) error {
 		tabs := exprTables(e)
 		switch len(tabs) {
 		case 0:
+			// A table-free conjunct with a parameter (`? = 1`) has no
+			// plan-time value; BindArgs evaluates it per execution.
+			if sql.HasParam(e) {
+				p.paramConds = append(p.paramConds, e)
+				return nil
+			}
 			v, err := evalConst(e)
 			if err != nil {
 				return err

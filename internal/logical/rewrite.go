@@ -104,7 +104,7 @@ func evalScalar(e sql.Expr, lookup func(sql.Expr) (int64, bool)) (val int64, isB
 		return x.Val, false, nil
 	case *sql.DateLit:
 		return int64(x.Days), false, nil
-	case *sql.ColRef, *sql.Agg:
+	case *sql.ColRef, *sql.Agg, *sql.Param:
 		if lookup != nil {
 			if v, ok := lookup(e); ok {
 				return v, false, nil

@@ -1,0 +1,226 @@
+package prepcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"paradigms/internal/logical"
+	"paradigms/internal/registry"
+	"paradigms/internal/sqlcheck"
+	"paradigms/internal/storage"
+)
+
+// TestNormalize: whitespace collapses, case folds, comments drop —
+// but string literals pass through verbatim.
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"select 1", "select 1"},
+		{"SELECT   1 ;", "select 1"},
+		{"select\n\t1\n;", "select 1"},
+		{"select x -- comment\nfrom t", "select x from t"},
+		{"SELECT 'UPPER  CASE' FROM T", "select 'UPPER  CASE' from t"},
+		{"select c from t where s = 'a;b'", "select c from t where s = 'a;b'"},
+		{"  select  1  ", "select 1"},
+		// '' is an escaped quote: the scanner must not leave the string
+		// there, or the trailing data would case-fold and collide
+		// distinct statements onto one cache key.
+		{"SELECT C FROM T WHERE S = 'it''s  OK'", "select c from t where s = 'it''s  OK'"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if Normalize("SELECT 1  FROM  t") != Normalize("select 1 from t;") {
+		t.Error("equivalent spellings normalize differently")
+	}
+}
+
+func miniCat(t *testing.T) (*storage.Database, func(string) func() (*logical.Plan, error)) {
+	t.Helper()
+	db := sqlcheck.MiniTPCH(20, true)
+	build := func(text string) func() (*logical.Plan, error) {
+		return func() (*logical.Plan, error) { return logical.Prepare(db, text) }
+	}
+	return db, build
+}
+
+// TestCacheLRUAndCounters: hits, misses, LRU eviction order, and the
+// freshening effect of a hit.
+func TestCacheLRUAndCounters(t *testing.T) {
+	db, build := miniCat(t)
+	cat := logical.CatalogFor(db)
+	c := New(2)
+
+	q := func(i int) string { return fmt.Sprintf("select count(*) from orders where o_custkey < %d", i) }
+
+	if _, hit, err := c.GetOrPrepare(cat, q(1), build(q(1))); err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v", hit, err)
+	}
+	if _, hit, _ := c.GetOrPrepare(cat, q(1), build(q(1))); !hit {
+		t.Fatal("second lookup of same text missed")
+	}
+	// Different spelling, same normalized text: still a hit.
+	if _, hit, _ := c.GetOrPrepare(cat, "SELECT COUNT(*)  FROM orders WHERE o_custkey < 1;", build(q(1))); !hit {
+		t.Fatal("normalized-equal spelling missed")
+	}
+
+	c.GetOrPrepare(cat, q(2), build(q(2))) // cache now [q2 q1]
+	c.GetOrPrepare(cat, q(1), build(q(1))) // freshen q1 → [q1 q2]
+	c.GetOrPrepare(cat, q(3), build(q(3))) // evicts q2 → [q3 q1]
+
+	if _, hit, _ := c.GetOrPrepare(cat, q(1), build(q(1))); !hit {
+		t.Fatal("freshened entry was evicted (LRU order wrong)")
+	}
+	if _, hit, _ := c.GetOrPrepare(cat, q(2), build(q(2))); hit {
+		t.Fatal("LRU victim still cached")
+	}
+
+	hits, misses, evictions, size := c.Stats()
+	if hits != 4 {
+		t.Errorf("hits = %d, want 4", hits)
+	}
+	if misses != 4 { // q1, q2, q3, and the re-prepare of evicted q2
+		t.Errorf("misses = %d, want 4", misses)
+	}
+	if hits+misses != 8 {
+		t.Errorf("hits+misses = %d, want 8 lookups", hits+misses)
+	}
+	if evictions == 0 {
+		t.Error("no evictions recorded despite capacity overflow")
+	}
+	if size > 2 {
+		t.Errorf("cache size %d exceeds capacity 2", size)
+	}
+}
+
+// TestCacheKeyIncludesCatalogVersion: the same SQL against two
+// database instances occupies two slots.
+func TestCacheKeyIncludesCatalogVersion(t *testing.T) {
+	db1 := sqlcheck.MiniTPCH(20, true)
+	db2 := sqlcheck.MiniTPCH(20, true)
+	c := New(8)
+	const q = "select count(*) from orders"
+	if _, hit, err := c.GetOrPrepare(logical.CatalogFor(db1), q,
+		func() (*logical.Plan, error) { return logical.Prepare(db1, q) }); err != nil || hit {
+		t.Fatalf("db1: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.GetOrPrepare(logical.CatalogFor(db2), q,
+		func() (*logical.Plan, error) { return logical.Prepare(db2, q) }); err != nil || hit {
+		t.Fatalf("db2 must miss (different catalog version): hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheErrorsNotCached: a statement that fails to prepare is
+// rebuilt on the next lookup rather than serving a stale error.
+func TestCacheErrorsNotCached(t *testing.T) {
+	db, _ := miniCat(t)
+	cat := logical.CatalogFor(db)
+	c := New(4)
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (*logical.Plan, error) { calls++; return nil, boom }
+	if _, _, err := c.GetOrPrepare(cat, "select bogus", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, _, err := c.GetOrPrepare(cat, "select bogus", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2 (errors must not cache)", calls)
+	}
+	_, _, _, size := c.Stats()
+	if size != 0 {
+		t.Fatalf("failed entries left in cache: size=%d", size)
+	}
+}
+
+// TestCacheConcurrentSingleBuild: many concurrent first-preparers of
+// one text build the plan exactly once and all receive it.
+func TestCacheConcurrentSingleBuild(t *testing.T) {
+	db, _ := miniCat(t)
+	cat := logical.CatalogFor(db)
+	c := New(4)
+	const q = "select count(*) from lineitem where l_quantity < ?"
+	var calls int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stmts := make([]*Statement, 16)
+	for i := range stmts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, err := c.GetOrPrepare(cat, q, func() (*logical.Plan, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return logical.Prepare(db, q)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stmts[i] = st
+		}(i)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("plan built %d times, want 1", calls)
+	}
+	for _, st := range stmts[1:] {
+		if st != stmts[0] {
+			t.Fatal("concurrent preparers received different statements")
+		}
+	}
+}
+
+// TestStatementExecuteEngines: one cached statement executes on both
+// explicit engines and via Auto, with identical rows everywhere, and
+// the router accumulates observations from all of it.
+func TestStatementExecuteEngines(t *testing.T) {
+	db, _ := miniCat(t)
+	cat := logical.CatalogFor(db)
+	c := New(4)
+	const q = "select o_custkey, count(*) from orders where o_custkey < ? group by o_custkey order by 1"
+	st, _, err := c.GetOrPrepare(cat, q, func() (*logical.Plan, error) { return logical.Prepare(db, q) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := st.BindTexts([]string{"7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ty, used, err := st.Execute(ctx, registry.Typer, vals, 2, 0)
+	if err != nil || used != registry.Typer {
+		t.Fatalf("typer: used=%q err=%v", used, err)
+	}
+	tw, used, err := st.Execute(ctx, registry.Tectorwise, vals, 2, 0)
+	if err != nil || used != registry.Tectorwise {
+		t.Fatalf("tectorwise: used=%q err=%v", used, err)
+	}
+	au, used, err := st.Execute(ctx, Auto, vals, 2, 0)
+	if err != nil || (used != registry.Typer && used != registry.Tectorwise) {
+		t.Fatalf("auto: used=%q err=%v", used, err)
+	}
+	if !sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(tw.Rows)) ||
+		!sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(au.Rows)) {
+		t.Fatalf("engines disagree: typer=%v tectorwise=%v auto=%v", ty.Rows, tw.Rows, au.Rows)
+	}
+	var total uint64
+	for _, a := range st.Router().Snapshot() {
+		total += a.N
+	}
+	if total != 3 {
+		t.Fatalf("router observed %d executions, want 3", total)
+	}
+	if _, _, err := st.Execute(ctx, "bogus", vals, 1, 0); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := st.BindTexts([]string{"1", "2"}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package prepcache
+
+import (
+	"sync"
+	"time"
+
+	"paradigms/internal/registry"
+)
+
+// Auto is the pseudo-engine of adaptive routing: each execution of the
+// statement goes to whichever backend its Router currently believes is
+// faster.
+const Auto = "auto"
+
+// ProbeEvery sets the router's exploration rate: every ProbeEvery-th
+// pick routes to the currently slower arm instead of the faster one
+// (a deterministic epsilon-greedy schedule with ε = 1/ProbeEvery).
+// The probe arm is therefore never starved — if the workload shifts
+// and the losing engine becomes the faster one, its EWMA keeps being
+// refreshed and the router flips within a handful of probes.
+const ProbeEvery = 8
+
+// ewmaAlpha is the weight of the newest observation.
+const ewmaAlpha = 0.25
+
+// failurePenalty is the latency a failed execution feeds into the
+// arm's EWMA — far above any healthy execution, so auto routing falls
+// through to the other backend instead of retrying a broken one
+// forever, while the epsilon probe keeps re-checking it (a recovered
+// backend heals within a few probes).
+const failurePenalty = time.Second
+
+// Router picks the execution engine for one cached statement from
+// observed latencies. Both arms are fixed — the paper's two paradigms.
+// All methods are safe for concurrent use; picks are deterministic
+// given the observation sequence (no random source), which is what the
+// convergence tests pin.
+type Router struct {
+	mu    sync.Mutex
+	n     [2]uint64  // observations per arm
+	ewma  [2]float64 // latency EWMA per arm, in nanoseconds
+	picks uint64
+}
+
+// engineArms maps router arm indexes to engine names.
+var engineArms = [2]string{registry.Typer, registry.Tectorwise}
+
+func armOf(engine string) int {
+	for i, name := range engineArms {
+		if name == engine {
+			return i
+		}
+	}
+	return -1
+}
+
+// Pick returns the engine the next execution should run on: an
+// untried arm first (each backend is measured at least once), then the
+// lower-EWMA arm, except that every ProbeEvery-th pick goes to the
+// other arm to keep its estimate fresh.
+func (r *Router) Pick() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.picks++
+	for i := range engineArms {
+		if r.n[i] == 0 {
+			return engineArms[i]
+		}
+	}
+	best := 0
+	if r.ewma[1] < r.ewma[0] {
+		best = 1
+	}
+	if r.picks%ProbeEvery == 0 {
+		return engineArms[1-best]
+	}
+	return engineArms[best]
+}
+
+// Observe feeds one successful execution's latency back into the
+// engine's EWMA. Unknown engine names (future backends) are ignored.
+func (r *Router) Observe(engine string, d time.Duration) {
+	i := armOf(engine)
+	if i < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n[i] == 0 {
+		r.ewma[i] = float64(d)
+	} else {
+		r.ewma[i] = (1-ewmaAlpha)*r.ewma[i] + ewmaAlpha*float64(d)
+	}
+	r.n[i]++
+}
+
+// ObserveFailure records one failed execution as a failurePenalty
+// observation, so the arm counts as tried (Pick's try-each-arm-first
+// phase must not return a persistently failing backend forever) and
+// loses the best-arm comparison until it recovers. Cancellations are
+// the caller's to filter out — they say nothing about the engine.
+func (r *Router) ObserveFailure(engine string) {
+	r.Observe(engine, failurePenalty)
+}
+
+// ArmStats is one engine's routing state.
+type ArmStats struct {
+	Engine string
+	N      uint64
+	Ewma   time.Duration
+}
+
+// Snapshot reports the per-arm observation counts and latency
+// estimates (sqlsh's \prepare listing, tests).
+func (r *Router) Snapshot() []ArmStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ArmStats, len(engineArms))
+	for i, name := range engineArms {
+		out[i] = ArmStats{Engine: name, N: r.n[i], Ewma: time.Duration(r.ewma[i])}
+	}
+	return out
+}
+
+// Best returns the currently preferred engine ("" until both arms have
+// been observed).
+func (r *Router) Best() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n[0] == 0 || r.n[1] == 0 {
+		return ""
+	}
+	if r.ewma[1] < r.ewma[0] {
+		return engineArms[1]
+	}
+	return engineArms[0]
+}

@@ -1,0 +1,171 @@
+package prepcache
+
+import (
+	"testing"
+	"time"
+
+	"paradigms/internal/registry"
+)
+
+// fakeClock is a deterministic latency model driving the router the
+// way real executions would: each pick "runs" on the chosen engine,
+// advances the clock by that engine's current latency, and feeds the
+// observation back. No real time is involved anywhere.
+type fakeClock struct {
+	now time.Duration
+	lat map[string]time.Duration
+}
+
+func (c *fakeClock) run(r *Router) string {
+	engine := r.Pick()
+	d := c.lat[engine]
+	c.now += d
+	r.Observe(engine, d)
+	return engine
+}
+
+// TestRouterConvergesToFasterEngine: with Typer 5x slower than
+// Tectorwise, the router settles on Tectorwise for all non-probe picks
+// while still probing the slow arm on the deterministic epsilon
+// schedule (no starvation); when the latency relation flips, the
+// router flips with it.
+func TestRouterConvergesToFasterEngine(t *testing.T) {
+	r := &Router{}
+	clock := &fakeClock{lat: map[string]time.Duration{
+		registry.Typer:      5 * time.Millisecond,
+		registry.Tectorwise: 1 * time.Millisecond,
+	}}
+
+	const rounds = 400
+	picks := map[string]int{}
+	var last100 []string
+	for i := 0; i < rounds; i++ {
+		e := clock.run(r)
+		picks[e]++
+		last100 = append(last100, e)
+		if len(last100) > 100 {
+			last100 = last100[1:]
+		}
+	}
+
+	// Convergence: the fast engine dominates overall and at steady
+	// state wins every pick except the scheduled probes.
+	if fast := picks[registry.Tectorwise]; fast < rounds*3/4 {
+		t.Fatalf("router did not converge: fast engine picked %d/%d", fast, rounds)
+	}
+	steadyFast := 0
+	for _, e := range last100 {
+		if e == registry.Tectorwise {
+			steadyFast++
+		}
+	}
+	if want := 100 - 100/ProbeEvery - 1; steadyFast < want {
+		t.Fatalf("steady state not reached: fast engine %d/100 of last picks (want >= %d)", steadyFast, want)
+	}
+
+	// No starvation: the slow arm keeps being probed on schedule.
+	if slow := picks[registry.Typer]; slow < rounds/ProbeEvery-2 {
+		t.Fatalf("probe arm starved: slow engine picked only %d times over %d rounds", slow, rounds)
+	}
+
+	// Flip the latencies: Typer becomes the fast engine. The probes
+	// keep its EWMA fresh, so the router must flip its preference.
+	clock.lat[registry.Typer] = 500 * time.Microsecond
+	clock.lat[registry.Tectorwise] = 4 * time.Millisecond
+	flipPicks := map[string]int{}
+	flipped := -1
+	for i := 0; i < 200; i++ {
+		e := clock.run(r)
+		flipPicks[e]++
+		if flipped < 0 && r.Best() == registry.Typer {
+			flipped = i
+		}
+	}
+	if flipped < 0 {
+		t.Fatalf("router never flipped after the latency inversion: %+v", r.Snapshot())
+	}
+	// The flip requires probing the now-fast arm and a few EWMA steps;
+	// a couple of probe cycles must suffice.
+	if flipped > 4*ProbeEvery {
+		t.Fatalf("router flipped too slowly: after %d picks (want <= %d)", flipped, 4*ProbeEvery)
+	}
+	tail := 0
+	for i := 0; i < 100; i++ {
+		if clock.run(r) == registry.Typer {
+			tail++
+		}
+	}
+	if want := 100 - 100/ProbeEvery - 1; tail < want {
+		t.Fatalf("router did not settle on the new fast engine: %d/100 (want >= %d)", tail, want)
+	}
+}
+
+// TestRouterTriesBothArmsFirst: the first two picks measure each
+// engine once before any preference forms.
+func TestRouterTriesBothArmsFirst(t *testing.T) {
+	r := &Router{}
+	first := r.Pick()
+	r.Observe(first, time.Millisecond)
+	second := r.Pick()
+	if first == second {
+		t.Fatalf("router picked %s twice before measuring both arms", first)
+	}
+	if r.Best() != "" {
+		t.Fatalf("Best() = %q before both arms observed", r.Best())
+	}
+	r.Observe(second, 2*time.Millisecond)
+	if got := r.Best(); got != first {
+		t.Fatalf("Best() = %q, want the faster %q", got, first)
+	}
+}
+
+// TestRouterRoutesAroundFailingArm: a backend that always fails is
+// penalized rather than left untried, so auto routing settles on the
+// healthy arm instead of retrying the broken one forever — while the
+// epsilon probe keeps re-checking it, so a recovered backend heals.
+func TestRouterRoutesAroundFailingArm(t *testing.T) {
+	r := &Router{}
+	broken := registry.Typer
+	failures := 0
+	for i := 0; i < 100; i++ {
+		e := r.Pick()
+		if e == broken {
+			failures++
+			r.ObserveFailure(e)
+		} else {
+			r.Observe(e, time.Millisecond)
+		}
+	}
+	// The broken arm is tried once up front and then only on the probe
+	// schedule — never as the preferred arm.
+	if max := 1 + 100/ProbeEvery + 1; failures > max {
+		t.Fatalf("broken arm picked %d/100 times (want <= %d)", failures, max)
+	}
+	// Recovery: the broken arm starts succeeding faster than the
+	// healthy one; probes must heal its EWMA and flip the preference.
+	// Decaying a 1s penalty to sub-millisecond at α=0.25 takes ~25
+	// probe observations, i.e. ~200 picks on the ε=1/8 schedule.
+	for i := 0; i < 40*ProbeEvery; i++ {
+		e := r.Pick()
+		if e == broken {
+			r.Observe(e, 100*time.Microsecond)
+		} else {
+			r.Observe(e, time.Millisecond)
+		}
+	}
+	if r.Best() != broken {
+		t.Fatalf("recovered arm never regained preference: %+v", r.Snapshot())
+	}
+}
+
+// TestRouterIgnoresUnknownEngine: observations for engines the router
+// does not model must not corrupt its state.
+func TestRouterIgnoresUnknownEngine(t *testing.T) {
+	r := &Router{}
+	r.Observe("reference", time.Second)
+	for _, a := range r.Snapshot() {
+		if a.N != 0 {
+			t.Fatalf("unknown engine observation leaked into arm %s", a.Engine)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package prepcache
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/compiled"
+	"paradigms/internal/logical"
+	"paradigms/internal/registry"
+)
+
+// Statement is one prepared SQL text: the optimized parameterized plan
+// plus the statement's adaptive engine router. The plan is an immutable
+// template — Execute binds arguments into a copy-on-write clone — so a
+// Statement is safe for concurrent execution from many clients.
+type Statement struct {
+	// Text is the normalized SQL the statement was prepared from.
+	Text string
+	// Plan is the optimized parameterized logical plan, shared by both
+	// lowering backends.
+	Plan *logical.Plan
+
+	router Router
+}
+
+// NewStatement wraps an optimized plan as a prepared statement.
+func NewStatement(text string, pl *logical.Plan) *Statement {
+	return &Statement{Text: text, Plan: pl}
+}
+
+// NumParams is the number of `?` placeholders.
+func (s *Statement) NumParams() int { return len(s.Plan.Params) }
+
+// ParamTypes lists the bound type of each placeholder in order.
+func (s *Statement) ParamTypes() []catalog.Type { return s.Plan.Params }
+
+// Router exposes the statement's adaptive engine router.
+func (s *Statement) Router() *Router { return &s.router }
+
+// BindTexts parses one argument text per placeholder into the raw
+// values Execute takes (see logical.(*Plan).BindTexts).
+func (s *Statement) BindTexts(args []string) ([]int64, error) {
+	return s.Plan.BindTexts(args)
+}
+
+// Execute runs the statement with one argument binding on the given
+// engine — registry.Typer (compiled fused pipelines), registry.
+// Tectorwise (vectorized operator plans), or Auto, which resolves to
+// whichever backend the statement's router currently measures as
+// faster. It returns the result and the engine that actually ran.
+// Every successful execution's latency feeds the router, whichever way
+// the engine was chosen, so explicit-engine traffic trains Auto too.
+func (s *Statement) Execute(ctx context.Context, engine string, args []int64, workers, vecSize int) (*logical.Result, string, error) {
+	used := engine
+	if engine == Auto {
+		used = s.router.Pick()
+	}
+	start := time.Now()
+	var (
+		res *logical.Result
+		err error
+	)
+	switch used {
+	case registry.Typer:
+		res, err = compiled.ExecuteArgs(ctx, s.Plan, workers, args)
+	case registry.Tectorwise:
+		res, err = s.Plan.ExecuteArgs(ctx, workers, vecSize, args)
+	default:
+		return nil, used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s)",
+			engine, registry.Typer, registry.Tectorwise, Auto)
+	}
+	if err != nil {
+		// A live-context failure is the engine's fault: penalize the
+		// arm so auto routing falls through to the other backend
+		// rather than pinning to a broken one. A canceled context says
+		// nothing about the engine — observe nothing.
+		if ctx.Err() == nil {
+			s.router.ObserveFailure(used)
+		}
+		return nil, used, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, used, err
+	}
+	s.router.Observe(used, time.Since(start))
+	return res, used, nil
+}

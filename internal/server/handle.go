@@ -15,6 +15,10 @@ type Handle struct {
 	engine string
 	query  string
 
+	// Prepared-execution inputs (nil/empty for ordinary submissions).
+	prep *Prepared
+	args []string
+
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -25,6 +29,7 @@ type Handle struct {
 	workers   int
 	result    any
 	err       error
+	ran       string // engine that actually executed ("" if never ran)
 
 	// latency mirrors finished.Sub(submitted) for lock-free reads
 	// before Done (see Latency); 0 means still in flight.
@@ -34,8 +39,29 @@ type Handle struct {
 // ID is the service-assigned query id (1-based, in submission order).
 func (h *Handle) ID() uint64 { return h.id }
 
-// Engine is the engine name the query was submitted with.
+// Engine is the engine name the query was submitted with (possibly
+// "auto" for prepared executions).
 func (h *Handle) Engine() string { return h.engine }
+
+// EngineUsed is the engine the query actually executed on — for an
+// "auto" prepared submission, the backend the statement's adaptive
+// router resolved to. It falls back to the submitted engine for
+// queries that never ran (died in the admission queue). Valid after
+// Done.
+func (h *Handle) EngineUsed() string {
+	if h.ran != "" {
+		return h.ran
+	}
+	return h.engine
+}
+
+// Prepared reports whether the handle is a prepared-statement
+// execution, and Args returns its argument binding.
+func (h *Handle) Prepared() bool { return h.prep != nil }
+
+// Args is the argument binding of a prepared execution (nil for
+// ordinary submissions).
+func (h *Handle) Args() []string { return h.args }
 
 // Query is the query name the handle was submitted with.
 func (h *Handle) Query() string { return h.query }
@@ -88,3 +114,20 @@ func (h *Handle) Latency() time.Duration {
 	}
 	return time.Since(h.submitted)
 }
+
+// Prepared is a statement readied by Service.Prepare: the SQL text was
+// parsed, bound, and optimized once (or fetched from the plan cache),
+// and each SubmitPrepared/DoPrepared call executes it with a fresh
+// argument binding — no per-execution parse or plan. Safe for
+// concurrent use from many clients.
+type Prepared struct {
+	stmt  any // the PrepareFunc's opaque statement (facade: *prepcache.Statement)
+	query string
+}
+
+// Query is the SQL text the statement was prepared from.
+func (p *Prepared) Query() string { return p.query }
+
+// Stmt exposes the underlying prepared statement (the facade's plan
+// cache entry) for callers that need engine-router introspection.
+func (p *Prepared) Stmt() any { return p.stmt }

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// prepHooks is a fake prepared-statement backend: Prep wraps the text,
+// ExecPrep echoes statement/args/engine and resolves "auto" to a fixed
+// backend, like the facade's router would.
+type prepHooks struct {
+	prepCalls int
+	execCalls int
+}
+
+func (p *prepHooks) prep(query string) (any, error) {
+	p.prepCalls++
+	if strings.Contains(query, "bogus") {
+		return nil, errors.New("prep: bad statement")
+	}
+	return "stmt:" + query, nil
+}
+
+func (p *prepHooks) exec(ctx context.Context, engine string, stmt any, args []string, workers int) (any, string, error) {
+	p.execCalls++
+	used := engine
+	if engine == "auto" {
+		used = "typer"
+	}
+	return fmt.Sprintf("%v|%s|%s|%d", stmt, strings.Join(args, ","), used, workers), used, nil
+}
+
+func newPrepService(h *prepHooks) *Service {
+	return New(Config{
+		Exec: func(ctx context.Context, engine, query string, workers int) (any, error) {
+			return "adhoc", nil
+		},
+		Prep:     h.prep,
+		ExecPrep: h.exec,
+		PlanCacheStats: func() (uint64, uint64, uint64) {
+			return 7, 3, 1
+		},
+		WorkerBudget: 2,
+	})
+}
+
+// TestPreparedLifecycle: Prepare → DoPrepared executes through
+// ExecPrep with the bound arguments; "auto" resolves and the handle
+// and stats report the engine that actually ran.
+func TestPreparedLifecycle(t *testing.T) {
+	h := &prepHooks{}
+	s := newPrepService(h)
+	defer s.Close()
+
+	p, err := s.Prepare("select x from t where y < ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Query() != "select x from t where y < ?" {
+		t.Fatalf("Query() = %q", p.Query())
+	}
+
+	hd, err := s.SubmitPrepared(context.Background(), "auto", p, "42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hd.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "stmt:select x from t where y < ?|42|typer|2"
+	if res != want {
+		t.Fatalf("result = %q, want %q", res, want)
+	}
+	if !hd.Prepared() || hd.Engine() != "auto" || hd.EngineUsed() != "typer" {
+		t.Fatalf("handle: prepared=%v engine=%q used=%q", hd.Prepared(), hd.Engine(), hd.EngineUsed())
+	}
+	if got := hd.Args(); len(got) != 1 || got[0] != "42" {
+		t.Fatalf("Args() = %v", got)
+	}
+
+	if _, err := s.DoPrepared(context.Background(), "tectorwise", p, "7"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Served != 2 || st.PreparedServed != 2 {
+		t.Fatalf("served=%d prepared=%d, want 2/2", st.Served, st.PreparedServed)
+	}
+	if st.PerEngine["typer"] != 1 || st.PerEngine["tectorwise"] != 1 {
+		t.Fatalf("per-engine attribution wrong: %v", st.PerEngine)
+	}
+	if st.PlanCacheHits != 7 || st.PlanCacheMisses != 3 || st.PlanCacheEvictions != 1 {
+		t.Fatalf("plan cache counters not surfaced: %+v", st)
+	}
+	if h.prepCalls != 1 || h.execCalls != 2 {
+		t.Fatalf("hook calls: prep=%d exec=%d", h.prepCalls, h.execCalls)
+	}
+}
+
+// TestPreparedErrors: prepare failures surface, and a service without
+// hooks reports ErrNoPrepare.
+func TestPreparedErrors(t *testing.T) {
+	h := &prepHooks{}
+	s := newPrepService(h)
+	if _, err := s.Prepare("select bogus"); err == nil {
+		t.Fatal("prepare error swallowed")
+	}
+	s.Close()
+	if _, err := s.Prepare("select x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+
+	bare := New(Config{Exec: func(ctx context.Context, engine, query string, workers int) (any, error) {
+		return nil, nil
+	}})
+	defer bare.Close()
+	if _, err := bare.Prepare("select x"); !errors.Is(err, ErrNoPrepare) {
+		t.Fatalf("err = %v, want ErrNoPrepare", err)
+	}
+	st := bare.Stats()
+	if st.PlanCacheHits != 0 || st.PreparedServed != 0 {
+		t.Fatalf("bare service leaked prepared counters: %+v", st)
+	}
+}
+
+// TestPreparedAdmissionShared: prepared executions respect the same
+// MaxConcurrent bound and FIFO queue as ordinary submissions.
+func TestPreparedAdmissionShared(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan string, 8)
+	s := New(Config{
+		Exec: func(ctx context.Context, engine, query string, workers int) (any, error) {
+			started <- query
+			<-block
+			return "adhoc", nil
+		},
+		Prep: func(query string) (any, error) { return query, nil },
+		ExecPrep: func(ctx context.Context, engine string, stmt any, args []string, workers int) (any, string, error) {
+			started <- stmt.(string)
+			<-block
+			return "prepared", engine, nil
+		},
+		WorkerBudget:  2,
+		MaxConcurrent: 1,
+	})
+
+	h1, err := s.Submit(context.Background(), "typer", "Q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // Q1 holds the only slot
+
+	p, _ := s.Prepare("select 1 from t where a = ?")
+	h2, err := s.SubmitPrepared(context.Background(), "typer", p, "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case q := <-started:
+		t.Fatalf("prepared execution %q bypassed admission control", q)
+	default:
+	}
+
+	close(block)
+	if _, err := h1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := h2.Wait(context.Background()); err != nil || res != "prepared" {
+		t.Fatalf("prepared after release: res=%v err=%v", res, err)
+	}
+	s.Close()
+	if st := s.Stats(); st.Served != 2 || st.PreparedServed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

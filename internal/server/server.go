@@ -39,6 +39,20 @@ type ExecFunc func(ctx context.Context, engine, query string, workers int) (any,
 // oracles so every concurrently produced result is provably correct.
 type ValidateFunc func(query string, result any) error
 
+// PrepareFunc turns one SQL text into an opaque prepared statement the
+// service hands back to ExecPreparedFunc. The facade wires this to the
+// plan cache (internal/prepcache), so repeated Prepare calls for one
+// normalized text parse and plan at most once.
+type PrepareFunc func(query string) (any, error)
+
+// ExecPreparedFunc executes a prepared statement with one argument
+// binding. It returns the engine the execution actually ran on: when
+// the submitted engine is "auto" the facade's adaptive router picks a
+// backend per call, and the service attributes the query to that
+// engine in its stats. The same ctx/worker contract as ExecFunc
+// applies.
+type ExecPreparedFunc func(ctx context.Context, engine string, stmt any, args []string, workers int) (result any, engineUsed string, err error)
+
 // Service errors.
 var (
 	// ErrOverloaded is returned by Submit when the FIFO admission queue
@@ -46,6 +60,9 @@ var (
 	ErrOverloaded = errors.New("server: admission queue full")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("server: service closed")
+	// ErrNoPrepare is returned by Prepare/SubmitPrepared when the
+	// service was built without prepared-statement hooks.
+	ErrNoPrepare = errors.New("server: service has no prepared-statement support")
 )
 
 // Config configures a Service. The zero value of every optional field
@@ -68,6 +85,13 @@ type Config struct {
 	// MaxQueued bounds the FIFO queue (0 = unbounded). When the queue is
 	// full, Submit fails fast with ErrOverloaded.
 	MaxQueued int
+	// Prep and ExecPrep enable the prepared-statement API (Prepare,
+	// SubmitPrepared, DoPrepared); both must be set together. Optional.
+	Prep     PrepareFunc
+	ExecPrep ExecPreparedFunc
+	// PlanCacheStats, if set, is polled by Stats to surface the plan
+	// cache's hit/miss/eviction counters.
+	PlanCacheStats func() (hits, misses, evictions uint64)
 }
 
 // waiter is one queued admission request.
@@ -116,6 +140,56 @@ func New(cfg Config) *Service {
 // while running drains the morsel workers. Submit itself only fails fast:
 // ErrClosed after Close, ErrOverloaded when the bounded queue is full.
 func (s *Service) Submit(ctx context.Context, engine, query string) (*Handle, error) {
+	return s.submit(ctx, engine, query, nil, nil)
+}
+
+// Prepare turns a SQL text into a prepared statement via the injected
+// PrepareFunc (the facade's plan cache): parse, bind, and optimization
+// happen at most once per distinct normalized text, and the returned
+// handle executes with per-call argument bindings through
+// SubmitPrepared/DoPrepared. It fails with ErrNoPrepare on a service
+// built without prepared-statement hooks.
+func (s *Service) Prepare(query string) (*Prepared, error) {
+	if s.cfg.Prep == nil || s.cfg.ExecPrep == nil {
+		return nil, ErrNoPrepare
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	stmt, err := s.cfg.Prep(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{stmt: stmt, query: query}, nil
+}
+
+// SubmitPrepared enqueues one execution of a prepared statement with
+// the given argument texts (one per `?` placeholder). Admission, FIFO
+// order, cancellation, and the worker-share grant are exactly Submit's;
+// only the execution path differs — no parse or plan, and an "auto"
+// engine resolves per execution through the statement's adaptive
+// router (Handle.EngineUsed reports the resolved engine after Done).
+func (s *Service) SubmitPrepared(ctx context.Context, engine string, p *Prepared, args ...string) (*Handle, error) {
+	if s.cfg.ExecPrep == nil {
+		return nil, ErrNoPrepare
+	}
+	return s.submit(ctx, engine, p.query, p, args)
+}
+
+// DoPrepared submits a prepared execution and waits for its result.
+func (s *Service) DoPrepared(ctx context.Context, engine string, p *Prepared, args ...string) (any, error) {
+	h, err := s.SubmitPrepared(ctx, engine, p, args...)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(ctx)
+}
+
+// submit is the shared admission path of Submit and SubmitPrepared.
+func (s *Service) submit(ctx context.Context, engine, query string, prep *Prepared, args []string) (*Handle, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -132,6 +206,8 @@ func (s *Service) Submit(ctx context.Context, engine, query string) (*Handle, er
 		id:        s.nextID,
 		engine:    engine,
 		query:     query,
+		prep:      prep,
+		args:      args,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -181,7 +257,15 @@ func (s *Service) run(h *Handle, ctx context.Context, w *waiter, share int) {
 	h.started = time.Now()
 	h.workers = share
 
-	res, err := s.cfg.Exec(exec.WithMorselCounter(ctx, &s.morsels), h.engine, h.query, share)
+	var res any
+	var err error
+	mctx := exec.WithMorselCounter(ctx, &s.morsels)
+	if h.prep != nil {
+		res, h.ran, err = s.cfg.ExecPrep(mctx, h.engine, h.prep.stmt, h.args, share)
+	} else {
+		res, err = s.cfg.Exec(mctx, h.engine, h.query, share)
+		h.ran = h.engine
+	}
 	// Release before validating: validation uses no morsel workers, so
 	// holding the slot (and the worker grant) through it would stall
 	// admission for pure bookkeeping.
@@ -268,10 +352,20 @@ func (s *Service) finish(h *Handle, res any, err error) {
 	switch {
 	case err == nil:
 		s.st.served++
+		if h.prep != nil {
+			s.st.preparedServed++
+		}
 		if s.st.perEngine == nil {
 			s.st.perEngine = make(map[string]uint64)
 		}
-		s.st.perEngine[h.engine]++
+		// Attribute to the engine that actually ran ("auto" resolves
+		// per execution); a query that died in the queue never ran and
+		// keeps its submitted engine.
+		eng := h.ran
+		if eng == "" {
+			eng = h.engine
+		}
+		s.st.perEngine[eng]++
 		s.st.record(h.finished.Sub(h.submitted))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.st.canceled++
@@ -300,5 +394,8 @@ func (s *Service) Stats() Stats {
 	st.Queued = len(s.queue)
 	st.MorselsDispatched = s.morsels.Load()
 	st.Uptime = time.Since(s.started)
+	if s.cfg.PlanCacheStats != nil {
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions = s.cfg.PlanCacheStats()
+	}
 	return st
 }

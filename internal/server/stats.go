@@ -16,6 +16,7 @@ const latencyWindow = 1 << 13
 // statsAcc accumulates counters under the service mutex.
 type statsAcc struct {
 	served, failed, canceled, rejected uint64
+	preparedServed                     uint64
 	perEngine                          map[string]uint64
 	queuedHighWater                    int
 
@@ -35,8 +36,16 @@ type Stats struct {
 	// Failed counts execution/validation errors; Canceled counts queries
 	// abandoned via context; Rejected counts ErrOverloaded fast-fails.
 	Served, Failed, Canceled, Rejected uint64
-	// PerEngine breaks Served down by engine name.
+	// PreparedServed counts the subset of Served that executed through
+	// the prepared-statement path (no per-execution parse or plan).
+	PreparedServed uint64
+	// PerEngine breaks Served down by the engine that actually ran each
+	// query ("auto" submissions count under the resolved backend).
 	PerEngine map[string]uint64
+	// PlanCacheHits/Misses/Evictions mirror the plan cache counters
+	// (zero when the service has no prepared-statement support). A hit
+	// is a Prepare call that skipped parse+bind+plan entirely.
+	PlanCacheHits, PlanCacheMisses, PlanCacheEvictions uint64
 	// InFlight and Queued are instantaneous occupancy; QueuedHighWater is
 	// the deepest the FIFO queue has been.
 	InFlight, Queued, QueuedHighWater int
@@ -58,6 +67,7 @@ func (a *statsAcc) snapshot() Stats {
 		Failed:          a.failed,
 		Canceled:        a.canceled,
 		Rejected:        a.rejected,
+		PreparedServed:  a.preparedServed,
 		QueuedHighWater: a.queuedHighWater,
 		PerEngine:       make(map[string]uint64, len(a.perEngine)),
 	}
@@ -87,11 +97,15 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		Failed          uint64            `json:"failed"`
 		Canceled        uint64            `json:"canceled"`
 		Rejected        uint64            `json:"rejected"`
+		Prepared        uint64            `json:"prepared_served"`
 		QPS             float64           `json:"qps"`
 		PerEngine       map[string]uint64 `json:"per_engine"`
 		InFlight        int               `json:"in_flight"`
 		Queued          int               `json:"queued"`
 		QueuedHighWater int               `json:"queued_high_water"`
+		CacheHits       uint64            `json:"plan_cache_hits"`
+		CacheMisses     uint64            `json:"plan_cache_misses"`
+		CacheEvictions  uint64            `json:"plan_cache_evictions"`
 		P50Ms           float64           `json:"p50_ms"`
 		P95Ms           float64           `json:"p95_ms"`
 		P99Ms           float64           `json:"p99_ms"`
@@ -100,8 +114,10 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		UptimeMs        float64           `json:"uptime_ms"`
 	}{
 		Served: st.Served, Failed: st.Failed, Canceled: st.Canceled, Rejected: st.Rejected,
-		QPS: st.QPS(), PerEngine: st.PerEngine,
+		Prepared: st.PreparedServed,
+		QPS:      st.QPS(), PerEngine: st.PerEngine,
 		InFlight: st.InFlight, Queued: st.Queued, QueuedHighWater: st.QueuedHighWater,
+		CacheHits: st.PlanCacheHits, CacheMisses: st.PlanCacheMisses, CacheEvictions: st.PlanCacheEvictions,
 		P50Ms: ms(st.P50), P95Ms: ms(st.P95), P99Ms: ms(st.P99), MaxMs: ms(st.Max),
 		Morsels: st.MorselsDispatched, UptimeMs: ms(st.Uptime),
 	})
@@ -128,6 +144,10 @@ func (st Stats) String() string {
 	sort.Strings(engines)
 	for _, e := range engines {
 		fmt.Fprintf(&b, "  %-12s %d\n", e, st.PerEngine[e])
+	}
+	if st.PreparedServed > 0 || st.PlanCacheHits+st.PlanCacheMisses > 0 {
+		fmt.Fprintf(&b, "prepared %d  plan cache hits %d  misses %d  evictions %d\n",
+			st.PreparedServed, st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions)
 	}
 	fmt.Fprintf(&b, "latency p50 %v  p95 %v  p99 %v  max %v\n", st.P50, st.P95, st.P99, st.Max)
 	fmt.Fprintf(&b, "in flight %d  queued %d (high water %d)  morsels %d  uptime %v\n",

@@ -57,6 +57,21 @@ type DateLit struct {
 	Days int32
 }
 
+// Param is a `?` parameter placeholder of a prepared statement, the
+// Idx-th in order of appearance (0-based). Parameters are numeric- or
+// date-valued: Bind fixes Typ from the comparison/arithmetic context
+// exactly like literal coercion (a parameter compared to a scale-2
+// column expects raw scaled values), and sets Typed. The value itself
+// arrives at execution time — logical.(*Plan).BindArgs substitutes each
+// placeholder with a literal of the bound value, so one optimized plan
+// serves every binding.
+type Param struct {
+	P     Pos
+	Idx   int
+	Typ   catalog.Type
+	Typed bool
+}
+
 // BinOp enumerates binary operators.
 type BinOp int
 
@@ -138,6 +153,7 @@ func (e *ColRef) Pos() Pos  { return e.P }
 func (e *NumLit) Pos() Pos  { return e.P }
 func (e *StrLit) Pos() Pos  { return e.P }
 func (e *DateLit) Pos() Pos { return e.P }
+func (e *Param) Pos() Pos   { return e.P }
 func (e *Binary) Pos() Pos  { return e.P }
 func (e *Not) Pos() Pos     { return e.P }
 func (e *Between) Pos() Pos { return e.P }
@@ -148,6 +164,7 @@ func (*ColRef) exprNode()  {}
 func (*NumLit) exprNode()  {}
 func (*StrLit) exprNode()  {}
 func (*DateLit) exprNode() {}
+func (*Param) exprNode()   {}
 func (*Binary) exprNode()  {}
 func (*Not) exprNode()     {}
 func (*Between) exprNode() {}
@@ -206,6 +223,10 @@ type Select struct {
 	OrderBy []OrderItem
 	Limit   int // -1 = no limit
 
+	// Params lists the statement's `?` placeholders in order of
+	// appearance (Params[i].Idx == i); empty for ordinary statements.
+	Params []*Param
+
 	// Grouped is set by Bind: the query aggregates (GROUP BY present or
 	// any aggregate in the SELECT list).
 	Grouped bool
@@ -221,6 +242,8 @@ func TypeOf(e Expr) catalog.Type {
 		return x.Typ
 	case *DateLit:
 		return catalog.Type{Kind: catalog.Date}
+	case *Param:
+		return x.Typ
 	case *Binary:
 		return x.Typ
 	case *Agg:
@@ -246,6 +269,9 @@ func Equal(a, b Expr) bool {
 	case *DateLit:
 		y, ok := b.(*DateLit)
 		return ok && x.Days == y.Days
+	case *Param:
+		y, ok := b.(*Param)
+		return ok && x.Idx == y.Idx
 	case *Binary:
 		y, ok := b.(*Binary)
 		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
@@ -304,6 +330,34 @@ func WalkCols(e Expr, fn func(*catalog.Column)) {
 	}
 }
 
+// HasParam reports whether the expression contains a `?` placeholder —
+// the planner's test for predicates whose value is only known once
+// arguments are bound.
+func HasParam(e Expr) bool {
+	switch x := e.(type) {
+	case *Param:
+		return true
+	case *Binary:
+		return HasParam(x.L) || HasParam(x.R)
+	case *Not:
+		return HasParam(x.X)
+	case *Between:
+		return HasParam(x.X) || HasParam(x.Lo) || HasParam(x.Hi)
+	case *InList:
+		if HasParam(x.X) {
+			return true
+		}
+		for _, l := range x.List {
+			if HasParam(l) {
+				return true
+			}
+		}
+	case *Agg:
+		return x.Arg != nil && HasParam(x.Arg)
+	}
+	return false
+}
+
 // String renders an expression in SQL-ish form for plan displays and
 // error messages.
 func String(e Expr) string {
@@ -322,6 +376,8 @@ func format(sb *strings.Builder, e Expr) {
 		sb.WriteString("'" + x.Val + "'")
 	case *DateLit:
 		sb.WriteString("date '" + x.Text + "'")
+	case *Param:
+		sb.WriteByte('?')
 	case *Binary:
 		sb.WriteByte('(')
 		format(sb, x.L)

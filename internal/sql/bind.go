@@ -155,6 +155,15 @@ func (b *binder) bind() error {
 			return err
 		}
 	}
+
+	// Every `?` must have picked up a type from some comparison or
+	// arithmetic context by now; an uninferable parameter (e.g. `select
+	// ?`) has no execution representation.
+	for _, prm := range b.sel.Params {
+		if !prm.Typed {
+			return Errf(prm.P, "cannot infer the type of parameter ?%d (compare or combine it with a column)", prm.Idx+1)
+		}
+	}
 	return nil
 }
 
@@ -245,6 +254,11 @@ func (b *binder) expr(ep *Expr, allowAgg bool) (vtype, error) {
 	case *DateLit:
 		return vtype{cls: vNum, t: catalog.Type{Kind: catalog.Date}}, nil
 
+	case *Param:
+		// Untyped until some context coerces it (the zero Type is
+		// meaningless then; unify and coerce special-case the node).
+		return vtype{cls: vNum, t: x.Typ}, nil
+
 	case *Binary:
 		return b.binary(ep, x, allowAgg)
 
@@ -266,6 +280,9 @@ func (b *binder) expr(ep *Expr, allowAgg bool) (vtype, error) {
 		if vt.cls != vNum {
 			return vtype{}, Errf(x.P, "BETWEEN requires a numeric or date operand")
 		}
+		if p := untypedParam(x.X); p != nil {
+			return vtype{}, Errf(p.P, "a parameter cannot be the tested operand of BETWEEN")
+		}
 		for _, p := range []*Expr{&x.Lo, &x.Hi} {
 			if _, err := b.expr(p, false); err != nil {
 				return vtype{}, err
@@ -280,6 +297,9 @@ func (b *binder) expr(ep *Expr, allowAgg bool) (vtype, error) {
 		vt, err := b.expr(&x.X, allowAgg)
 		if err != nil {
 			return vtype{}, err
+		}
+		if p := untypedParam(x.X); p != nil {
+			return vtype{}, Errf(p.P, "a parameter cannot be the tested operand of IN")
 		}
 		for i := range x.List {
 			lv, err := b.expr(&x.List[i], false)
@@ -405,6 +425,29 @@ func (b *binder) binary(ep *Expr, x *Binary, allowAgg bool) (vtype, error) {
 		if err != nil {
 			return vtype{}, err
 		}
+		// An untyped parameter adopts the other operand's type (addition
+		// and subtraction also reach this via unify below; multiplication
+		// has no unify call, so infer here for all three).
+		if p := untypedParam(x.L); p != nil {
+			if untypedParam(x.R) != nil {
+				return vtype{}, Errf(x.P, "cannot infer parameter types: both sides of %s are parameters", x.Op)
+			}
+			if rv.cls != vNum {
+				return vtype{}, Errf(p.P, "parameters must be numeric or date values")
+			}
+			if err := b.coerce(&x.L, rv.t); err != nil {
+				return vtype{}, err
+			}
+			lv = vtype{cls: vNum, t: rv.t}
+		} else if p := untypedParam(x.R); p != nil {
+			if lv.cls != vNum {
+				return vtype{}, Errf(p.P, "parameters must be numeric or date values")
+			}
+			if err := b.coerce(&x.R, lv.t); err != nil {
+				return vtype{}, err
+			}
+			rv = vtype{cls: vNum, t: lv.t}
+		}
 		// Literal arithmetic folds immediately so the result can later
 		// coerce to a column's scale as one literal (20 + 4 compared to
 		// l_quantity becomes 2400 raw).
@@ -496,9 +539,29 @@ func resultKind(a, c catalog.Kind) catalog.Kind {
 	return catalog.Int64
 }
 
+// untypedParam returns the expression as a not-yet-typed parameter
+// placeholder, or nil.
+func untypedParam(e Expr) *Param {
+	if p, ok := e.(*Param); ok && !p.Typed {
+		return p
+	}
+	return nil
+}
+
 // unify makes two numeric operands directly comparable/combinable,
-// rescaling literal sides where needed.
+// rescaling literal sides where needed. An untyped parameter adopts the
+// other operand's type, before literal handling so that `? = 0.05`
+// types the parameter from the literal rather than the reverse.
 func (b *binder) unify(lp, rp *Expr, lt, rt catalog.Type, pos Pos, what string) error {
+	if untypedParam(*lp) != nil {
+		if untypedParam(*rp) != nil {
+			return Errf(pos, "cannot infer parameter types: both sides of %s are parameters", what)
+		}
+		return b.coerce(lp, rt)
+	}
+	if untypedParam(*rp) != nil {
+		return b.coerce(rp, lt)
+	}
 	if _, ok := (*lp).(*NumLit); ok {
 		return b.coerce(lp, rt)
 	}
@@ -572,6 +635,18 @@ func (b *binder) coerce(ep *Expr, target catalog.Type) error {
 		}
 		*ep = &DateLit{P: lit.P, Text: lit.Val, Days: days}
 		return nil
+	case *Param:
+		if target.Kind == catalog.String || target.Kind == catalog.Byte {
+			return Errf(lit.P, "parameters must be numeric or date values, not %s", target.Kind)
+		}
+		if lit.Typed && !compatible(lit.Typ, target) {
+			return Errf(lit.P, "parameter ?%d is used with conflicting types (%s vs %s)",
+				lit.Idx+1, describeType(lit.Typ), describeType(target))
+		}
+		if !lit.Typed {
+			lit.Typ, lit.Typed = target, true
+		}
+		return nil
 	default:
 		vt, err := b.expr(ep, false)
 		if err != nil {
@@ -613,6 +688,54 @@ func (b *binder) resolve(ref *ColRef) error {
 		}
 		return Errf(ref.P, "ambiguous column %q (in tables %s)", ref.Name, strings.Join(names, ", "))
 	}
+}
+
+// ParseDatum parses an argument text into the raw 64-bit value of a
+// parameter slot of the given type — the text↔value bridge of the
+// prepared-statement surfaces (sqlsh \execute arguments, the serve
+// prepared workload, the service's Execute API). Date slots accept
+// YYYY-MM-DD (bare, quoted, or with a leading `date` keyword); numeric
+// slots rescale decimal digits to the slot's scale exactly like literal
+// coercion, so `0.05` against a scale-2 column becomes raw 5.
+func ParseDatum(text string, t catalog.Type) (int64, error) {
+	s := strings.TrimSpace(text)
+	pos := Pos{Line: 1, Col: 1}
+	if t.Kind == catalog.Date {
+		if len(s) >= 4 && strings.EqualFold(s[:4], "date") {
+			s = strings.TrimSpace(s[4:])
+		}
+		s = strings.Trim(s, "'")
+		days, ok := parseDate(s)
+		if !ok {
+			return 0, Errf(pos, "bad date argument %q (want YYYY-MM-DD)", text)
+		}
+		return int64(days), nil
+	}
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	val, scale, ok := parseNum(s)
+	if !ok {
+		return 0, Errf(pos, "bad numeric argument %q", text)
+	}
+	want := 0
+	if t.Kind == catalog.Numeric {
+		want = t.Scale
+	}
+	if scale > want {
+		return 0, Errf(pos, "argument %q has more decimal digits than %s allows", text, describeType(t))
+	}
+	for i := scale; i < want; i++ {
+		val *= 10
+	}
+	if neg {
+		val = -val
+	}
+	if t.Kind == catalog.Int32 && (val > 1<<31-1 || val < -(1<<31)) {
+		return 0, Errf(pos, "argument %q is out of range for a 32-bit parameter", text)
+	}
+	return val, nil
 }
 
 // parseNum parses an integer or decimal literal into (digits-as-int,

@@ -34,7 +34,7 @@ const (
 	tokIdent
 	tokNumber // integer or decimal literal, e.g. 24 or 0.05
 	tokString // single-quoted string literal (quotes stripped)
-	tokPunct  // one of ( ) , ; . * / + - = <> != < <= > >=
+	tokPunct  // one of ( ) , ; . * / + - = ? <> != < <= > >=
 )
 
 // token is one lexical token. Text preserves the source spelling except
@@ -136,7 +136,7 @@ func lex(src string) ([]token, error) {
 				return nil, Errf(p, "unterminated string literal")
 			}
 			toks = append(toks, token{tokString, sb.String(), p})
-		case strings.IndexByte("(),;.*/+-=", c) >= 0:
+		case strings.IndexByte("(),;.*/+-=?", c) >= 0:
 			toks = append(toks, token{tokPunct, src[i : i+1], Pos{line, col}})
 			adv(1)
 		case c == '<':

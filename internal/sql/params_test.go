@@ -1,0 +1,147 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"paradigms/internal/catalog"
+)
+
+// TestParamParsing: `?` placeholders parse into ordinal Param nodes
+// collected on the statement.
+func TestParamParsing(t *testing.T) {
+	sel := mustParse(t, "select l_orderkey from lineitem where l_quantity < ? and l_discount between ? and ?")
+	if len(sel.Params) != 3 {
+		t.Fatalf("collected %d params, want 3", len(sel.Params))
+	}
+	for i, p := range sel.Params {
+		if p.Idx != i {
+			t.Errorf("param %d has Idx %d", i, p.Idx)
+		}
+		if p.Typed {
+			t.Errorf("param %d typed before Bind", i)
+		}
+	}
+	if String(sel.Where) == "" || !strings.Contains(String(sel.Where), "?") {
+		t.Errorf("String lost the placeholder: %s", String(sel.Where))
+	}
+}
+
+// TestParamTyping: the binder types each slot from its context like a
+// coerced literal — column comparisons adopt the column's type and
+// scale, literal comparisons the literal's intrinsic type.
+func TestParamTyping(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []catalog.Type
+	}{
+		{"select count(*) from lineitem where l_quantity < ?",
+			[]catalog.Type{{Kind: catalog.Numeric, Scale: 2}}},
+		{"select count(*) from lineitem where l_discount between ? and ?",
+			[]catalog.Type{{Kind: catalog.Numeric, Scale: 2}, {Kind: catalog.Numeric, Scale: 2}}},
+		{"select count(*) from lineitem where l_shipdate >= ?",
+			[]catalog.Type{{Kind: catalog.Date}}},
+		{"select count(*) from orders where o_custkey in (?, ?)",
+			[]catalog.Type{{Kind: catalog.Int32}, {Kind: catalog.Int32}}},
+		{"select count(*) from lineitem where ? = 5",
+			[]catalog.Type{{Kind: catalog.Int64}}},
+		{"select sum(l_extendedprice * ?) from lineitem",
+			[]catalog.Type{{Kind: catalog.Numeric, Scale: 2}}},
+	}
+	for _, c := range cases {
+		sel := mustBind(t, c.sql)
+		if len(sel.Params) != len(c.want) {
+			t.Errorf("%s: %d params, want %d", c.sql, len(sel.Params), len(c.want))
+			continue
+		}
+		for i, p := range sel.Params {
+			if !p.Typed {
+				t.Errorf("%s: param %d untyped after Bind", c.sql, i)
+			}
+			if p.Typ != c.want[i] {
+				t.Errorf("%s: param %d typed %+v, want %+v", c.sql, i, p.Typ, c.want[i])
+			}
+		}
+	}
+}
+
+// TestParamTypingErrors: slots no context can type, and type-conflict
+// shapes, are bind errors with positioned diagnostics.
+func TestParamTypingErrors(t *testing.T) {
+	cases := []struct{ sql, want string }{
+		{"select ? from lineitem", "cannot infer the type of parameter ?1"},
+		{"select count(*) from lineitem where ? = ?", "both sides"},
+		{"select count(*) from lineitem where ? between 1 and 2", "tested operand of BETWEEN"},
+		{"select count(*) from lineitem where ? in (1, 2)", "tested operand of IN"},
+		{"select count(*) from customer where c_mktsegment = ?", "cannot compare"},
+		{"select sum(?) from lineitem", "cannot infer the type of parameter ?1"},
+	}
+	for _, c := range cases {
+		sel, err := Parse(c.sql)
+		if err == nil {
+			err = Bind(sel, tpchCat())
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.sql, err, c.want)
+		}
+	}
+}
+
+// TestParseDatum: argument texts convert to raw values per slot type
+// with literal-coercion scaling rules.
+func TestParseDatum(t *testing.T) {
+	num2 := catalog.Type{Kind: catalog.Numeric, Scale: 2}
+	ok := []struct {
+		text string
+		t    catalog.Type
+		want int64
+	}{
+		{"0.05", num2, 5},
+		{"24", num2, 2400},
+		{"-1.50", num2, -150},
+		{"42", catalog.Type{Kind: catalog.Int64}, 42},
+		{"7", catalog.Type{Kind: catalog.Int32}, 7},
+		{"1994-01-01", catalog.Type{Kind: catalog.Date}, 8766},
+		{"'1994-01-01'", catalog.Type{Kind: catalog.Date}, 8766},
+		{"date '1994-01-01'", catalog.Type{Kind: catalog.Date}, 8766},
+	}
+	for _, c := range ok {
+		got, err := ParseDatum(c.text, c.t)
+		if err != nil || got != c.want {
+			t.Errorf("ParseDatum(%q, %+v) = %d, %v; want %d", c.text, c.t, got, err, c.want)
+		}
+	}
+	bad := []struct {
+		text string
+		t    catalog.Type
+	}{
+		{"0.055", num2}, // too many fraction digits
+		{"abc", catalog.Type{Kind: catalog.Int64}}, // not a number
+		{"1994-13-01", catalog.Type{Kind: catalog.Date}},
+		{"9999999999", catalog.Type{Kind: catalog.Int32}}, // 32-bit overflow
+	}
+	for _, c := range bad {
+		if _, err := ParseDatum(c.text, c.t); err == nil {
+			t.Errorf("ParseDatum(%q, %+v) accepted bad input", c.text, c.t)
+		}
+	}
+}
+
+// TestParamEqualAndWalk: Equal matches placeholders by ordinal and
+// HasParam sees through every composite node.
+func TestParamEqualAndWalk(t *testing.T) {
+	a := &Param{Idx: 0}
+	b := &Param{Idx: 0}
+	c := &Param{Idx: 1}
+	if !Equal(a, b) || Equal(a, c) {
+		t.Error("Param Equal must compare by ordinal")
+	}
+	sel := mustParse(t, "select l_orderkey from lineitem where not (l_quantity in (?, 3))")
+	if !HasParam(sel.Where) {
+		t.Error("HasParam missed a placeholder under NOT/IN")
+	}
+	plain := mustParse(t, "select l_orderkey from lineitem where l_quantity < 3")
+	if HasParam(plain.Where) {
+		t.Error("HasParam false positive")
+	}
+}

@@ -17,8 +17,9 @@ var reserved = map[string]bool{
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params []*Param // `?` placeholders in appearance order
 }
 
 func (p *parser) cur() token  { return p.toks[p.i] }
@@ -56,6 +57,7 @@ func Parse(src string) (*Select, error) {
 	if p.cur().kind != tokEOF {
 		return nil, Errf(p.cur().pos, "unexpected %s after end of query", p.cur().describe())
 	}
+	sel.Params = p.params
 	return sel, nil
 }
 
@@ -433,6 +435,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.text == "?" {
+			p.next()
+			prm := &Param{P: t.pos, Idx: len(p.params)}
+			p.params = append(p.params, prm)
+			return prm, nil
 		}
 	case tokIdent:
 		low := strings.ToLower(t.text)

@@ -71,11 +71,59 @@ var ssbTemplates = []template{
 // executes on both lowering backends (the corpus test enforces this).
 func Generate(r *rand.Rand, db *storage.Database) string {
 	g := &gen{r: r, cat: catFor(db)}
+	return g.generate(db)
+}
+
+// GenerateParameterized produces one random SQL text with `?`
+// placeholders in place of (most) filter literals, plus two
+// independently sampled argument bindings for it — the prepared-
+// statement differential harness's input: one cached plan must produce
+// oracle-identical rows under every binding. Substitute splices a
+// binding back into the text for the fresh-planned/oracle runs.
+func GenerateParameterized(r *rand.Rand, db *storage.Database) (text string, bindings [][]string) {
+	g := &gen{r: r, cat: catFor(db), bindings: make([][]string, 2)}
+	for i := range g.bindings {
+		g.bindings[i] = []string{}
+	}
+	return g.generate(db), g.bindings
+}
+
+// Substitute replaces the i-th `?` placeholder (outside string
+// literals) with args[i], producing the literal-text spelling of one
+// binding.
+func Substitute(text string, args []string) string {
+	var sb strings.Builder
+	inStr := false
+	k := 0
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if inStr {
+			sb.WriteByte(c)
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '\'':
+			inStr = true
+			sb.WriteByte(c)
+		case '?':
+			sb.WriteString(args[k])
+			k++
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func (g *gen) generate(db *storage.Database) string {
 	templates := tpchTemplates
 	if db.Name == "ssb" {
 		templates = ssbTemplates
 	}
-	tpl := templates[r.Intn(len(templates))]
+	tpl := templates[g.r.Intn(len(templates))]
 
 	var conjs []string
 	conjs = append(conjs, tpl.joins...)
@@ -130,6 +178,10 @@ func Generate(r *rand.Rand, db *storage.Database) string {
 type gen struct {
 	r   *rand.Rand
 	cat *catalog.Catalog
+	// bindings, when non-nil, switches filter literals to `?`
+	// placeholders; each binding collects one independently sampled
+	// argument text per placeholder.
+	bindings [][]string
 }
 
 func (g *gen) pick(choices ...int) int { return choices[g.r.Intn(len(choices))] }
@@ -204,6 +256,20 @@ func (g *gen) sample(c *catalog.Column) string {
 	}
 }
 
+// lit renders one comparison literal for column c — or, in
+// parameterized mode, usually a `?` placeholder whose argument texts
+// are sampled independently per binding (string literals never
+// parameterize: parameters are numeric/date-valued).
+func (g *gen) lit(c *catalog.Column) string {
+	if g.bindings == nil || g.r.Intn(3) == 0 {
+		return g.sample(c)
+	}
+	for i := range g.bindings {
+		g.bindings[i] = append(g.bindings[i], g.sample(c))
+	}
+	return "?"
+}
+
 // filter emits one random single-table predicate over t.
 func (g *gen) filter(t *catalog.Table) string {
 	strs := g.strCols(t)
@@ -231,15 +297,15 @@ func (g *gen) filter(t *catalog.Table) string {
 	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
 	switch g.r.Intn(6) {
 	case 0: // between
-		return fmt.Sprintf("%s between %s and %s", c.Name, g.sample(c), g.sample(c))
+		return fmt.Sprintf("%s between %s and %s", c.Name, g.lit(c), g.lit(c))
 	case 1: // IN list (dates are not IN-able in the grammar's type rules? they are literals too)
-		return fmt.Sprintf("%s in (%s, %s, %s)", c.Name, g.sample(c), g.sample(c), g.sample(c))
+		return fmt.Sprintf("%s in (%s, %s, %s)", c.Name, g.lit(c), g.lit(c), g.lit(c))
 	case 2: // OR pair
-		return fmt.Sprintf("(%s < %s or %s > %s)", c.Name, g.sample(c), c.Name, g.sample(c))
+		return fmt.Sprintf("(%s < %s or %s > %s)", c.Name, g.lit(c), c.Name, g.lit(c))
 	case 3: // NOT
-		return fmt.Sprintf("not (%s %s %s)", c.Name, ops[g.r.Intn(len(ops))], g.sample(c))
+		return fmt.Sprintf("not (%s %s %s)", c.Name, ops[g.r.Intn(len(ops))], g.lit(c))
 	default:
-		return fmt.Sprintf("%s %s %s", c.Name, ops[g.r.Intn(len(ops))], g.sample(c))
+		return fmt.Sprintf("%s %s %s", c.Name, ops[g.r.Intn(len(ops))], g.lit(c))
 	}
 }
 

@@ -1,0 +1,54 @@
+package paradigms
+
+import (
+	"context"
+
+	"paradigms/internal/logical"
+	"paradigms/internal/prepcache"
+)
+
+// Auto is the adaptive pseudo-engine of prepared statements: each
+// execution routes to whichever backend the statement's router
+// currently measures as faster (epsilon-greedy over observed
+// latencies) — the serving-time exploitation of the paper's finding
+// that neither paradigm dominates. Only prepared statements accept it;
+// one-shot RunContext calls have no latency history to route on.
+const Auto Engine = prepcache.Auto
+
+// Stmt is a prepared statement outside the query service: the SQL text
+// — with optional `?` placeholders — parsed, bound, and optimized once
+// against one database, executable many times with per-call argument
+// bindings on either engine (or Auto). Safe for concurrent use. Inside
+// the service, use Service.Prepare/DoPrepared instead, which add the
+// shared plan cache and admission control.
+type Stmt struct {
+	s *prepcache.Statement
+}
+
+// Prepare parses, binds, and optimizes a SQL text against db's catalog.
+func Prepare(db *DB, text string) (*Stmt, error) {
+	pl, err := logical.Prepare(db, text)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{s: prepcache.NewStatement(prepcache.Normalize(text), pl)}, nil
+}
+
+// SQL is the normalized statement text.
+func (s *Stmt) SQL() string { return s.s.Text }
+
+// NumParams is the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.s.NumParams() }
+
+// Exec runs the statement with one argument binding (one text per
+// placeholder; dates as YYYY-MM-DD, numerics at the slot's scale). It
+// returns the result and the engine that actually executed — equal to
+// the requested engine unless Auto resolved it.
+func (s *Stmt) Exec(ctx context.Context, engine Engine, args []string, opt Options) (*logical.Result, Engine, error) {
+	vals, err := s.s.BindTexts(args)
+	if err != nil {
+		return nil, engine, err
+	}
+	res, used, err := s.s.Execute(ctx, string(engine), vals, opt.Workers, opt.VectorSize)
+	return res, Engine(used), err
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"paradigms/internal/logical"
+	"paradigms/internal/prepcache"
 	"paradigms/internal/server"
 	"paradigms/internal/sql"
 )
@@ -27,6 +28,10 @@ type ServiceOptions struct {
 	// computed once per query and cached, so steady-state cost is one
 	// reflect.DeepEqual per query.
 	SkipValidation bool
+	// PlanCacheSize bounds the prepared-statement plan cache (0 =
+	// prepcache.DefaultCapacity). Statements evicted under pressure
+	// simply re-prepare on their next Prepare call.
+	PlanCacheSize int
 }
 
 // NewService builds a concurrent query service over the given databases.
@@ -50,6 +55,7 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 		return db, nil
 	}
 
+	cache := prepcache.New(opt.PlanCacheSize)
 	cfg := server.Config{
 		WorkerBudget:  opt.WorkerBudget,
 		MaxConcurrent: opt.MaxConcurrent,
@@ -61,6 +67,43 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			}
 			return RunContext(ctx, db, Engine(engine), query,
 				Options{Workers: workers, VectorSize: opt.VectorSize})
+		},
+		// Prepared statements: Prepare routes the SQL text to its
+		// database and fetches (or builds) the optimized parameterized
+		// plan from the LRU cache — a hit skips parse, bind, and plan
+		// entirely. Execution binds one argument set into a
+		// copy-on-write clone and runs it on the requested backend;
+		// engine "auto" resolves through the statement's adaptive
+		// router, which learns each backend's latency per statement and
+		// exploits the paper's finding that neither paradigm dominates.
+		Prep: func(query string) (any, error) {
+			if !sql.IsQuery(query) {
+				return nil, fmt.Errorf("paradigms: only ad-hoc SQL texts can be prepared (got query name %q)", query)
+			}
+			db, err := route(query)
+			if err != nil {
+				return nil, err
+			}
+			st, _, err := cache.GetOrPrepare(logical.CatalogFor(db), query, func() (*logical.Plan, error) {
+				return logical.Prepare(db, query)
+			})
+			return st, err
+		},
+		ExecPrep: func(ctx context.Context, engine string, stmt any, args []string, workers int) (any, string, error) {
+			st := stmt.(*prepcache.Statement)
+			vals, err := st.BindTexts(args)
+			if err != nil {
+				return nil, engine, err
+			}
+			res, used, err := st.Execute(ctx, engine, vals, workers, opt.VectorSize)
+			if err != nil {
+				return nil, used, err
+			}
+			return res, used, nil
+		},
+		PlanCacheStats: func() (hits, misses, evictions uint64) {
+			hits, misses, evictions, _ = cache.Stats()
+			return hits, misses, evictions
 		},
 	}
 
