@@ -1,54 +1,56 @@
-// Command serve drives the concurrent query service (internal/server)
-// with a closed-loop mixed TPC-H + SSB workload: a configurable number of
-// clients each submit a query, wait for its validated result, and
-// immediately submit the next — the inter-query concurrency regime the
-// paper's single-query experiments deliberately exclude (see DESIGN.md
-// §5).
+// Command serve runs the query service behind its network front-end
+// (internal/proto) and drives it with a closed-loop multi-tenant
+// workload over localhost HTTP: every query goes through the wire —
+// JSON request in, NDJSON-framed streaming result out — through
+// per-tenant deficit-round-robin admission, exactly the path a remote
+// client takes.
 //
 // Usage:
 //
-//	serve -sf 0.1 -ssbsf 0.1 -clients 16 -duration 10s
-//	serve -clients 4 -engine typer -queries Q1,Q6
-//	serve -clients 16 -budget 8 -maxconc 16 -novalidate
-//	serve -clients 8 -sql -statsjson
-//	serve -clients 8 -prepared -engine auto
+//	serve -sf 0.1 -clients 16 -duration 10s
+//	serve -tenants heavy:12:heavy,light:4:light -maxconc 4
+//	serve -fairbench                # DRR-vs-FIFO fairness experiment
+//	serve -serveonly -listen 127.0.0.1:8080
+//	serve -prepared -engine mixed
 //
-// Engine "mixed" (the default) alternates Typer and Tectorwise per query.
-// -sql additionally mixes the canonical ad-hoc SQL texts of the
-// benchmark queries into the workload, submitted as raw SQL through the
-// front-end on whichever engine the rotation picks: Tectorwise lowers
-// them onto the vectorized operator layer, Typer onto the compiled
-// fused pipelines (internal/compiled). Every result is validated
-// against the reference oracles unless -novalidate is given. On exit
-// the aggregate stats report is printed; -statsjson additionally emits
-// the machine-readable snapshot.
+// -tenants is a comma-separated list of name:clients:workload specs;
+// workload "heavy" runs the join-heavy Q3-class canonical SQL, "light"
+// the Q6-class point scans, "mixed" all canonical benchmark texts.
 //
-// -prepared switches to the prepared-statement workload: clients
-// prepare a parameterized template per execution (Service.Prepare —
-// every prepare after each template's first is a plan-cache hit) and
-// execute it with randomized argument bindings, no per-query parse or
-// plan. In this mode "mixed" rotates Typer, Tectorwise, and "auto";
-// -engine auto routes every execution through each statement's
-// adaptive router, which converges onto the empirically faster backend
-// per statement — the paper's finding that neither paradigm dominates,
-// exploited live. The final report includes plan-cache hit/miss/
-// eviction counters.
+// -fairbench runs the three-phase fairness experiment behind
+// EXPERIMENTS.md: (1) the light tenant alone (its solo p99 baseline),
+// (2) DRR with a heavy tenant flooding Q3-class scans next to it,
+// (3) the same mix under legacy FIFO admission. Deficit round robin
+// must keep the light tenant's contended p99 within a small multiple of
+// solo; FIFO parks light queries behind the whole heavy backlog.
+//
+// -serveonly skips the driver and serves until SIGINT/SIGTERM —
+// quickstart:
+//
+//	curl -s http://127.0.0.1:8080/v1/query -d '{"sql":"select count(*) as n from lineitem"}'
+//	curl -s http://127.0.0.1:8080/statsz
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"paradigms"
 	"paradigms/internal/logical"
+	"paradigms/internal/proto"
+	"paradigms/internal/proto/client"
 	"paradigms/internal/server"
 )
 
@@ -104,156 +106,306 @@ func preparedWorkload() []prepSpec {
 	}
 }
 
+// tenantSpec is one tenant of the closed-loop driver.
+type tenantSpec struct {
+	name     string
+	clients  int
+	workload string // "heavy" | "light" | "mixed"
+}
+
+func parseTenants(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		f := strings.Split(strings.TrimSpace(part), ":")
+		if len(f) != 3 {
+			return nil, fmt.Errorf("bad tenant spec %q (want name:clients:heavy|light|mixed)", part)
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad client count in %q", part)
+		}
+		switch f[2] {
+		case "heavy", "light", "mixed":
+		default:
+			return nil, fmt.Errorf("bad workload %q in %q", f[2], part)
+		}
+		out = append(out, tenantSpec{name: f[0], clients: n, workload: f[2]})
+	}
+	return out, nil
+}
+
+// workloadTexts returns the canonical SQL texts of one workload class.
+// "heavy" is the join-heavy grouped-aggregate class (Q3/Q18 shapes);
+// "light" the short selective scans (Q6/Q1.1 shapes); "mixed" every
+// canonical benchmark text of both datasets.
+func workloadTexts(class string) []string {
+	pick := func(dataset string, names ...string) []string {
+		var out []string
+		for _, n := range names {
+			if text, ok := logical.SQLText(dataset, n); ok {
+				out = append(out, text)
+			}
+		}
+		return out
+	}
+	switch class {
+	case "heavy":
+		return append(pick("tpch", "Q3", "Q18"), pick("ssb", "Q2.1")...)
+	case "light":
+		return append(pick("tpch", "Q6"), pick("ssb", "Q1.1")...)
+	default:
+		var out []string
+		for _, ds := range []string{"tpch", "ssb"} {
+			for _, n := range logical.SQLQueries(ds) {
+				text, _ := logical.SQLText(ds, n)
+				out = append(out, text)
+			}
+		}
+		return out
+	}
+}
+
 func main() {
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
 	ssbsf := flag.Float64("ssbsf", 0.1, "SSB scale factor")
-	clients := flag.Int("clients", 16, "closed-loop client count")
-	duration := flag.Duration("duration", 10*time.Second, "run length")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address of the HTTP front-end")
+	serveOnly := flag.Bool("serveonly", false, "serve until SIGINT instead of running the driver")
+	clients := flag.Int("clients", 16, "closed-loop client count (single-tenant mode)")
+	duration := flag.Duration("duration", 10*time.Second, "run length (per phase in -fairbench)")
 	engine := flag.String("engine", "mixed", "typer | tectorwise | mixed")
-	queryList := flag.String("queries", "", "comma-separated query subset (default: all TPC-H + SSB)")
+	tenants := flag.String("tenants", "", "name:clients:heavy|light|mixed specs (overrides -clients)")
 	budget := flag.Int("budget", 0, "global worker budget (0 = GOMAXPROCS)")
 	maxconc := flag.Int("maxconc", 0, "max concurrently executing queries (0 = default)")
-	maxqueued := flag.Int("maxqueued", 0, "admission queue bound (0 = unbounded)")
-	vecSize := flag.Int("vecsize", 0, "Tectorwise vector size (0 = default)")
-	novalidate := flag.Bool("novalidate", false, "skip checking results against the reference oracles")
-	withSQL := flag.Bool("sql", false, "mix ad-hoc SQL texts of the benchmark queries into the workload")
-	prepared := flag.Bool("prepared", false, "prepared-statement workload: parameterized templates, plan cache, adaptive auto-routing")
-	statsJSON := flag.Bool("statsjson", false, "also emit the final stats as JSON")
+	maxqueued := flag.Int("maxqueued", 0, "global admission queue bound (0 = unbounded)")
+	maxqueuedTenant := flag.Int("maxqueuedpertenant", 0, "per-tenant queue bound (0 = unbounded)")
+	maxperTenant := flag.Int("maxpertenant", 0, "per-tenant running cap (0 = unbounded)")
+	fifo := flag.Bool("fifo", false, "legacy global FIFO admission instead of deficit round robin")
+	morsel := flag.Int("morsel", 0, "scan morsel size override (0 = engine default; smaller = finer-grained yielding)")
+	yieldPause := flag.Duration("yieldpause", 0, "per-morsel pause imposed on over-cost tenants (0 = default)")
+	prepared := flag.Bool("prepared", false, "prepared-statement workload over the network (plan cache, adaptive auto-routing)")
+	fairbench := flag.Bool("fairbench", false, "run the solo/DRR/FIFO fairness experiment")
+	statsJSON := flag.Bool("statsjson", false, "also emit the final /statsz snapshot")
 	flag.Parse()
-
-	var engines []paradigms.Engine
-	switch *engine {
-	case "typer":
-		engines = []paradigms.Engine{paradigms.Typer}
-	case "tectorwise":
-		engines = []paradigms.Engine{paradigms.Tectorwise}
-	case "auto":
-		if !*prepared {
-			fmt.Fprintln(os.Stderr, "serve: -engine auto requires -prepared (adaptive routing lives on prepared statements)")
-			os.Exit(2)
-		}
-		engines = []paradigms.Engine{paradigms.Auto}
-	case "mixed":
-		engines = []paradigms.Engine{paradigms.Typer, paradigms.Tectorwise}
-		if *prepared {
-			engines = append(engines, paradigms.Auto)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "serve: unknown -engine %q\n", *engine)
-		os.Exit(2)
-	}
 
 	fmt.Fprintf(os.Stderr, "generating TPC-H SF=%g and SSB SF=%g...\n", *sf, *ssbsf)
 	tpchDB := paradigms.GenerateTPCH(*sf, 0)
 	ssbDB := paradigms.GenerateSSB(*ssbsf, 0)
 
-	var queries []string
-	if *queryList != "" {
-		queries = strings.Split(*queryList, ",")
-	} else {
-		queries = append(paradigms.Queries(tpchDB), paradigms.Queries(ssbDB)...)
+	opts := paradigms.ServiceOptions{
+		WorkerBudget:       *budget,
+		MaxConcurrent:      *maxconc,
+		MaxQueued:          *maxqueued,
+		MaxQueuedPerTenant: *maxqueuedTenant,
+		MaxPerTenant:       *maxperTenant,
+		FIFO:               *fifo,
+		MorselSize:         *morsel,
+		YieldPause:         *yieldPause,
+		SkipValidation:     true, // streamed results are covered by the equivalence suite
 	}
-	if *withSQL {
-		for _, dataset := range []string{"tpch", "ssb"} {
-			for _, name := range logical.SQLQueries(dataset) {
-				text, _ := logical.SQLText(dataset, name)
-				queries = append(queries, text)
-			}
+
+	if *fairbench {
+		runFairbench(tpchDB, ssbDB, opts, *duration, *statsJSON)
+		return
+	}
+
+	svc := paradigms.NewService(tpchDB, ssbDB, opts)
+	base, shutdown, err := serve(svc, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serving on %s\n", base)
+
+	if *serveOnly {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+		<-ch
+		shutdown()
+		svc.Close()
+		fmt.Print(svc.Stats())
+		return
+	}
+
+	specs := []tenantSpec{{name: "default", clients: *clients, workload: "mixed"}}
+	if *tenants != "" {
+		specs, err = parseTenants(*tenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(2)
 		}
 	}
 
-	svc := paradigms.NewService(tpchDB, ssbDB, paradigms.ServiceOptions{
-		WorkerBudget:   *budget,
-		MaxConcurrent:  *maxconc,
-		MaxQueued:      *maxqueued,
-		VectorSize:     *vecSize,
-		SkipValidation: *novalidate,
-	})
+	st := drive(base, specs, *engine, *prepared, *duration)
+	shutdown()
+	svc.Close()
+	fmt.Print(svc.Stats())
+	if *statsJSON {
+		fmt.Printf("%s\n", st)
+	}
+}
 
-	// The prepared workload validates every template up front (fail
-	// fast on a broken text, and warm the plan cache); clients then
-	// re-prepare per execution — cache hits — and execute.
-	var specs []prepSpec
-	var stmts []*server.Prepared
-	if *prepared {
-		specs = preparedWorkload()
-		for _, sp := range specs {
-			st, err := svc.Prepare(sp.text)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "serve: prepare %q: %v\n", sp.text, err)
-				os.Exit(1)
-			}
-			stmts = append(stmts, st)
+// serve starts the HTTP front-end, returning its base URL and a
+// shutdown func.
+func serve(svc *server.Service, addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: proto.NewServer(svc, nil).Handler()}
+	go hs.Serve(ln)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// drive runs the closed-loop client fleet against base for d and
+// returns the final /statsz snapshot.
+func drive(base string, specs []tenantSpec, engine string, prepared bool, d time.Duration) []byte {
+	var engines []string
+	switch engine {
+	case "typer", "tectorwise":
+		engines = []string{engine}
+	case "mixed":
+		engines = []string{"typer", "tectorwise"}
+		if prepared {
+			engines = append(engines, "auto")
 		}
+	case "auto":
+		if !prepared {
+			fmt.Fprintln(os.Stderr, "serve: -engine auto requires -prepared")
+			os.Exit(2)
+		}
+		engines = []string{"auto"}
+	default:
+		fmt.Fprintf(os.Stderr, "serve: unknown -engine %q\n", engine)
+		os.Exit(2)
 	}
 
-	mode := "queries"
-	if *prepared {
-		mode = "prepared statements"
+	total := 0
+	for _, sp := range specs {
+		total += sp.clients
 	}
-	n := len(queries)
-	if *prepared {
-		n = len(stmts)
-	}
-	fmt.Fprintf(os.Stderr, "serving: %d clients, %s, engines %v, %d %s\n",
-		*clients, *duration, engines, n, mode)
+	fmt.Fprintf(os.Stderr, "driving: %d clients over %v, engines %v, prepared=%v\n", total, d, engines, prepared)
 
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rnd := rand.New(rand.NewSource(int64(c)))
-			// Stagger starting points so clients don't run in lockstep.
-			for i := c; ctx.Err() == nil; i++ {
-				eng := engines[i%len(engines)]
-				var q string
-				var err error
-				if *prepared {
-					// Statement choice is random (seeded per client) so
-					// it never runs in lockstep with the engine rotation
-					// — every statement sees every engine. Re-preparing
-					// per execution is the realistic client behavior the
-					// plan cache amortizes: all but the first prepare of
-					// each template are cache hits.
-					k := rnd.Intn(len(stmts))
-					q = specs[k].text
-					var p *server.Prepared
-					if p, err = svc.Prepare(q); err == nil {
-						_, err = svc.DoPrepared(ctx, string(eng), p, specs[k].args(rnd)...)
+	var preps []prepSpec
+	if prepared {
+		preps = preparedWorkload()
+	}
+	cid := 0
+	for _, sp := range specs {
+		texts := workloadTexts(sp.workload)
+		for c := 0; c < sp.clients; c++ {
+			cid++
+			wg.Add(1)
+			go func(sp tenantSpec, texts []string, c int) {
+				defer wg.Done()
+				cl := client.New(base, sp.name)
+				rnd := rand.New(rand.NewSource(int64(c)))
+				for i := c; ctx.Err() == nil; i++ {
+					eng := engines[i%len(engines)]
+					var rows *client.Rows
+					var err error
+					if prepared {
+						k := rnd.Intn(len(preps))
+						rows, err = cl.QueryPrepared(ctx, eng, preps[k].text, preps[k].args(rnd)...)
+					} else {
+						rows, err = cl.Query(ctx, eng, texts[i%len(texts)])
 					}
-				} else {
-					q = queries[i%len(queries)]
-					_, err = svc.Do(ctx, string(eng), q)
+					if err == nil {
+						_, err = rows.All()
+					}
+					var retry *client.RetryError
+					switch {
+					case err == nil || ctx.Err() != nil:
+					case errors.As(err, &retry):
+						// Queue-depth backpressure: honor the server's
+						// retry-after estimate.
+						select {
+						case <-time.After(retry.RetryAfter):
+						case <-ctx.Done():
+						}
+					default:
+						fmt.Fprintf(os.Stderr, "serve: client %d (%s): %v\n", c, sp.name, err)
+						os.Exit(1)
+					}
 				}
-				switch {
-				case err == nil || ctx.Err() != nil:
-				case errors.Is(err, server.ErrOverloaded):
-					// Expected under -maxqueued: admission control is
-					// shedding load. Back off and retry; rejections are
-					// counted in the final stats.
-					time.Sleep(time.Millisecond)
-				default:
-					fmt.Fprintf(os.Stderr, "serve: client %d: %s/%s: %v\n", c, eng, q, err)
-					os.Exit(1)
-				}
-			}
-		}(c)
+			}(sp, texts, cid)
+		}
 	}
 	wg.Wait()
-	svc.Close()
 
-	st := svc.Stats()
-	fmt.Print(st)
-	if *statsJSON {
-		raw, err := json.Marshal(st)
+	raw, err := client.New(base, "").Stats(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: statsz: %v\n", err)
+		return nil
+	}
+	return raw
+}
+
+// runFairbench runs the three-phase fairness experiment: the light
+// tenant's solo p99, then its p99 while a heavy tenant floods the
+// service — once under DRR, once under FIFO.
+func runFairbench(tpchDB, ssbDB *paradigms.DB, opts paradigms.ServiceOptions, d time.Duration, statsJSON bool) {
+	if opts.MaxConcurrent == 0 {
+		opts.MaxConcurrent = 2 // keep a queue: contention is the experiment
+	}
+	if opts.TenantCaps == nil && opts.MaxPerTenant == 0 {
+		// The heavy tenant can never occupy every slot. Under DRR the
+		// capped heavy tenant is stepped over and the light tenant admits
+		// into the spare slot immediately; under FIFO the capped head
+		// blocks the whole line anyway — the difference the experiment
+		// exists to show.
+		opts.TenantCaps = map[string]int{"heavy": opts.MaxConcurrent - 1}
+	}
+	if opts.MorselSize == 0 {
+		// Fine morsels make the per-morsel fairness throttle responsive:
+		// a long scan yields hundreds of times per query instead of a
+		// handful, so its pauses actually cede CPU to the light tenant.
+		opts.MorselSize = 4096
+	}
+	if opts.YieldPause == 0 {
+		opts.YieldPause = 2 * time.Millisecond
+	}
+	heavy := tenantSpec{name: "heavy", clients: 12, workload: "heavy"}
+	light := tenantSpec{name: "light", clients: 4, workload: "light"}
+
+	phase := func(label string, fifo bool, specs ...tenantSpec) server.TenantStats {
+		o := opts
+		o.FIFO = fifo
+		svc := paradigms.NewService(tpchDB, ssbDB, o)
+		base, shutdown, err := serve(svc, "127.0.0.1:0")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serve: marshal stats: %v\n", err)
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s\n", raw)
+		raw := drive(base, specs, "mixed", false, d)
+		shutdown()
+		svc.Close()
+		st := svc.Stats()
+		fmt.Printf("--- %s ---\n%s", label, st)
+		if statsJSON && raw != nil {
+			fmt.Printf("%s\n", raw)
+		}
+		return st.Tenants["light"]
 	}
+
+	solo := phase("phase 1: light solo (DRR)", false, light)
+	drr := phase("phase 2: light vs heavy (DRR)", false, heavy, light)
+	fifo := phase("phase 3: light vs heavy (FIFO)", true, heavy, light)
+
+	ratio := func(a, b time.Duration) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	fmt.Printf("\nfairness: light p99 solo %v | drr %v (%.1fx solo) | fifo %v (%.1fx solo)\n",
+		solo.P99, drr.P99, ratio(drr.P99, solo.P99), fifo.P99, ratio(fifo.P99, solo.P99))
 }

@@ -28,6 +28,7 @@ var extensionPackages = map[string]string{
 	"compiled":  "extension", // compiled (Typer-style) SQL lowering
 	"sqlcheck":  "extension", // differential-test generator/oracle/minis
 	"prepcache": "extension", // prepared statements, plan cache, adaptive routing
+	"proto":     "extension", // network protocol of the serving front-end
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -58,6 +58,67 @@ func ExecuteArgs(ctx context.Context, pl *logical.Plan, nWorkers int, args []int
 	return Execute(ctx, bound, nWorkers)
 }
 
+// ExecuteStream runs the plan on the compiled backend, flushing result
+// batches to sink as they are produced — projection rows per fused
+// scan loop, grouped rows per merged spill partition — with the same
+// contract as logical.(*Plan).ExecuteStream: SetCols before execution,
+// chunk-sized batches (0 = default), materializing shapes (ORDER BY /
+// HAVING / LIMIT / global aggregates) stream their finalized rows, a
+// sink error aborts the query.
+func ExecuteStream(ctx context.Context, pl *logical.Plan, nWorkers, chunk int, sink logical.RowSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	if len(pl.Params) > 0 {
+		return fmt.Errorf("compiled: statement has %d unbound parameter(s); use ExecuteArgsStream", len(pl.Params))
+	}
+	if chunk <= 0 {
+		chunk = logical.DefaultStreamChunk
+	}
+	if err := sink.SetCols(pl.Cols); err != nil {
+		return err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := logical.NewStreamer(sink, cancel)
+
+	if pl.Streamable() {
+		if _, err := executeInto(sctx, pl, nWorkers, st, chunk); err != nil {
+			return err
+		}
+		if err := st.Err(); err != nil {
+			return err
+		}
+		return ctx.Err()
+	}
+	res, err := Execute(ctx, pl, nWorkers)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return logical.StreamChunks(ctx, st, res.Rows, chunk)
+}
+
+// ExecuteArgsStream is ExecuteStream for parameterized plans (the
+// argument binding substitutes into a copy-on-write clone, like
+// ExecuteArgs).
+func ExecuteArgsStream(ctx context.Context, pl *logical.Plan, nWorkers, chunk int, args []int64, sink logical.RowSink) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	bound, err := pl.BindArgs(args)
+	if err != nil {
+		return err
+	}
+	return ExecuteStream(ctx, bound, nWorkers, chunk, sink)
+}
+
 // Execute lowers an optimized logical plan to fused pipelines and runs
 // them morsel-parallel. A canceled context drains the workers within
 // one morsel and returns a partial result the caller discards — the
@@ -72,6 +133,14 @@ func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.
 	if len(pl.Params) > 0 {
 		return nil, fmt.Errorf("compiled: statement has %d unbound parameter(s); use ExecuteArgs", len(pl.Params))
 	}
+	return executeInto(ctx, pl, nWorkers, nil, 0)
+}
+
+// executeInto is the shared body of Execute and ExecuteStream: with a
+// nil stream it materializes a Result; with a stream it flushes row
+// batches as they are produced and returns a nil Result (streaming
+// callers pass a Streamable plan).
+func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *logical.Streamer, chunk int) (res *logical.Result, err error) {
 	pr, err := lower(pl)
 	if err != nil {
 		return nil, err
@@ -140,6 +209,14 @@ func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.
 		}
 	}
 
+	var streamBufs []*logical.StreamBuf
+	if stream != nil {
+		streamBufs = make([]*logical.StreamBuf, w)
+		for i := range streamBufs {
+			streamBufs[i] = stream.NewBuf(chunk)
+		}
+	}
+
 	bar := exec.NewBarrier(w)
 	exec.Parallel(w, func(wid int) {
 		// Build pipelines in dependency order, each ending at its
@@ -173,15 +250,30 @@ func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.
 					out := arena[:width:width]
 					arena = arena[width:]
 					agg.DecodeMergedRow(row, out)
+					if stream != nil {
+						streamBufs[wid].Add(pl.ItemRow(out))
+						return
+					}
 					workerRows[wid] = append(workerRows[wid], out)
 				})
 			}
 		case global:
 			partials[wid] = final.runGlobal(wid, specs)
 		default:
-			workerRows[wid] = final.runProject(wid, items)
+			if stream != nil {
+				final.runProjectStream(items, streamBufs[wid])
+			} else {
+				workerRows[wid] = final.runProject(wid, items)
+			}
 		}
 	})
+
+	if stream != nil {
+		for _, b := range streamBufs {
+			b.Flush()
+		}
+		return nil, nil
+	}
 
 	var rows [][]int64
 	switch {
@@ -671,4 +763,17 @@ func (p *pipe) runProject(wid int, items []scalarFn) [][]int64 {
 		out = append(out, row)
 	})
 	return out
+}
+
+// runProjectStream is runProject flushing rows to the worker's stream
+// buffer instead of materializing — projection rows are already in
+// item layout.
+func (p *pipe) runProjectStream(items []scalarFn, buf *logical.StreamBuf) {
+	p.run(func(i int, fr []int64) {
+		row := make([]int64, len(items))
+		for j, v := range items {
+			row[j] = v(i, fr)
+		}
+		buf.Add(row)
+	})
 }

@@ -49,6 +49,7 @@ type Dispatcher struct {
 	size    int64
 	done    <-chan struct{} // non-nil when bound to a cancelable context
 	counter *atomic.Int64   // per-consumer claim attribution, may be nil
+	yield   func()          // morsel-level yield hook, may be nil
 }
 
 // NewDispatcher creates a dispatcher over total tuples with the given
@@ -64,14 +65,39 @@ func NewDispatcher(total, size int) *Dispatcher {
 // ok=false once ctx is done, even if tuples remain. A nil or
 // never-canceled context degenerates to NewDispatcher with zero per-claim
 // overhead beyond a channel poll. If the context carries a morsel counter
-// (WithMorselCounter), every claim is attributed to it.
+// (WithMorselCounter), every claim is attributed to it. If the caller
+// left size at the default (<= 0) and the context carries a morsel-size
+// override (WithMorselSize), the override wins — explicit sizes (e.g.
+// the 1-per-partition merge dispatchers) are never overridden.
 func NewDispatcherCtx(ctx context.Context, total, size int) *Dispatcher {
+	if ctx != nil && size <= 0 {
+		if n, _ := ctx.Value(morselSizeKey{}).(int); n > 0 {
+			size = n
+		}
+	}
 	d := NewDispatcher(total, size)
 	if ctx != nil {
 		d.done = ctx.Done()
 		d.counter, _ = ctx.Value(morselCounterKey{}).(*atomic.Int64)
+		d.yield, _ = ctx.Value(yieldKey{}).(func())
 	}
 	return d
+}
+
+// morselSizeKey is the context key of WithMorselSize.
+type morselSizeKey struct{}
+
+// WithMorselSize returns a context under which scan dispatchers bound to
+// it (NewDispatcherCtx) that did not request an explicit morsel size use
+// n tuples per morsel instead of DefaultMorselSize. Morsel claims are
+// where cancellation is observed and yield hooks run (WithYield), so a
+// scheduler that needs finer-grained preemption — e.g. to throttle a
+// tenant's long scans while short queries of other tenants run — can
+// shrink the scheduling quantum without touching engine code. Dispatch
+// is a single atomic add, so even morsels of a few thousand tuples cost
+// well under 1% overhead.
+func WithMorselSize(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, morselSizeKey{}, n)
 }
 
 // morselCounterKey is the context key of WithMorselCounter.
@@ -86,6 +112,23 @@ func WithMorselCounter(ctx context.Context, c *atomic.Int64) context.Context {
 	return context.WithValue(ctx, morselCounterKey{}, c)
 }
 
+// yieldKey is the context key of WithYield.
+type yieldKey struct{}
+
+// WithYield returns a context under which every dispatcher bound to it
+// (NewDispatcherCtx) calls y before each morsel claim. Morsel claims
+// are the engines' natural preemption points — every worker of every
+// pipeline passes through Next between morsels — so y is where an
+// inter-query scheduler injects morsel-level yielding: a long scan
+// whose tenant is over its fair share can be paused for a bounded
+// moment per morsel, ceding CPU to short queries, without any
+// engine-side scheduling code. y MUST return (it may sleep briefly,
+// never block indefinitely): workers park only between morsels, and a
+// worker held forever would deadlock the pipeline's barriers.
+func WithYield(ctx context.Context, y func()) context.Context {
+	return context.WithValue(ctx, yieldKey{}, y)
+}
+
 // Next claims the next morsel. ok is false once the scan is exhausted or
 // the dispatcher's context (NewDispatcherCtx) has been canceled.
 func (d *Dispatcher) Next() (m Morsel, ok bool) {
@@ -95,6 +138,9 @@ func (d *Dispatcher) Next() (m Morsel, ok bool) {
 			return Morsel{}, false
 		default:
 		}
+	}
+	if d.yield != nil {
+		d.yield()
 	}
 	begin := d.next.Add(d.size) - d.size
 	if begin >= d.total {

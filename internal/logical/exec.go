@@ -24,6 +24,15 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 	if len(pl.Params) > 0 {
 		return nil, fmt.Errorf("logical: statement has %d unbound parameter(s); use ExecuteArgs", len(pl.Params))
 	}
+	return pl.executeInto(ctx, workers, vecSize, nil, 0)
+}
+
+// executeInto is the shared body of Execute and ExecuteStream: with a
+// nil stream it materializes a Result; with a stream it flushes row
+// batches as they are produced — projection rows per morsel from each
+// worker's sink, grouped rows per merged spill partition — and returns
+// a nil Result. Streaming callers must pass a Streamable plan.
+func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *Streamer, chunk int) (*Result, error) {
 	prog, err := lower(pl)
 	if err != nil {
 		return nil, err
@@ -46,7 +55,14 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 		htOps      []hashtable.AggOp
 		workerRows [][][]int64
 		partials   []GlobalPartial
+		streamBufs []*StreamBuf
 	)
+	if stream != nil {
+		streamBufs = make([]*StreamBuf, e.Workers)
+		for i := range streamBufs {
+			streamBufs[i] = stream.NewBuf(chunk)
+		}
+	}
 	switch {
 	case keyed:
 		htOps = make([]hashtable.AggOp, len(agg.Aggs))
@@ -97,6 +113,10 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 			stages = append(stages, plan.MergeStage(partDisp, spill, htOps, func(wid int, row []uint64) {
 				out := make([]int64, agg.MergedWidth())
 				agg.DecodeMergedRow(row, out)
+				if stream != nil {
+					streamBufs[wid].Add(pl.itemRow(out))
+					return
+				}
 				workerRows[wid] = append(workerRows[wid], out)
 			}))
 		case global:
@@ -108,11 +128,22 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 			for i, e := range pl.Proj {
 				sink.exprs[i] = w.vecI64(final, e)
 			}
-			sink.out = &workerRows[wid]
+			if stream != nil {
+				sink.stream = streamBufs[wid]
+			} else {
+				sink.out = &workerRows[wid]
+			}
 			stages = append(stages, plan.Stage{Root: root, Sink: sink})
 		}
 		return stages
 	})
+
+	if stream != nil {
+		for _, b := range streamBufs {
+			b.Flush()
+		}
+		return nil, nil
+	}
 
 	// Merge phase: assemble output rows in slot layout [keys..., aggs...]
 	// (grouped/global) or item layout (projection).
@@ -181,23 +212,38 @@ func (pl *Plan) FinalizeRows(rows [][]int64) (*Result, error) {
 
 	res := &Result{Cols: pl.Cols}
 	if agg != nil {
-		nk := len(agg.Keys)
 		for _, r := range rows {
-			out := make([]int64, len(agg.ItemSlots))
-			for i, s := range agg.ItemSlots {
-				if s.Key {
-					out[i] = r[s.Idx]
-				} else {
-					out[i] = r[nk+s.Idx]
-				}
-			}
-			res.Rows = append(res.Rows, out)
+			res.Rows = append(res.Rows, pl.itemRow(r))
 		}
 	} else {
 		res.Rows = rows
 	}
 	return res, nil
 }
+
+// itemRow maps one merged slot-layout row [keys..., aggs...] to the
+// output item layout; projection rows (no aggregate) are already in
+// item layout. Shared by the materializing tail (FinalizeRows) and the
+// streaming flush of both backends.
+func (pl *Plan) itemRow(r []int64) []int64 {
+	agg := pl.Agg
+	if agg == nil {
+		return r
+	}
+	nk := len(agg.Keys)
+	out := make([]int64, len(agg.ItemSlots))
+	for i, s := range agg.ItemSlots {
+		if s.Key {
+			out[i] = r[s.Idx]
+		} else {
+			out[i] = r[nk+s.Idx]
+		}
+	}
+	return out
+}
+
+// ItemRow is itemRow for the compiled backend's streaming flush.
+func (pl *Plan) ItemRow(r []int64) []int64 { return pl.itemRow(r) }
 
 // rowSorter orders merged rows by the plan's ORDER BY keys (stable, so
 // input order breaks ties deterministically per backend).
@@ -566,10 +612,13 @@ func (s *globalAggSink) Finish(bar *exec.Barrier, wid int) {
 	bar.Wait(nil)
 }
 
-// collectSink materializes projection rows per worker.
+// collectSink materializes projection rows per worker — or, when
+// stream is set, flushes them at chunk granularity as each vector is
+// consumed (the truly incremental streaming path).
 type collectSink struct {
-	exprs []vec64
-	out   *[][]int64
+	exprs  []vec64
+	out    *[][]int64
+	stream *StreamBuf
 }
 
 // Consume implements plan.Sink.
@@ -583,7 +632,11 @@ func (s *collectSink) Consume(b *plan.Batch) {
 		for j := range vecs {
 			row[j] = vecs[j][i]
 		}
-		*s.out = append(*s.out, row)
+		if s.stream != nil {
+			s.stream.Add(row)
+		} else {
+			*s.out = append(*s.out, row)
+		}
 	}
 }
 

@@ -87,3 +87,37 @@ func (s *Statement) Execute(ctx context.Context, engine string, args []int64, wo
 	s.router.Observe(used, time.Since(start))
 	return res, used, nil
 }
+
+// ExecuteStream is Execute streaming result batches to sink instead of
+// materializing (see logical.(*Plan).ExecuteStream for the streaming
+// contract). Auto resolves through the statement's router, and
+// successful streamed executions train it exactly like materialized
+// ones.
+func (s *Statement) ExecuteStream(ctx context.Context, engine string, args []int64, workers, vecSize, chunk int, sink logical.RowSink) (string, error) {
+	used := engine
+	if engine == Auto {
+		used = s.router.Pick()
+	}
+	start := time.Now()
+	var err error
+	switch used {
+	case registry.Typer:
+		err = compiled.ExecuteArgsStream(ctx, s.Plan, workers, chunk, args, sink)
+	case registry.Tectorwise:
+		err = s.Plan.ExecuteArgsStream(ctx, workers, vecSize, chunk, args, sink)
+	default:
+		return used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s)",
+			engine, registry.Typer, registry.Tectorwise, Auto)
+	}
+	if err != nil {
+		if ctx.Err() == nil {
+			s.router.ObserveFailure(used)
+		}
+		return used, err
+	}
+	if err := ctx.Err(); err != nil {
+		return used, err
+	}
+	s.router.Observe(used, time.Since(start))
+	return used, nil
+}

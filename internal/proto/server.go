@@ -1,0 +1,258 @@
+package proto
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"paradigms/internal/logical"
+	"paradigms/internal/prepcache"
+	"paradigms/internal/server"
+)
+
+// Server serves the protocol over HTTP on behalf of a query service:
+//
+//	POST /v1/query   — execute one SQL text, streaming NDJSON frames
+//	POST /v1/prepare — prepare a text (idempotent; warms the plan cache)
+//	GET  /statsz     — aggregate + per-tenant service stats as JSON
+//	GET  /healthz    — liveness
+//
+// The zero value is not usable; construct with NewServer.
+type Server struct {
+	svc *server.Service
+	now func() time.Time
+}
+
+// NewServer wraps a query service. now is injectable for the golden
+// conformance fixtures (nil = time.Now).
+func NewServer(svc *server.Service, now func() time.Time) *Server {
+	if now == nil {
+		now = time.Now
+	}
+	return &Server{svc: svc, now: now}
+}
+
+// Handler builds the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/prepare", s.handlePrepare)
+	mux.HandleFunc("/statsz", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// httpError writes a non-200 JSON error response. Overload rejections
+// also carry the standard Retry-After header (whole seconds, rounded
+// up) alongside the millisecond estimate in the body.
+func httpError(w http.ResponseWriter, status int, body ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	if body.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((body.RetryAfterMs+999)/1000, 10))
+	}
+	w.WriteHeader(status)
+	raw, _ := json.Marshal(body)
+	w.Write(append(raw, '\n'))
+}
+
+// errCode classifies an execution error for the terminal frame.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return CodeCanceled
+	default:
+		return CodeExec
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST only", Code: CodeBadRequest})
+		return
+	}
+	q, err := DecodeQueryRequest(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Code: CodeBadRequest})
+		return
+	}
+	engine := q.Engine
+	if engine == "" {
+		if q.Prepared {
+			engine = "auto"
+		} else {
+			engine = "typer"
+		}
+	}
+
+	req := server.Req{Tenant: q.Tenant, Engine: engine}
+	if q.Prepared {
+		p, err := s.svc.Prepare(q.SQL)
+		if err != nil {
+			status, body := submitError(q.Tenant, err)
+			httpError(w, status, body)
+			return
+		}
+		req.Prep, req.Args = p, q.Args
+	} else {
+		req.Query = q.SQL
+	}
+
+	sink := &ndjsonSink{w: w}
+	req.Sink = sink
+
+	start := s.now()
+	h, err := s.svc.SubmitReq(r.Context(), req)
+	if err != nil {
+		status, body := submitError(q.Tenant, err)
+		httpError(w, status, body)
+		return
+	}
+	_, err = h.Wait(r.Context())
+
+	// All sink pushes happen before Wait returns, so reading the sink
+	// state and writing the terminal frame are race-free.
+	if err != nil && !sink.started() {
+		// Failed before producing any frame (parse/plan/bind errors):
+		// still a clean HTTP error, no partial stream.
+		httpError(w, http.StatusUnprocessableEntity, ErrorBody{Error: err.Error(), Code: errCode(err)})
+		return
+	}
+	if err != nil {
+		sink.frame(Frame{Type: FrameError, Error: err.Error(), Code: errCode(err)})
+		return
+	}
+	n := sink.rowCount()
+	elapsed := float64(s.now().Sub(start)) / float64(time.Millisecond)
+	sink.frame(Frame{Type: FrameEnd, Engine: h.EngineUsed(), RowCount: &n, ElapsedMs: &elapsed})
+}
+
+// submitError maps a submission failure to its HTTP shape.
+func submitError(tenant string, err error) (int, ErrorBody) {
+	var ov *server.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		return http.StatusTooManyRequests, ErrorBody{
+			Error: err.Error(), Code: CodeOverloaded,
+			Tenant: ov.Tenant, Queued: ov.Queued,
+			RetryAfterMs: ov.RetryAfter.Milliseconds(),
+		}
+	case errors.Is(err, server.ErrClosed):
+		return http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Code: CodeClosed, Tenant: tenant}
+	default:
+		return http.StatusBadRequest, ErrorBody{Error: err.Error(), Code: CodeBadRequest, Tenant: tenant}
+	}
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST only", Code: CodeBadRequest})
+		return
+	}
+	req, err := DecodePrepareRequest(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Code: CodeBadRequest})
+		return
+	}
+	p, err := s.svc.Prepare(req.SQL)
+	if err != nil {
+		status, body := submitError("", err)
+		httpError(w, status, body)
+		return
+	}
+	resp := PrepareResponse{SQL: req.SQL}
+	if st, ok := p.Stmt().(*prepcache.Statement); ok {
+		resp.NumParams = st.NumParams()
+		for _, t := range st.ParamTypes() {
+			resp.ParamTypes = append(resp.ParamTypes, t.Kind.String())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	raw, _ := json.Marshal(resp)
+	w.Write(append(raw, '\n'))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	raw, err := json.Marshal(s.svc.Stats())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, ErrorBody{Error: err.Error(), Code: CodeExec})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(raw, '\n'))
+}
+
+// ndjsonSink adapts an http.ResponseWriter to logical.RowSink: each
+// batch becomes one rows frame, flushed immediately so rows reach the
+// client while the scan is still running. The executors serialize
+// SetCols/PushRows; the terminal frame is written by the handler after
+// Wait, so only the `wrote` flag needs the mutex (read from the handler
+// goroutine on the failed-before-start path).
+type ndjsonSink struct {
+	w http.ResponseWriter
+
+	mu    sync.Mutex
+	wrote bool
+	rows  int64
+	err   error
+}
+
+func (s *ndjsonSink) started() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wrote
+}
+
+func (s *ndjsonSink) rowCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// frame writes one frame line and flushes it down the wire.
+func (s *ndjsonSink) frame(f Frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if !s.wrote {
+		s.w.Header().Set("Content-Type", "application/x-ndjson")
+		s.wrote = true
+	}
+	raw, err := json.Marshal(f)
+	if err == nil {
+		_, err = s.w.Write(append(raw, '\n'))
+	}
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if fl, ok := s.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return nil
+}
+
+// SetCols implements logical.RowSink.
+func (s *ndjsonSink) SetCols(cols []logical.OutCol) error {
+	return s.frame(Frame{Type: FrameCols, Cols: ColsOf(cols)})
+}
+
+// PushRows implements logical.RowSink.
+func (s *ndjsonSink) PushRows(rows [][]int64) error {
+	err := s.frame(Frame{Type: FrameRows, Rows: rows})
+	if err == nil {
+		s.mu.Lock()
+		s.rows += int64(len(rows))
+		s.mu.Unlock()
+	}
+	return err
+}

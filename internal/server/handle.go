@@ -12,12 +12,17 @@ import (
 // documents "after Done" is race-free.
 type Handle struct {
 	id     uint64
+	tenant string
 	engine string
 	query  string
 
 	// Prepared-execution inputs (nil/empty for ordinary submissions).
 	prep *Prepared
 	args []string
+
+	// sink receives streamed result batches (nil for materializing
+	// submissions); see Req.Sink.
+	sink any
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -38,6 +43,14 @@ type Handle struct {
 
 // ID is the service-assigned query id (1-based, in submission order).
 func (h *Handle) ID() uint64 { return h.id }
+
+// Tenant is the tenant the query was billed to (DefaultTenant when the
+// submission did not name one).
+func (h *Handle) Tenant() string { return h.tenant }
+
+// Streaming reports whether the handle streams result batches to a
+// sink (Req.Sink); such handles have a nil Result.
+func (h *Handle) Streaming() bool { return h.sink != nil }
 
 // Engine is the engine name the query was submitted with (possibly
 // "auto" for prepared executions).

@@ -2,19 +2,22 @@
 // intra-query framework of internal/exec. It is an extension beyond the
 // paper (whose experiments are single-query, §6): the service runs many
 // simultaneous queries against one global worker budget, which is the
-// regime production engines actually live in — admission control bounds
-// how many queries execute at once, arrivals beyond the bound wait in a
-// FIFO queue, and every admitted query receives an equal share of the
-// worker budget for its morsel workers. Cancellation is first class: each
-// query runs under its own context.Context, threaded down to every morsel
-// dispatcher, so an abandoned query drains out of its scan loops within
-// one morsel. See DESIGN.md §5 for the policy discussion.
+// regime production engines actually live in. Admission control bounds
+// how many queries execute at once; arrivals beyond the bound wait in
+// per-tenant queues scheduled by deficit round robin, so one tenant
+// flooding the service cannot starve another (Config.FIFO restores the
+// legacy single-queue discipline for comparison). Queue-depth bounds
+// reject excess arrivals with a typed retry-after error, and a
+// morsel-level fairness controller throttles tenants running over their
+// fair worker share. Cancellation is first class: each query runs under
+// its own context.Context, threaded down to every morsel dispatcher, so
+// an abandoned query drains out of its scan loops within one morsel.
+// See DESIGN.md §5 and §11 for the policy discussion.
 //
 // The package is engine agnostic by construction: queries are executed
-// through an injected ExecFunc (wired to the facade's RunContext by
-// cmd/serve and the root package tests), so Typer and Tectorwise are
-// scheduled identically — the same property the paper engineered for the
-// intra-query layer.
+// through injected hooks (wired to the facade by cmd/serve and the root
+// package tests), so Typer and Tectorwise are scheduled identically —
+// the same property the paper engineered for the intra-query layer.
 package server
 
 import (
@@ -53,16 +56,29 @@ type PrepareFunc func(query string) (any, error)
 // applies.
 type ExecPreparedFunc func(ctx context.Context, engine string, stmt any, args []string, workers int) (result any, engineUsed string, err error)
 
+// ExecStreamFunc executes one ad-hoc query, flushing result batches to
+// sink as they are produced instead of materializing them (the facade
+// asserts sink to logical.RowSink and runs the backend's streaming
+// path). It returns the engine that actually ran.
+type ExecStreamFunc func(ctx context.Context, engine, query string, workers int, sink any) (engineUsed string, err error)
+
+// ExecPreparedStreamFunc is ExecStreamFunc for prepared executions.
+type ExecPreparedStreamFunc func(ctx context.Context, engine string, stmt any, args []string, workers int, sink any) (engineUsed string, err error)
+
 // Service errors.
 var (
-	// ErrOverloaded is returned by Submit when the FIFO admission queue
-	// is at MaxQueued.
+	// ErrOverloaded is the sentinel of queue-depth backpressure; actual
+	// rejections are *OverloadError values carrying the tenant and a
+	// retry-after estimate, and match this via errors.Is.
 	ErrOverloaded = errors.New("server: admission queue full")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("server: service closed")
 	// ErrNoPrepare is returned by Prepare/SubmitPrepared when the
 	// service was built without prepared-statement hooks.
 	ErrNoPrepare = errors.New("server: service has no prepared-statement support")
+	// ErrNoStream is returned by streaming submissions when the service
+	// was built without streaming hooks.
+	ErrNoStream = errors.New("server: service has no streaming support")
 )
 
 // Config configures a Service. The zero value of every optional field
@@ -70,7 +86,8 @@ var (
 type Config struct {
 	// Exec runs one query. Required.
 	Exec ExecFunc
-	// Validate, if non-nil, is applied to every successful result.
+	// Validate, if non-nil, is applied to every successful
+	// non-streaming result.
 	Validate ValidateFunc
 	// WorkerBudget is the total number of morsel workers shared by all
 	// running queries (0 = GOMAXPROCS). An admitted query gets an equal
@@ -80,15 +97,49 @@ type Config struct {
 	// parallelism instead.
 	WorkerBudget int
 	// MaxConcurrent bounds the number of queries executing at once
-	// (0 = max(4, WorkerBudget)). Arrivals beyond it queue FIFO.
+	// (0 = max(4, WorkerBudget)). Arrivals beyond it queue per tenant.
 	MaxConcurrent int
-	// MaxQueued bounds the FIFO queue (0 = unbounded). When the queue is
-	// full, Submit fails fast with ErrOverloaded.
+	// MaxQueued bounds the total queued count across all tenants (0 =
+	// unbounded). When full, submissions fail fast with *OverloadError.
 	MaxQueued int
+	// MaxQueuedPerTenant bounds each tenant's queue (0 = unbounded).
+	MaxQueuedPerTenant int
+	// MaxPerTenant bounds how many queries of one tenant execute at
+	// once (0 = no bound beyond MaxConcurrent). Under DRR a capped
+	// tenant is stepped over; under FIFO it blocks the head of line.
+	MaxPerTenant int
+	// TenantCaps overrides MaxPerTenant per tenant name — the quota
+	// knob that keeps one flooding tenant from occupying every slot
+	// with long queries while leaving other tenants uncapped.
+	TenantCaps map[string]int
+	// TenantWeights sets DRR weights (admissions per round) per tenant
+	// name; unlisted tenants weigh 1.
+	TenantWeights map[string]int
+	// FIFO selects the legacy global single-queue admission (arrival
+	// order across all tenants, no morsel-level yielding) instead of
+	// deficit round robin — kept for comparison benchmarks and the
+	// fairness regression tests.
+	FIFO bool
+	// YieldPause is the bounded per-morsel pause imposed on queries of
+	// an over-share tenant while other tenants have work (0 = 500µs).
+	YieldPause time.Duration
+	// MorselSize overrides the engines' default scan morsel size for
+	// queries run by this service (0 = exec.DefaultMorselSize). Morsel
+	// claims are where yield pauses and cancellation take effect, so a
+	// smaller quantum makes the fairness throttle proportionally more
+	// responsive — at ~1 atomic add per morsel of overhead.
+	MorselSize int
+	// Sleep, if non-nil, replaces time.Sleep for the yield pause —
+	// injectable for deterministic fairness tests.
+	Sleep func(time.Duration)
 	// Prep and ExecPrep enable the prepared-statement API (Prepare,
 	// SubmitPrepared, DoPrepared); both must be set together. Optional.
 	Prep     PrepareFunc
 	ExecPrep ExecPreparedFunc
+	// ExecStream and ExecPrepStream enable streaming submissions
+	// (Req.Sink non-nil). Optional.
+	ExecStream     ExecStreamFunc
+	ExecPrepStream ExecPreparedStreamFunc
 	// PlanCacheStats, if set, is polled by Stats to surface the plan
 	// cache's hit/miss/eviction counters.
 	PlanCacheStats func() (hits, misses, evictions uint64)
@@ -98,21 +149,54 @@ type Config struct {
 type waiter struct {
 	grant    chan int // receives the worker share when admitted
 	canceled bool     // set if the waiter gave up; skip on grant
+	t        *tenant  // owning tenant (for queue removal and caps)
+	share    int      // worker share granted (set by dispatch)
+}
+
+// Req describes one submission: which tenant it bills to, which engine
+// runs it, what to run (ad-hoc text or prepared statement + args), and
+// optionally where to stream result batches.
+type Req struct {
+	// Tenant attributes the query for scheduling and stats
+	// ("" = DefaultTenant).
+	Tenant string
+	// Engine is the execution backend ("typer", "tectorwise", or
+	// "auto" for prepared executions).
+	Engine string
+	// Query is the query name or ad-hoc SQL text (ignored for prepared
+	// submissions, which carry their text).
+	Query string
+	// Prep, if non-nil, makes this a prepared execution with Args.
+	Prep *Prepared
+	Args []string
+	// Sink, if non-nil, streams result batches to it instead of
+	// materializing the result (the facade's hooks define the concrete
+	// sink type; validation is skipped for streams).
+	Sink any
 }
 
 // Service is a concurrent query execution service: bounded concurrency,
-// FIFO admission, per-query cancellation, aggregate stats. All methods are
-// safe for concurrent use.
+// per-tenant deficit-round-robin admission, queue-depth backpressure,
+// per-query cancellation, streaming execution, aggregate and per-tenant
+// stats. All methods are safe for concurrent use.
 type Service struct {
-	cfg Config
+	cfg        Config
+	yieldPause time.Duration
+	sleep      func(time.Duration)
 
 	mu      sync.Mutex
-	running int       // queries currently executing
-	granted int       // morsel workers granted to running queries
-	queue   []*waiter // FIFO admission queue
+	running int // queries currently executing
+	granted int // morsel workers granted to running queries
+	nQueued int // waiters across all queues
+	tenants map[string]*tenant
+	ring    []*tenant // DRR active ring (tenants with queued work)
+	ringIdx int
+	fifo    []*waiter // legacy global queue (Config.FIFO)
 	closed  bool
 	nextID  uint64
 	st      statsAcc
+
+	execEWMA time.Duration // service-wide smoothed execution time
 
 	wg      sync.WaitGroup // in-flight queries, for Close
 	started time.Time
@@ -130,17 +214,31 @@ func New(cfg Config) *Service {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = max(4, cfg.WorkerBudget)
 	}
-	return &Service{cfg: cfg, started: time.Now()}
+	s := &Service{
+		cfg:        cfg,
+		yieldPause: cfg.YieldPause,
+		sleep:      cfg.Sleep,
+		tenants:    make(map[string]*tenant),
+		started:    time.Now(),
+	}
+	if s.yieldPause <= 0 {
+		s.yieldPause = defaultYieldPause
+	}
+	if s.sleep == nil {
+		s.sleep = time.Sleep
+	}
+	return s
 }
 
-// Submit enqueues a query for execution and returns immediately with its
-// handle. Admission is decided inside Submit, so FIFO order is exactly
-// Submit-call order. ctx governs the whole lifetime of the query:
-// canceling it while queued abandons the admission slot, canceling it
-// while running drains the morsel workers. Submit itself only fails fast:
-// ErrClosed after Close, ErrOverloaded when the bounded queue is full.
+// Submit enqueues a query for execution under the default tenant and
+// returns immediately with its handle. Admission is decided by the
+// scheduler (FIFO within a tenant, deficit round robin across tenants).
+// ctx governs the whole lifetime of the query: canceling it while
+// queued abandons the admission slot, canceling it while running drains
+// the morsel workers. Submit itself only fails fast: ErrClosed after
+// Close, *OverloadError when a queue bound is hit.
 func (s *Service) Submit(ctx context.Context, engine, query string) (*Handle, error) {
-	return s.submit(ctx, engine, query, nil, nil)
+	return s.SubmitReq(ctx, Req{Engine: engine, Query: query})
 }
 
 // Prepare turns a SQL text into a prepared statement via the injected
@@ -167,16 +265,14 @@ func (s *Service) Prepare(query string) (*Prepared, error) {
 }
 
 // SubmitPrepared enqueues one execution of a prepared statement with
-// the given argument texts (one per `?` placeholder). Admission, FIFO
-// order, cancellation, and the worker-share grant are exactly Submit's;
-// only the execution path differs — no parse or plan, and an "auto"
-// engine resolves per execution through the statement's adaptive
-// router (Handle.EngineUsed reports the resolved engine after Done).
+// the given argument texts (one per `?` placeholder) under the default
+// tenant. Admission, cancellation, and the worker-share grant are
+// exactly Submit's; only the execution path differs — no parse or
+// plan, and an "auto" engine resolves per execution through the
+// statement's adaptive router (Handle.EngineUsed reports the resolved
+// engine after Done).
 func (s *Service) SubmitPrepared(ctx context.Context, engine string, p *Prepared, args ...string) (*Handle, error) {
-	if s.cfg.ExecPrep == nil {
-		return nil, ErrNoPrepare
-	}
-	return s.submit(ctx, engine, p.query, p, args)
+	return s.SubmitReq(ctx, Req{Engine: engine, Prep: p, Args: args})
 }
 
 // DoPrepared submits a prepared execution and waits for its result.
@@ -188,26 +284,52 @@ func (s *Service) DoPrepared(ctx context.Context, engine string, p *Prepared, ar
 	return h.Wait(ctx)
 }
 
-// submit is the shared admission path of Submit and SubmitPrepared.
-func (s *Service) submit(ctx context.Context, engine, query string, prep *Prepared, args []string) (*Handle, error) {
+// SubmitReq is the general submission entry point: tenant attribution,
+// prepared executions, and streaming all go through it. It validates
+// the request against the configured hooks, then runs the shared
+// admission path.
+func (s *Service) SubmitReq(ctx context.Context, req Req) (*Handle, error) {
+	query := req.Query
+	if req.Prep != nil {
+		if s.cfg.ExecPrep == nil {
+			return nil, ErrNoPrepare
+		}
+		if req.Sink != nil && s.cfg.ExecPrepStream == nil {
+			return nil, ErrNoStream
+		}
+		query = req.Prep.query
+	} else if req.Sink != nil && s.cfg.ExecStream == nil {
+		return nil, ErrNoStream
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	free := s.running < s.cfg.MaxConcurrent && len(s.queue) == 0
-	if !free && s.cfg.MaxQueued > 0 && len(s.queue) >= s.cfg.MaxQueued {
-		s.st.rejected++
-		s.mu.Unlock()
-		return nil, ErrOverloaded
+	t := s.tenantOf(req.Tenant)
+	free := s.running < s.cfg.MaxConcurrent && t.running < s.tenantCap(t) &&
+		len(t.queue) == 0 && (!s.cfg.FIFO || len(s.fifo) == 0)
+	if !free {
+		full := (s.cfg.MaxQueued > 0 && s.nQueued >= s.cfg.MaxQueued) ||
+			(s.cfg.MaxQueuedPerTenant > 0 && len(t.queue) >= s.cfg.MaxQueuedPerTenant)
+		if full {
+			s.st.rejected++
+			t.rejected++
+			err := &OverloadError{Tenant: t.name, Queued: len(t.queue), RetryAfter: s.retryAfter(t)}
+			s.mu.Unlock()
+			return nil, err
+		}
 	}
 	s.nextID++
 	h := &Handle{
 		id:        s.nextID,
-		engine:    engine,
+		tenant:    t.name,
+		engine:    req.Engine,
 		query:     query,
-		prep:      prep,
-		args:      args,
+		prep:      req.Prep,
+		args:      req.Args,
+		sink:      req.Sink,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
@@ -217,16 +339,18 @@ func (s *Service) submit(ctx context.Context, engine, query string, prep *Prepar
 	var share int
 	if free {
 		s.running++
-		share = s.share()
+		t.running++
+		share = s.shareFor(t)
+		t.granted += share
+		s.recomputeThrottles()
 	} else {
-		w = &waiter{grant: make(chan int, 1)}
-		s.queue = append(s.queue, w)
-		s.st.queuedHighWater = max(s.st.queuedHighWater, len(s.queue))
+		w = &waiter{grant: make(chan int, 1), t: t}
+		s.enqueue(w)
 	}
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	go s.run(h, qctx, w, share)
+	go s.run(h, qctx, t, w, share)
 	return h, nil
 }
 
@@ -239,10 +363,19 @@ func (s *Service) Do(ctx context.Context, engine, query string) (any, error) {
 	return h.Wait(ctx)
 }
 
+// DoReq submits a request and waits for its result.
+func (s *Service) DoReq(ctx context.Context, req Req) (any, error) {
+	h, err := s.SubmitReq(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait(ctx)
+}
+
 // run is the per-query goroutine: admission wait (if queued) → execution
-// → validation → stats → release. w is nil when Submit admitted the query
-// immediately, in which case share is its worker grant.
-func (s *Service) run(h *Handle, ctx context.Context, w *waiter, share int) {
+// → validation → stats → release. w is nil when SubmitReq admitted the
+// query immediately, in which case share is its worker grant.
+func (s *Service) run(h *Handle, ctx context.Context, t *tenant, w *waiter, share int) {
 	defer s.wg.Done()
 	defer h.cancel()
 
@@ -250,7 +383,7 @@ func (s *Service) run(h *Handle, ctx context.Context, w *waiter, share int) {
 		var err error
 		share, err = s.await(ctx, w)
 		if err != nil {
-			s.finish(h, nil, err)
+			s.finish(h, t, nil, err)
 			return
 		}
 	}
@@ -260,23 +393,40 @@ func (s *Service) run(h *Handle, ctx context.Context, w *waiter, share int) {
 	var res any
 	var err error
 	mctx := exec.WithMorselCounter(ctx, &s.morsels)
-	if h.prep != nil {
+	if s.cfg.MorselSize > 0 {
+		mctx = exec.WithMorselSize(mctx, s.cfg.MorselSize)
+	}
+	// Morsel-level yielding: every dispatcher of this query calls back
+	// between morsels; the pause is whatever the fairness controller
+	// currently imposes on this query's tenant (usually zero).
+	mctx = exec.WithYield(mctx, func() {
+		if p := t.throttle.Load(); p > 0 {
+			s.sleep(time.Duration(p))
+		}
+	})
+	switch {
+	case h.sink != nil && h.prep != nil:
+		h.ran, err = s.cfg.ExecPrepStream(mctx, h.engine, h.prep.stmt, h.args, share, h.sink)
+	case h.sink != nil:
+		h.ran, err = s.cfg.ExecStream(mctx, h.engine, h.query, share, h.sink)
+	case h.prep != nil:
 		res, h.ran, err = s.cfg.ExecPrep(mctx, h.engine, h.prep.stmt, h.args, share)
-	} else {
+	default:
 		res, err = s.cfg.Exec(mctx, h.engine, h.query, share)
 		h.ran = h.engine
 	}
+	execTime := time.Since(h.started)
 	// Release before validating: validation uses no morsel workers, so
 	// holding the slot (and the worker grant) through it would stall
 	// admission for pure bookkeeping.
-	s.release(share)
-	if err == nil && s.cfg.Validate != nil {
+	s.release(t, share, execTime, err == nil)
+	if err == nil && h.sink == nil && s.cfg.Validate != nil {
 		err = s.cfg.Validate(h.query, res)
 	}
-	s.finish(h, res, err)
+	s.finish(h, t, res, err)
 }
 
-// await blocks until the queued waiter is granted a slot (FIFO) or ctx is
+// await blocks until the queued waiter is granted a slot or ctx is
 // done. On success it returns this query's worker share.
 func (s *Service) await(ctx context.Context, w *waiter) (int, error) {
 	select {
@@ -293,54 +443,37 @@ func (s *Service) await(ctx context.Context, w *waiter) (int, error) {
 		default:
 			w.canceled = true
 			// Dequeue now so the dead waiter stops counting against
-			// MaxQueued and Stats.Queued.
-			for i, qw := range s.queue {
-				if qw == w {
-					s.queue = append(s.queue[:i], s.queue[i+1:]...)
-					break
-				}
-			}
+			// the queue bounds and Stats.Queued.
+			s.unqueue(w)
 			s.mu.Unlock()
 			return 0, ctx.Err()
 		}
 	}
 }
 
-// release returns a slot (and its workers) and hands the slot to the
-// first live queued waiter. Caller must not hold s.mu.
-func (s *Service) release(workers int) {
+// release returns a slot (and its workers), feeds the retry-after
+// estimator, and admits whatever the scheduler picks next. Caller must
+// not hold s.mu.
+func (s *Service) release(t *tenant, workers int, execTime time.Duration, ok bool) {
 	s.mu.Lock()
 	s.running--
 	s.granted -= workers
-	for len(s.queue) > 0 {
-		w := s.queue[0]
-		s.queue = s.queue[1:]
-		if w.canceled {
-			continue
+	t.running--
+	t.granted -= workers
+	if ok {
+		t.observeExec(execTime)
+		if s.execEWMA == 0 {
+			s.execEWMA = execTime
+		} else {
+			s.execEWMA = (s.execEWMA*7 + execTime) / 8
 		}
-		s.running++
-		w.grant <- s.share()
-		break
 	}
+	s.dispatch()
 	s.mu.Unlock()
 }
 
-// share computes the worker share of a newly admitted query: an equal
-// split of the budget by running-query count, additionally capped by the
-// budget not yet granted to still-running queries so that admissions
-// during a concurrency ramp-up cannot oversubscribe the budget (a lone
-// query holding the full budget forces arrivals down to one worker until
-// it finishes). The one-worker floor means the budget is soft once
-// MaxConcurrent exceeds it. Caller holds s.mu; the returned share is
-// recorded as granted.
-func (s *Service) share() int {
-	w := max(1, min(s.cfg.WorkerBudget-s.granted, s.cfg.WorkerBudget/max(1, s.running)))
-	s.granted += w
-	return w
-}
-
 // finish records the query's outcome and releases its waiters.
-func (s *Service) finish(h *Handle, res any, err error) {
+func (s *Service) finish(h *Handle, t *tenant, res any, err error) {
 	h.finished = time.Now()
 	h.latency.Store(int64(h.finished.Sub(h.submitted)) | 1) // non-zero even for a 0ns query
 	if err != nil {
@@ -348,12 +481,18 @@ func (s *Service) finish(h *Handle, res any, err error) {
 	} else {
 		h.result = res
 	}
+	lat := h.finished.Sub(h.submitted)
 	s.mu.Lock()
 	switch {
 	case err == nil:
 		s.st.served++
+		t.served++
 		if h.prep != nil {
 			s.st.preparedServed++
+		}
+		if h.sink != nil {
+			s.st.streamedServed++
+			t.streamed++
 		}
 		if s.st.perEngine == nil {
 			s.st.perEngine = make(map[string]uint64)
@@ -366,11 +505,14 @@ func (s *Service) finish(h *Handle, res any, err error) {
 			eng = h.engine
 		}
 		s.st.perEngine[eng]++
-		s.st.record(h.finished.Sub(h.submitted))
+		s.st.record(lat)
+		t.record(lat)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.st.canceled++
+		t.canceled++
 	default:
 		s.st.failed++
+		t.failed++
 	}
 	s.mu.Unlock()
 	close(h.done)
@@ -390,10 +532,15 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.st.snapshot()
+	st.Submitted = s.nextID
 	st.InFlight = s.running
-	st.Queued = len(s.queue)
+	st.Queued = s.nQueued
 	st.MorselsDispatched = s.morsels.Load()
 	st.Uptime = time.Since(s.started)
+	st.Tenants = make(map[string]TenantStats, len(s.tenants))
+	for name, t := range s.tenants {
+		st.Tenants[name] = t.snapshot()
+	}
 	if s.cfg.PlanCacheStats != nil {
 		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions = s.cfg.PlanCacheStats()
 	}

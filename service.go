@@ -6,7 +6,9 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"time"
 
+	"paradigms/internal/compiled"
 	"paradigms/internal/logical"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/server"
@@ -32,6 +34,20 @@ type ServiceOptions struct {
 	// prepcache.DefaultCapacity). Statements evicted under pressure
 	// simply re-prepare on their next Prepare call.
 	PlanCacheSize int
+	// MaxQueuedPerTenant, MaxPerTenant, TenantCaps, TenantWeights, and
+	// FIFO configure the per-tenant scheduler; see server.Config.
+	MaxQueuedPerTenant int
+	MaxPerTenant       int
+	TenantCaps         map[string]int
+	TenantWeights      map[string]int
+	FIFO               bool
+	// StreamChunk is the row-batch granularity of streaming submissions
+	// (0 = logical.DefaultStreamChunk).
+	StreamChunk int
+	// YieldPause and MorselSize tune the morsel-level fairness throttle;
+	// see server.Config.
+	YieldPause time.Duration
+	MorselSize int
 }
 
 // NewService builds a concurrent query service over the given databases.
@@ -57,9 +73,16 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 
 	cache := prepcache.New(opt.PlanCacheSize)
 	cfg := server.Config{
-		WorkerBudget:  opt.WorkerBudget,
-		MaxConcurrent: opt.MaxConcurrent,
-		MaxQueued:     opt.MaxQueued,
+		WorkerBudget:       opt.WorkerBudget,
+		MaxConcurrent:      opt.MaxConcurrent,
+		MaxQueued:          opt.MaxQueued,
+		MaxQueuedPerTenant: opt.MaxQueuedPerTenant,
+		MaxPerTenant:       opt.MaxPerTenant,
+		TenantCaps:         opt.TenantCaps,
+		TenantWeights:      opt.TenantWeights,
+		FIFO:               opt.FIFO,
+		YieldPause:         opt.YieldPause,
+		MorselSize:         opt.MorselSize,
 		Exec: func(ctx context.Context, engine, query string, workers int) (any, error) {
 			db, err := route(query)
 			if err != nil {
@@ -100,6 +123,50 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 				return nil, used, err
 			}
 			return res, used, nil
+		},
+		// Streaming execution: result batches flush to the submission's
+		// sink as each morsel-merge completes instead of materializing
+		// (logical.RowSink — see internal/logical/stream.go for when
+		// streaming is truly incremental). The network front-end
+		// (internal/proto) is the sink's main producer; validation is
+		// skipped for streams, and the SQL cross-engine equivalence suite
+		// covers streamed-vs-materialized instead.
+		ExecStream: func(ctx context.Context, engine, query string, workers int, sink any) (string, error) {
+			rs, ok := sink.(logical.RowSink)
+			if !ok {
+				return engine, fmt.Errorf("paradigms: stream sink must implement logical.RowSink (got %T)", sink)
+			}
+			if !sql.IsQuery(query) {
+				return engine, fmt.Errorf("paradigms: only ad-hoc SQL texts can stream (got query name %q)", query)
+			}
+			db, err := route(query)
+			if err != nil {
+				return engine, err
+			}
+			pl, err := logical.Prepare(db, query)
+			if err != nil {
+				return engine, err
+			}
+			switch engine {
+			case string(Typer):
+				return engine, compiled.ExecuteStream(ctx, pl, workers, opt.StreamChunk, rs)
+			case string(Tectorwise):
+				return engine, pl.ExecuteStream(ctx, workers, opt.VectorSize, opt.StreamChunk, rs)
+			default:
+				return engine, fmt.Errorf("paradigms: engine %q cannot stream ad-hoc SQL (use %s or %s)", engine, Typer, Tectorwise)
+			}
+		},
+		ExecPrepStream: func(ctx context.Context, engine string, stmt any, args []string, workers int, sink any) (string, error) {
+			rs, ok := sink.(logical.RowSink)
+			if !ok {
+				return engine, fmt.Errorf("paradigms: stream sink must implement logical.RowSink (got %T)", sink)
+			}
+			st := stmt.(*prepcache.Statement)
+			vals, err := st.BindTexts(args)
+			if err != nil {
+				return engine, err
+			}
+			return st.ExecuteStream(ctx, engine, vals, workers, opt.VectorSize, opt.StreamChunk, rs)
 		},
 		PlanCacheStats: func() (hits, misses, evictions uint64) {
 			hits, misses, evictions, _ = cache.Stats()
