@@ -9,11 +9,15 @@ import (
 	"sync"
 	"testing"
 
+	"context"
+
 	"paradigms/internal/bench"
+	"paradigms/internal/compiled"
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/iosim"
+	"paradigms/internal/logical"
 	"paradigms/internal/microsim"
 	"paradigms/internal/plan"
 	"paradigms/internal/queries"
@@ -500,6 +504,50 @@ func BenchmarkFig13Hybrid(b *testing.B) {
 			plan.Q3(db, 1, 0)
 		}
 	})
+}
+
+// BenchmarkHybridVsPure — the generic per-pipeline hybrid executor
+// against both pure SQL backends on the same optimized plans: the
+// cost heuristic sends build and filter-only pipelines to the fused
+// backend (no materialization) and the probing final pipelines to the
+// vectorized one (overlapped cache misses), so the hybrid should beat
+// whichever pure engine loses each pipeline class. Single-threaded,
+// like the paper's per-paradigm comparisons; headline numbers in
+// EXPERIMENTS.md.
+func BenchmarkHybridVsPure(b *testing.B) {
+	db, _, _ := benchDBs()
+	ctx := context.Background()
+	for _, name := range []string{"Q3", "Q5"} {
+		text, ok := logical.SQLText("tpch", name)
+		if !ok {
+			b.Fatalf("no canonical %s SQL text", name)
+		}
+		pl, err := logical.Prepare(db, text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/typer", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compiled.Execute(ctx, pl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/tectorwise", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.Execute(ctx, 1, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/hybrid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hybrid.Execute(ctx, pl, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkInterpretationOverhead — the paper's §1 motivation quantified:

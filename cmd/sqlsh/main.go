@@ -2,9 +2,10 @@
 // and SSB databases: statements parse, bind, and optimize once, then
 // lower onto the engine selected with \engine — the Tectorwise
 // vectorized operator layer (default), the Typer-style compiled fused
-// pipelines, or auto, which routes each execution to whichever backend
-// the statement's adaptive router measures as faster — and run
-// morsel-parallel. Every statement's optimized plan is held in an LRU
+// pipelines, hybrid, which runs each pipeline of the query on
+// whichever paradigm its per-pipeline router prefers, or auto, which
+// routes each execution to whichever backend the statement's adaptive
+// router measures as faster — and run morsel-parallel. Every statement's optimized plan is held in an LRU
 // plan cache keyed on the normalized SQL text, so re-running a
 // statement skips parse, bind, and plan.
 //
@@ -18,7 +19,8 @@
 //	\tables            list tables of both catalogs
 //	\d <table>         describe a table
 //	\engine [name]     show or switch the execution backend
-//	                   (typer | tectorwise | auto; tw is shorthand)
+//	                   (typer | tectorwise | hybrid | auto; tw is
+//	                   shorthand)
 //	\prepare           list the named prepared statements and their
 //	                   per-engine routing state
 //	\prepare <name> <sql>
@@ -30,7 +32,9 @@
 //	\q                 quit
 //	explain <query>    print the backend and plan instead of running:
 //	                   the optimized logical plan, plus the compiled
-//	                   pipeline decomposition under \engine typer
+//	                   pipeline decomposition under \engine typer and
+//	                   the per-pipeline engine assignment under
+//	                   \engine hybrid
 //
 // Example session:
 //
@@ -58,6 +62,7 @@ import (
 
 	"paradigms"
 	"paradigms/internal/compiled"
+	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/registry"
@@ -69,7 +74,7 @@ func main() {
 	ssbsf := flag.Float64("ssbsf", 0.05, "SSB scale factor")
 	workers := flag.Int("workers", 0, "morsel workers per query (0 = GOMAXPROCS)")
 	vecSize := flag.Int("vecsize", 0, "vector size (0 = default; vectorized engine only)")
-	engine := flag.String("engine", registry.Tectorwise, "initial engine (typer | tectorwise | auto)")
+	engine := flag.String("engine", registry.Tectorwise, "initial engine (typer | tectorwise | hybrid | auto)")
 	flag.Parse()
 
 	eng, ok := engineName(*engine)
@@ -98,6 +103,8 @@ func engineName(s string) (string, bool) {
 		return registry.Typer, true
 	case registry.Tectorwise, "tw":
 		return registry.Tectorwise, true
+	case registry.Hybrid:
+		return registry.Hybrid, true
 	case prepcache.Auto:
 		return prepcache.Auto, true
 	}
@@ -205,7 +212,7 @@ func (sh *shell) meta(cmd string) bool {
 		}
 		eng, ok := engineName(fields[1])
 		if !ok {
-			fmt.Fprintf(sh.out, "unknown engine %q (typer | tectorwise | auto)\n", fields[1])
+			fmt.Fprintf(sh.out, "unknown engine %q (typer | tectorwise | hybrid | auto)\n", fields[1])
 			return false
 		}
 		sh.engine = eng
@@ -293,7 +300,8 @@ func (sh *shell) statement(stmt string) {
 
 // runStatement executes a cached statement with bound values on the
 // shell's engine; "auto" resolves through the statement's router and
-// the resolved backend is reported next to the timing.
+// the resolved backend is reported next to the timing, and hybrid
+// executions report their per-pipeline assignment ("hybrid[t,v]").
 func (sh *shell) runStatement(st *prepcache.Statement, vals []int64) {
 	start := sh.clock()
 	res, used, err := st.Execute(context.Background(), sh.engine, vals, sh.workers, sh.vecSize)
@@ -303,9 +311,12 @@ func (sh *shell) runStatement(st *prepcache.Statement, vals []int64) {
 	}
 	fmt.Fprint(sh.out, strings.TrimSuffix(res.String(), "\n"))
 	elapsed := sh.clock().Sub(start).Round(100 * time.Microsecond)
-	if sh.engine == prepcache.Auto {
+	switch {
+	case sh.engine == prepcache.Auto:
 		fmt.Fprintf(sh.out, "  [%s auto→%s]\n", elapsed, used)
-	} else {
+	case used != sh.engine:
+		fmt.Fprintf(sh.out, "  [%s %s]\n", elapsed, used)
+	default:
 		fmt.Fprintf(sh.out, "  [%s]\n", elapsed)
 	}
 }
@@ -340,7 +351,8 @@ func plural(n int) string {
 }
 
 // explain prints the selected backend, the optimized logical plan, and
-// — for the compiled engine — the fused pipeline decomposition.
+// — for the compiled and hybrid engines — the fused pipeline
+// decomposition (with the hybrid's per-pipeline engine assignment).
 func (sh *shell) explain(db *storage.Database, stmt string) {
 	pl, err := logical.Prepare(db, stmt)
 	if err != nil {
@@ -352,6 +364,15 @@ func (sh *shell) explain(db *storage.Database, stmt string) {
 		fmt.Fprintln(sh.out, "backend: typer (compiled fused pipelines)")
 		fmt.Fprint(sh.out, pl.Format())
 		shape, err := compiled.Explain(pl)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return
+		}
+		fmt.Fprint(sh.out, shape)
+	case registry.Hybrid:
+		fmt.Fprintln(sh.out, "backend: hybrid (per-pipeline engine routing)")
+		fmt.Fprint(sh.out, pl.Format())
+		shape, err := hybrid.Explain(pl)
 		if err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 			return

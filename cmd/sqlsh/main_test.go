@@ -17,8 +17,10 @@ var update = flag.Bool("update", false, "rewrite the REPL session golden file")
 
 // TestREPLSession drives the shell with a scripted stdin over small
 // synthetic databases and pins the full transcript: \tables, \d, the
-// \engine switch, explain on both backends, query execution on both
-// backends, prepared statements (\prepare/\execute with `?` arguments,
+// \engine switch, explain on all three backends (including the
+// hybrid's per-pipeline engine assignment), query execution on all
+// three backends (hybrid executions report their assignment next to
+// the timing), prepared statements (\prepare/\execute with `?` arguments,
 // the \prepare listing with router arm counts, argument errors), one
 // deterministic auto-routed execution, an error diagnostic, and an
 // unknown meta command. The clock is frozen so timings render as [0s].
@@ -38,6 +40,13 @@ func TestREPLSession(t *testing.T) {
 		`explain select sum(lo_revenue) from lineorder, date where lo_orderdate = d_datekey and d_year = 1993;`,
 		`\engine typer`,
 		`select count(*) from orders;`,
+		`explain select sum(lo_revenue) from lineorder, date where lo_orderdate = d_datekey and d_year = 1993;`,
+		`\engine hybrid`,
+		`select count(*) from orders;`,
+		`select o_custkey, count(*) as n`,
+		`from orders, customer`,
+		`where o_custkey = c_custkey and c_custkey <= 3`,
+		`group by o_custkey order by 1;`,
 		`explain select sum(lo_revenue) from lineorder, date where lo_orderdate = d_datekey and d_year = 1993;`,
 		`\engine bogus`,
 		`\engine tw`,

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"paradigms/internal/compiled"
+	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
 	"paradigms/internal/sqlcheck"
 	"paradigms/internal/storage"
@@ -46,6 +47,14 @@ func checkDifferential(t *testing.T, db *storage.Database, text string, cfg diff
 		if !sqlcheck.SameRows(sqlcheck.Canon(res.Rows), wantC) {
 			t.Errorf("compiled w=%d differs from oracle for %q\n got %v\nwant %v",
 				workers, text, clip(res.Rows), clip(want))
+		}
+		hres, err := hybrid.Run(ctx, db, text, workers)
+		if err != nil {
+			t.Fatalf("hybrid w=%d failed for %q: %v", workers, text, err)
+		}
+		if !sqlcheck.SameRows(sqlcheck.Canon(hres.Rows), wantC) {
+			t.Errorf("hybrid w=%d differs from oracle for %q\n got %v\nwant %v",
+				workers, text, clip(hres.Rows), clip(want))
 		}
 		for _, vec := range cfg.vecSizes {
 			lres, err := logical.Run(ctx, db, text, workers, vec)

@@ -9,6 +9,7 @@ import (
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/logical"
+	"paradigms/internal/simd"
 	"paradigms/internal/storage"
 )
 
@@ -318,50 +319,101 @@ func (p *pipe) run(sink func(i int, fr []int64)) {
 	}
 }
 
+// probeBlock is the staging granularity of runScanProbe32's filter: the
+// bound check runs branch-free over a cache-resident block (the SWAR
+// kernel of internal/simd), and only qualifying positions reach the
+// probe loop — a micro-vectorized stage inside an otherwise fused
+// pipeline, per the paper's observation that data-parallel filter work
+// is where SIMD pays even in a compiled engine (§5).
+const probeBlock = 1024
+
 // runScanProbe32: at most one 32-bit range bound and one 32-bit-keyed
 // residual-free probe — the exact shape of every pipeline of Q3 and
 // Q18, kept register-resident.
 func (p *pipe) runScanProbe32(frame []int64, sink func(i int, fr []int64)) {
-	var (
-		c32    []int32
-		lo, hi int64
-	)
-	if len(p.filt.b32) > 0 {
-		c32, lo, hi = p.filt.b32[0].col, p.filt.b32[0].lo, p.filt.b32[0].hi
-	}
 	st := p.steps[0]
 	k32 := st.key32
 	ht := st.build.ht
 	gath := st.gathers
+	if len(p.filt.b32) == 0 {
+		// No bound: plain probe loop, no staging.
+		for {
+			m, ok := p.disp.Next()
+			if !ok {
+				return
+			}
+		rows:
+			for i := m.Begin; i < m.End; i++ {
+				k := uint64(uint32(k32[i]))
+				ref := ht.Lookup(hashtable.Mix64(k))
+				for {
+					if ref == 0 {
+						continue rows
+					}
+					if row := ht.Row(ref); row[0] == k {
+						for _, g := range gath {
+							frame[g.slot] = int64(row[g.word])
+						}
+						break
+					}
+					ref = ht.Next(ref)
+				}
+				sink(i, frame)
+			}
+		}
+	}
+	c32, lo, hi := p.filt.b32[0].col, p.filt.b32[0].lo, p.filt.b32[0].hi
+	if lo > hi || lo > math.MaxInt32 || hi < math.MinInt32 {
+		return // empty range, or bound excludes every 32-bit value
+	}
+	lo32, hi32 := int32(max64(lo, math.MinInt32)), int32(min64(hi, math.MaxInt32))
+	sel := make([]int32, probeBlock)
 	for {
 		m, ok := p.disp.Next()
 		if !ok {
 			return
 		}
-	rows:
-		for i := m.Begin; i < m.End; i++ {
-			if c32 != nil {
-				if v := int64(c32[i]); v < lo || v > hi {
-					continue rows
-				}
+		for base := m.Begin; base < m.End; base += probeBlock {
+			end := base + probeBlock
+			if end > m.End {
+				end = m.End
 			}
-			k := uint64(uint32(k32[i]))
-			ref := ht.Lookup(hashtable.Mix64(k))
-			for {
-				if ref == 0 {
-					continue rows
-				}
-				if row := ht.Row(ref); row[0] == k {
-					for _, g := range gath {
-						frame[g.slot] = int64(row[g.word])
+			nk := simd.SelectRange(c32[base:end], lo32, hi32, sel)
+		matches:
+			for j := 0; j < nk; j++ {
+				i := base + int(sel[j])
+				k := uint64(uint32(k32[i]))
+				ref := ht.Lookup(hashtable.Mix64(k))
+				for {
+					if ref == 0 {
+						continue matches
 					}
-					break
+					if row := ht.Row(ref); row[0] == k {
+						for _, g := range gath {
+							frame[g.slot] = int64(row[g.word])
+						}
+						break
+					}
+					ref = ht.Next(ref)
 				}
-				ref = ht.Next(ref)
+				sink(i, frame)
 			}
-			sink(i, frame)
 		}
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // bounds returns the unrolled range-bound locals of the filter cascade

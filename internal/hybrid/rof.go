@@ -1,15 +1,19 @@
-// Package hybrid implements relaxed operator fusion (ROF, §9.1 of the
-// paper — Peloton's model): data-centric pipelines with *selective*
-// materialization boundaries.
-//
+// Hand-written relaxed operator fusion (ROF, §9.1 — Peloton's model):
+// data-centric pipelines with *selective* materialization boundaries.
 // The paper positions ROF between the two base paradigms (Figure 13):
 // pipelines stay fused like Typer's, but at points where out-of-order
-// latency hiding matters — hash-table probes — the pipeline breaks into
-// small batches: a fused stage materializes probe keys into a vector, a
-// tight probe loop generates many independent loads (the Tectorwise
-// advantage), and a fused tail consumes the matches. This package
-// implements ROF variants of the join-heavy queries so the design point
-// can be measured against both base engines (the `rof` ablation bench).
+// latency hiding matters — hash-table probes — the pipeline breaks
+// into small batches: a fused stage materializes probe keys into a
+// vector, a tight probe loop generates many independent loads (the
+// Tectorwise advantage), and a fused tail consumes the matches.
+//
+// This file is the *ablation oracle* of the generic per-pipeline
+// executor (engine.go): the one hand-rolled ROF monolith kept after
+// the plan-driven path reproduced its numbers, pinned by
+// TestGenericHybridMatchesHandWrittenROF and measured by
+// BenchmarkFig13Hybrid. Everything new goes through the generic
+// executor; do not add further hand-written variants here.
+
 package hybrid
 
 import (

@@ -287,9 +287,9 @@ func fastCmpPred(ps *pipeSpec, f sql.Expr) (plan.Pred, bool) {
 	rel := ps.scan.Table.Rel
 	switch ref.Col.Type.Kind {
 	case catalog.Int32:
-		return ordPred(rel.Int32(ref.Col.Name), int32(lit), op)
+		return ordPred32(rel.Int32(ref.Col.Name), int32(lit), op)
 	case catalog.Date:
-		return ordPred(rel.Date(ref.Col.Name), types.Date(lit), op)
+		return ordPred32(rel.Date(ref.Col.Name), types.Date(lit), op)
 	case catalog.Numeric:
 		return ordPred(rel.Numeric(ref.Col.Name), types.Numeric(lit), op)
 	case catalog.Int64:
@@ -306,6 +306,25 @@ func literalValue(e sql.Expr) (int64, bool) {
 		return int64(x.Days), true
 	}
 	return 0, false
+}
+
+// ordPred32 is ordPred for 32-bit columns (Int32, Date), routed through
+// internal/simd's SWAR and unrolled selection kernels; equality keeps
+// the tw primitive.
+func ordPred32[T ~int32](col []T, v T, op sql.BinOp) (plan.Pred, bool) {
+	switch op {
+	case sql.OpEq:
+		return plan.PredEq(col, v), true
+	case sql.OpGe:
+		return plan.PredGE32(col, v), true
+	case sql.OpGt:
+		return plan.PredGT32(col, v), true
+	case sql.OpLe:
+		return plan.PredLE32(col, v), true
+	case sql.OpLt:
+		return plan.PredLT32(col, v), true
+	}
+	return plan.Pred{}, false
 }
 
 func ordPred[T interface {

@@ -415,16 +415,28 @@ func MergeGlobal(agg *Aggregate, partials []GlobalPartial) []int64 {
 // ---------------------------------------------------------------------
 
 // worker holds one worker's buffer arena and the gathered-column
-// buffers of each pipeline.
+// buffers of each pipeline. A non-nil hash overrides the probe-side
+// hash function of every join table (the hybrid executor's Mix64
+// standardization); nil keeps the engine default.
 type worker struct {
 	bufs   *vector.Buffers
 	colBuf map[*pipeSpec]map[*catalog.Column][]uint64
 	ones   []int64
+	hash   plan.HashFn
 }
 
 // pipeOps assembles the operator tree of one pipeline for this worker.
 func (w *worker) pipeOps(ps *pipeSpec, e *plan.Exec) plan.Operator {
-	var op plan.Operator = e.NewScan(ps.disp)
+	op, _ := w.pipeRoot(ps, e)
+	return op
+}
+
+// pipeRoot is pipeOps also returning the root scan operator, so callers
+// that retune the vector size mid-flight (micro-adaptive sizing) keep a
+// handle on it.
+func (w *worker) pipeRoot(ps *pipeSpec, e *plan.Exec) (plan.Operator, *plan.Scan) {
+	scan := e.NewScan(ps.disp)
+	var op plan.Operator = scan
 	if preds := w.filterPreds(ps); len(preds) > 0 {
 		op = plan.NewFilterChain(w.bufs, op, preds...)
 	}
@@ -432,7 +444,7 @@ func (w *worker) pipeOps(ps *pipeSpec, e *plan.Exec) plan.Operator {
 	w.colBuf[ps] = bufs
 	var live [][]uint64
 	for _, st := range ps.steps {
-		spec := plan.ProbeSpec{HT: st.build.ht, Key: w.srcVecU64(ps, colSrc{base: st.probeKey})}
+		spec := plan.ProbeSpec{HT: st.build.ht, Key: w.srcVecU64(ps, colSrc{base: st.probeKey}), Hash: w.hash}
 		var added [][]uint64
 		for _, g := range st.gathers {
 			dst := w.bufs.Ref()
@@ -458,7 +470,7 @@ func (w *worker) pipeOps(ps *pipeSpec, e *plan.Exec) plan.Operator {
 				}, carries...)
 		}
 	}
-	return op
+	return op, scan
 }
 
 // srcVecU64 builds a key/payload expression for a column source.

@@ -1,6 +1,9 @@
 package plan
 
 import (
+	"math"
+
+	"paradigms/internal/simd"
 	"paradigms/internal/storage"
 	"paradigms/internal/tw"
 )
@@ -150,6 +153,78 @@ func PredLE[T ordered](col []T, v T) Pred {
 // PredLT keeps positions where col < v.
 func PredLT[T ordered](col []T, v T) Pred {
 	return cmpPred(col, v, tw.SelLT[T], tw.SelLTSel[T])
+}
+
+// The 32-bit predicate constructors below route through internal/simd's
+// SWAR and unrolled kernels instead of the branchy tw primitives: dense
+// conjuncts compare two lanes per word branch-free, sparse conjuncts
+// unroll the gathers 4-way. GT and LE reduce to GE and LT by bound
+// adjustment, with the int32 extremes degenerating to keep-none /
+// keep-all.
+
+// PredLT32 is PredLT over a 32-bit column via the SWAR kernels.
+func PredLT32[T ~int32](col []T, v T) Pred {
+	return Pred{
+		Dense: func(base, n int, res []int32) int {
+			return simd.SelectLT(col[base:base+n], v, res)
+		},
+		Sparse: func(base, n int, sel, res []int32) int {
+			return simd.SelectSparseLT(col[base:base+n], v, sel, res)
+		},
+	}
+}
+
+// PredGE32 is PredGE over a 32-bit column via the SWAR kernels.
+func PredGE32[T ~int32](col []T, v T) Pred {
+	return Pred{
+		Dense: func(base, n int, res []int32) int {
+			return simd.SelectGE(col[base:base+n], v, res)
+		},
+		Sparse: func(base, n int, sel, res []int32) int {
+			return simd.SelectSparseGE(col[base:base+n], v, sel, res)
+		},
+	}
+}
+
+// PredGT32 keeps col > v: col >= v+1, or nothing when v is the maximum.
+func PredGT32[T ~int32](col []T, v T) Pred {
+	if int32(v) == math.MaxInt32 {
+		return predNone()
+	}
+	return PredGE32(col, v+1)
+}
+
+// PredLE32 keeps col <= v: col < v+1, or everything when v is the
+// maximum.
+func PredLE32[T ~int32](col []T, v T) Pred {
+	if int32(v) == math.MaxInt32 {
+		return predAll()
+	}
+	return PredLT32(col, v+1)
+}
+
+// predNone never matches.
+func predNone() Pred {
+	return Pred{
+		Dense:  func(base, n int, res []int32) int { return 0 },
+		Sparse: func(base, n int, sel, res []int32) int { return 0 },
+	}
+}
+
+// predAll matches every position.
+func predAll() Pred {
+	return Pred{
+		Dense: func(base, n int, res []int32) int {
+			for i := 0; i < n; i++ {
+				res[i] = int32(i)
+			}
+			return n
+		},
+		Sparse: func(base, n int, sel, res []int32) int {
+			copy(res, sel)
+			return len(sel)
+		},
+	}
 }
 
 // PredEq keeps positions where col == v.

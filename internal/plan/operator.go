@@ -52,6 +52,11 @@ func (s *Scan) Next(b *Batch) bool {
 	return true
 }
 
+// SetVec changes the scan's tuples-per-vector size for subsequent
+// batches (micro-adaptive vector sizing). The new size must not exceed
+// the vector size the pipeline's buffers were allocated with.
+func (s *Scan) SetVec(v int) { s.scan.SetVec(v) }
+
 // ---------------------------------------------------------------------
 // FilterChain
 // ---------------------------------------------------------------------
@@ -178,6 +183,12 @@ func CarryI64(bufs *vector.Buffers, v []int64) Carry {
 	}
 }
 
+// HashFn maps packed 64-bit keys to their hash vector. A nil HashFn
+// means the engine default (tw.MapHashU64 over the engine-wide hash
+// function); the hybrid executor overrides it so vectorized stages
+// build and probe join tables with the compiled backend's hash.
+type HashFn func(keys, res []uint64)
+
 // ProbeSpec declares a hash-probe operator: the shared table, the probe
 // key, payload gathers, and carried vectors. Build keys must be unique
 // (N:1 joins) so a batch's matches fit the vector-sized buffers;
@@ -185,6 +196,7 @@ func CarryI64(bufs *vector.Buffers, v []int64) Carry {
 type ProbeSpec struct {
 	HT        *hashtable.Table
 	Key       VecU64
+	Hash      HashFn // nil = engine default
 	GatherU64 []GatherU64
 	GatherI64 []GatherI64
 	Carry     []Carry
@@ -227,7 +239,11 @@ func (p *HashProbe) Next(b *Batch) bool {
 			return false
 		}
 		keys := p.spec.Key(b, p.keyBuf)
-		tw.MapHashU64(keys[:b.K], p.hashes)
+		if p.spec.Hash != nil {
+			p.spec.Hash(keys[:b.K], p.hashes)
+		} else {
+			tw.MapHashU64(keys[:b.K], p.hashes)
+		}
 		nm := tw.Probe(p.spec.HT, keys, p.hashes, b.K, p.cand, p.candPos, p.mRefs, p.mPos)
 		if nm == 0 {
 			continue

@@ -29,6 +29,7 @@ type HashBuildSink struct {
 	ht       *hashtable.Table
 	sh       *hashtable.Shard
 	key      VecU64
+	hash     HashFn
 	payloads []VecU64
 	keyBuf   []uint64
 	hashes   []uint64
@@ -52,10 +53,20 @@ func NewHashBuild(bufs *vector.Buffers, ht *hashtable.Table, wid int, key VecU64
 	}
 }
 
+// SetHash overrides the build-side hash function (nil = engine
+// default). Probers of the table must hash the same way; the hybrid
+// executor sets the same HashFn on both sides of every join table that
+// crosses an engine boundary.
+func (h *HashBuildSink) SetHash(fn HashFn) { h.hash = fn }
+
 // Consume implements Sink.
 func (h *HashBuildSink) Consume(b *Batch) {
 	keys := h.key(b, h.keyBuf)
-	tw.MapHashU64(keys[:b.K], h.hashes)
+	if h.hash != nil {
+		h.hash(keys[:b.K], h.hashes)
+	} else {
+		tw.MapHashU64(keys[:b.K], h.hashes)
+	}
 	base := h.sh.AllocN(h.ht, b.K)
 	tw.ScatterHashes(h.ht, base, h.hashes, b.K)
 	tw.ScatterWord(h.ht, base, 0, keys, b.K)

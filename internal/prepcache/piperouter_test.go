@@ -1,0 +1,199 @@
+package prepcache
+
+import (
+	"testing"
+	"time"
+
+	"paradigms/internal/hybrid"
+)
+
+// pipeClock is the fake-clock latency model for the per-pipeline
+// router: each round decides an assignment for a fixed plan shape,
+// "runs" it by charging every pipeline its chosen arm's current
+// latency, and feeds the observations back. Deterministic, no real
+// time.
+type pipeClock struct {
+	lat [][2]time.Duration // per pipeline, indexed by hybrid.Engine
+}
+
+func (c *pipeClock) run(p *PipelineRouter, meta []hybrid.PipeMeta) []hybrid.Engine {
+	assign := p.Decide(meta)
+	nanos := make([]int64, len(assign))
+	for i, e := range assign {
+		nanos[i] = int64(c.lat[i][e])
+	}
+	p.Observe(assign, nanos)
+	return assign
+}
+
+// threePipes is a plan shape with contrasting cost-heuristic seeds:
+// P0 a filter-only build and P1 a probe-carrying build (both seeded
+// compiled — builds end in a materialization boundary anyway), P2 the
+// probing final (seeded vectorized).
+func threePipes() []hybrid.PipeMeta {
+	return []hybrid.PipeMeta{
+		{Table: "part", Rows: 20000, Filters: 2, Build: true},
+		{Table: "lineorder", Rows: 100000, Probes: 2, Build: true},
+		{Table: "lineorder", Rows: 100000, Probes: 1, Filters: 1},
+	}
+}
+
+// TestPipelineRouterSeedsFromCostHeuristic: the first decision is
+// exactly the cost heuristic's, and the second tries each pipeline's
+// other arm once, so both arms of every pipeline get measured.
+func TestPipelineRouterSeedsFromCostHeuristic(t *testing.T) {
+	p := &PipelineRouter{}
+	meta := threePipes()
+	clock := &pipeClock{lat: [][2]time.Duration{
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+		{time.Millisecond, time.Millisecond},
+	}}
+	seed := hybrid.CostAssign(meta)
+	first := clock.run(p, meta)
+	for i := range meta {
+		if first[i] != seed[i] {
+			t.Fatalf("first decision P%d = %v, want heuristic seed %v", i, first[i], seed[i])
+		}
+	}
+	second := clock.run(p, meta)
+	for i := range meta {
+		if second[i] == first[i] {
+			t.Fatalf("second decision P%d repeated %v before measuring the other arm", i, first[i])
+		}
+	}
+}
+
+// TestPipelineRouterConvergesPerPipeline: with per-pipeline latencies
+// that contradict the heuristic seed everywhere, every pipeline converges
+// to its own faster arm independently — and keeps probing its losing
+// arm on the rotating epsilon schedule (no starvation).
+func TestPipelineRouterConvergesPerPipeline(t *testing.T) {
+	p := &PipelineRouter{}
+	meta := threePipes()
+	clock := &pipeClock{lat: [][2]time.Duration{
+		{2 * time.Millisecond, 1 * time.Millisecond}, // seeded compiled, vectorized faster
+		{3 * time.Millisecond, 1 * time.Millisecond}, // seeded compiled, vectorized faster
+		{1 * time.Millisecond, 2 * time.Millisecond}, // seeded vectorized, compiled faster
+	}}
+	want := []hybrid.Engine{hybrid.EngineVectorized, hybrid.EngineVectorized, hybrid.EngineCompiled}
+
+	const rounds = 300
+	wrong := make([]int, len(meta))
+	steadyWrong := make([]int, len(meta))
+	loserPicks := make([]int, len(meta))
+	for r := 0; r < rounds; r++ {
+		assign := clock.run(p, meta)
+		for i, e := range assign {
+			if e != want[i] {
+				wrong[i]++
+				if r >= rounds-100 {
+					steadyWrong[i]++
+				}
+				if r >= 2 { // past the try-both-arms warmup
+					loserPicks[i]++
+				}
+			}
+		}
+	}
+	for i := range meta {
+		// Steady state: only the rotating probe (one pipeline per
+		// ProbeEvery-th decision) runs a pipeline's losing arm.
+		if max := 100/ProbeEvery + 1; steadyWrong[i] > max {
+			t.Fatalf("P%d did not converge: losing arm chosen %d/100 at steady state (want <= %d): %+v",
+				i, steadyWrong[i], max, p.PipeSnapshot())
+		}
+		// No starvation: the losing arm still gets its share of the
+		// probe rotation.
+		if min := rounds/(len(meta)*ProbeEvery) - 2; loserPicks[i] < min {
+			t.Fatalf("P%d losing arm starved: probed %d times over %d rounds (want >= %d)",
+				i, loserPicks[i], rounds, min)
+		}
+	}
+}
+
+// TestPipelineRouterFlipsWithWorkload: after convergence, inverting
+// one pipeline's latencies flips that pipeline's steady-state
+// assignment within a bounded number of decisions — the rotating probe
+// keeps the losing arm's estimate fresh enough to notice.
+func TestPipelineRouterFlipsWithWorkload(t *testing.T) {
+	p := &PipelineRouter{}
+	meta := threePipes()
+	clock := &pipeClock{lat: [][2]time.Duration{
+		{1 * time.Millisecond, 2 * time.Millisecond},
+		{1 * time.Millisecond, 3 * time.Millisecond},
+		{2 * time.Millisecond, 1 * time.Millisecond},
+	}}
+	for r := 0; r < 100; r++ {
+		clock.run(p, meta)
+	}
+	// Invert P0: vectorized becomes 4x faster than compiled.
+	clock.lat[0] = [2]time.Duration{2 * time.Millisecond, 500 * time.Microsecond}
+	flipped := -1
+	streak := 0
+	for r := 0; r < 30*ProbeEvery; r++ {
+		assign := clock.run(p, meta)
+		if assign[0] == hybrid.EngineVectorized {
+			// Three in a row cannot be the rotating probe (P0 is
+			// probed at most once per len(meta)*ProbeEvery decisions)
+			// — the EWMA comparison itself has flipped.
+			if streak++; streak >= 3 && flipped < 0 {
+				flipped = r
+			}
+		} else {
+			streak = 0
+		}
+	}
+	if flipped < 0 {
+		t.Fatalf("P0 never flipped after its latency inversion: %+v", p.PipeSnapshot())
+	}
+	if flipped > 20*ProbeEvery {
+		t.Fatalf("P0 flipped too slowly: after %d decisions (want <= %d)", flipped, 20*ProbeEvery)
+	}
+}
+
+// TestPipelineRouterResetsOnShapeChange: when the plan's pipeline
+// count changes (replan after a catalog change), the estimates reset
+// and routing starts over from the heuristic seed for the new shape.
+func TestPipelineRouterResetsOnShapeChange(t *testing.T) {
+	p := &PipelineRouter{}
+	meta3 := threePipes()
+	clock3 := &pipeClock{lat: [][2]time.Duration{
+		{2 * time.Millisecond, 1 * time.Millisecond},
+		{1 * time.Millisecond, 3 * time.Millisecond},
+		{2 * time.Millisecond, 1 * time.Millisecond},
+	}}
+	for r := 0; r < 50; r++ {
+		clock3.run(p, meta3)
+	}
+
+	meta2 := []hybrid.PipeMeta{
+		{Table: "date", Rows: 2556, Filters: 1, Build: true},
+		{Table: "lineorder", Rows: 100000, Probes: 1},
+	}
+	seed := hybrid.CostAssign(meta2)
+	first := p.Decide(meta2)
+	for i := range meta2 {
+		if first[i] != seed[i] {
+			t.Fatalf("post-replan decision P%d = %v, want heuristic seed %v", i, first[i], seed[i])
+		}
+	}
+	snap := p.PipeSnapshot()
+	if len(snap) != len(meta2) {
+		t.Fatalf("snapshot tracks %d pipelines after replan, want %d", len(snap), len(meta2))
+	}
+	for i, a := range snap {
+		if a.N[0] != 0 || a.N[1] != 0 {
+			t.Fatalf("P%d carried stale observations across the replan: %+v", i, a)
+		}
+	}
+
+	// A stale-shape observation (the raced execution of the old plan)
+	// must be dropped, not misattributed to the new pipelines.
+	p.Observe([]hybrid.Engine{0, 1, 0}, []int64{1, 1, 1})
+	for i, a := range p.PipeSnapshot() {
+		if a.N[0] != 0 || a.N[1] != 0 {
+			t.Fatalf("stale-shape observation leaked into P%d: %+v", i, a)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -177,9 +178,12 @@ func TestCacheConcurrentSingleBuild(t *testing.T) {
 	}
 }
 
-// TestStatementExecuteEngines: one cached statement executes on both
-// explicit engines and via Auto, with identical rows everywhere, and
-// the router accumulates observations from all of it.
+// TestStatementExecuteEngines: one cached statement executes on every
+// explicit engine and via Auto, with identical rows everywhere, and
+// the router accumulates observations from all of it. After the two
+// pure engines have run, Auto's try-each-arm-first phase
+// deterministically picks the untried hybrid arm, reported under its
+// decorated name.
 func TestStatementExecuteEngines(t *testing.T) {
 	db, _ := miniCat(t)
 	cat := logical.CatalogFor(db)
@@ -203,19 +207,32 @@ func TestStatementExecuteEngines(t *testing.T) {
 		t.Fatalf("tectorwise: used=%q err=%v", used, err)
 	}
 	au, used, err := st.Execute(ctx, Auto, vals, 2, 0)
-	if err != nil || (used != registry.Typer && used != registry.Tectorwise) {
-		t.Fatalf("auto: used=%q err=%v", used, err)
+	if err != nil || !strings.HasPrefix(used, registry.Hybrid+"[") {
+		t.Fatalf("auto: used=%q err=%v (want the untried hybrid arm)", used, err)
+	}
+	hy, used, err := st.Execute(ctx, registry.Hybrid, vals, 2, 0)
+	if err != nil || !strings.HasPrefix(used, registry.Hybrid+"[") {
+		t.Fatalf("hybrid: used=%q err=%v", used, err)
 	}
 	if !sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(tw.Rows)) ||
-		!sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(au.Rows)) {
-		t.Fatalf("engines disagree: typer=%v tectorwise=%v auto=%v", ty.Rows, tw.Rows, au.Rows)
+		!sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(au.Rows)) ||
+		!sqlcheck.SameRows(sqlcheck.Canon(ty.Rows), sqlcheck.Canon(hy.Rows)) {
+		t.Fatalf("engines disagree: typer=%v tectorwise=%v auto=%v hybrid=%v", ty.Rows, tw.Rows, au.Rows, hy.Rows)
 	}
 	var total uint64
 	for _, a := range st.Router().Snapshot() {
 		total += a.N
 	}
-	if total != 3 {
-		t.Fatalf("router observed %d executions, want 3", total)
+	if total != 4 {
+		t.Fatalf("router observed %d executions, want 4", total)
+	}
+	// The hybrid executions also trained the per-pipeline router.
+	var pipeTotal uint64
+	for _, a := range st.PipeRouter().PipeSnapshot() {
+		pipeTotal += a.N[0] + a.N[1]
+	}
+	if pipeTotal == 0 {
+		t.Fatal("per-pipeline router observed nothing from the hybrid executions")
 	}
 	if _, _, err := st.Execute(ctx, "bogus", vals, 1, 0); err == nil {
 		t.Fatal("unknown engine accepted")

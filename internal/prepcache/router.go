@@ -1,6 +1,7 @@
 package prepcache
 
 import (
+	"strings"
 	"sync"
 	"time"
 
@@ -13,10 +14,10 @@ import (
 const Auto = "auto"
 
 // ProbeEvery sets the router's exploration rate: every ProbeEvery-th
-// pick routes to the currently slower arm instead of the faster one
-// (a deterministic epsilon-greedy schedule with ε = 1/ProbeEvery).
-// The probe arm is therefore never starved — if the workload shifts
-// and the losing engine becomes the faster one, its EWMA keeps being
+// pick routes to a currently-losing arm instead of the fastest one
+// (a deterministic epsilon-greedy schedule with ε = 1/ProbeEvery),
+// rotating over the losing arms so none is starved. If the workload
+// shifts and a losing engine becomes the fastest, its EWMA keeps being
 // refreshed and the router flips within a handful of probes.
 const ProbeEvery = 8
 
@@ -25,27 +26,36 @@ const ewmaAlpha = 0.25
 
 // failurePenalty is the latency a failed execution feeds into the
 // arm's EWMA — far above any healthy execution, so auto routing falls
-// through to the other backend instead of retrying a broken one
+// through to another backend instead of retrying a broken one
 // forever, while the epsilon probe keeps re-checking it (a recovered
 // backend heals within a few probes).
 const failurePenalty = time.Second
 
+// numArms is the arm count of the statement router.
+const numArms = 3
+
 // Router picks the execution engine for one cached statement from
-// observed latencies. Both arms are fixed — the paper's two paradigms.
-// All methods are safe for concurrent use; picks are deterministic
-// given the observation sequence (no random source), which is what the
-// convergence tests pin.
+// observed latencies. The arms are fixed: the paper's two paradigms
+// plus the per-pipeline hybrid of the two. All methods are safe for
+// concurrent use; picks are deterministic given the observation
+// sequence (no random source), which is what the convergence tests
+// pin.
 type Router struct {
 	mu    sync.Mutex
-	n     [2]uint64  // observations per arm
-	ewma  [2]float64 // latency EWMA per arm, in nanoseconds
+	n     [numArms]uint64  // observations per arm
+	ewma  [numArms]float64 // latency EWMA per arm, in nanoseconds
 	picks uint64
 }
 
 // engineArms maps router arm indexes to engine names.
-var engineArms = [2]string{registry.Typer, registry.Tectorwise}
+var engineArms = [numArms]string{registry.Typer, registry.Tectorwise, registry.Hybrid}
 
+// armOf resolves an engine name to its arm, ignoring a hybrid
+// assignment decoration ("hybrid[t,v]" observes as "hybrid").
 func armOf(engine string) int {
+	if i := strings.IndexByte(engine, '['); i >= 0 {
+		engine = engine[:i]
+	}
 	for i, name := range engineArms {
 		if name == engine {
 			return i
@@ -56,8 +66,8 @@ func armOf(engine string) int {
 
 // Pick returns the engine the next execution should run on: an
 // untried arm first (each backend is measured at least once), then the
-// lower-EWMA arm, except that every ProbeEvery-th pick goes to the
-// other arm to keep its estimate fresh.
+// lowest-EWMA arm, except that every ProbeEvery-th pick rotates over
+// the other arms to keep their estimates fresh.
 func (r *Router) Pick() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -67,18 +77,36 @@ func (r *Router) Pick() string {
 			return engineArms[i]
 		}
 	}
-	best := 0
-	if r.ewma[1] < r.ewma[0] {
-		best = 1
-	}
+	best := r.bestLocked()
 	if r.picks%ProbeEvery == 0 {
-		return engineArms[1-best]
+		k := int(r.picks/ProbeEvery) % (numArms - 1)
+		for i := range engineArms {
+			if i == best {
+				continue
+			}
+			if k == 0 {
+				return engineArms[i]
+			}
+			k--
+		}
 	}
 	return engineArms[best]
 }
 
+// bestLocked is the lowest-EWMA arm index. Caller holds mu.
+func (r *Router) bestLocked() int {
+	best := 0
+	for i := 1; i < numArms; i++ {
+		if r.ewma[i] < r.ewma[best] {
+			best = i
+		}
+	}
+	return best
+}
+
 // Observe feeds one successful execution's latency back into the
-// engine's EWMA. Unknown engine names (future backends) are ignored.
+// engine's EWMA. Unknown engine names (future backends) are ignored;
+// hybrid assignment decorations are stripped.
 func (r *Router) Observe(engine string, d time.Duration) {
 	i := armOf(engine)
 	if i < 0 {
@@ -122,16 +150,15 @@ func (r *Router) Snapshot() []ArmStats {
 	return out
 }
 
-// Best returns the currently preferred engine ("" until both arms have
+// Best returns the currently preferred engine ("" until every arm has
 // been observed).
 func (r *Router) Best() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.n[0] == 0 || r.n[1] == 0 {
-		return ""
+	for i := range engineArms {
+		if r.n[i] == 0 {
+			return ""
+		}
 	}
-	if r.ewma[1] < r.ewma[0] {
-		return engineArms[1]
-	}
-	return engineArms[0]
+	return engineArms[r.bestLocked()]
 }

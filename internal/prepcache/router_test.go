@@ -24,9 +24,9 @@ func (c *fakeClock) run(r *Router) string {
 	return engine
 }
 
-// TestRouterConvergesToFasterEngine: with Typer 5x slower than
-// Tectorwise, the router settles on Tectorwise for all non-probe picks
-// while still probing the slow arm on the deterministic epsilon
+// TestRouterConvergesToFasterEngine: with Tectorwise the fastest of
+// the three arms, the router settles on it for all non-probe picks
+// while still probing the losing arms on the deterministic epsilon
 // schedule (no starvation); when the latency relation flips, the
 // router flips with it.
 func TestRouterConvergesToFasterEngine(t *testing.T) {
@@ -34,6 +34,7 @@ func TestRouterConvergesToFasterEngine(t *testing.T) {
 	clock := &fakeClock{lat: map[string]time.Duration{
 		registry.Typer:      5 * time.Millisecond,
 		registry.Tectorwise: 1 * time.Millisecond,
+		registry.Hybrid:     3 * time.Millisecond,
 	}}
 
 	const rounds = 400
@@ -63,20 +64,22 @@ func TestRouterConvergesToFasterEngine(t *testing.T) {
 		t.Fatalf("steady state not reached: fast engine %d/100 of last picks (want >= %d)", steadyFast, want)
 	}
 
-	// No starvation: the slow arm keeps being probed on schedule.
-	if slow := picks[registry.Typer]; slow < rounds/ProbeEvery-2 {
-		t.Fatalf("probe arm starved: slow engine picked only %d times over %d rounds", slow, rounds)
+	// No starvation: each losing arm keeps being probed on schedule
+	// (the probes rotate over the numArms-1 non-best arms).
+	if slow := picks[registry.Typer]; slow < rounds/((numArms-1)*ProbeEvery)-2 {
+		t.Fatalf("probe arm starved: slowest engine picked only %d times over %d rounds", slow, rounds)
+	}
+	if mid := picks[registry.Hybrid]; mid < rounds/((numArms-1)*ProbeEvery)-2 {
+		t.Fatalf("probe arm starved: middle engine picked only %d times over %d rounds", mid, rounds)
 	}
 
 	// Flip the latencies: Typer becomes the fast engine. The probes
 	// keep its EWMA fresh, so the router must flip its preference.
 	clock.lat[registry.Typer] = 500 * time.Microsecond
 	clock.lat[registry.Tectorwise] = 4 * time.Millisecond
-	flipPicks := map[string]int{}
 	flipped := -1
 	for i := 0; i < 200; i++ {
-		e := clock.run(r)
-		flipPicks[e]++
+		clock.run(r)
 		if flipped < 0 && r.Best() == registry.Typer {
 			flipped = i
 		}
@@ -84,10 +87,11 @@ func TestRouterConvergesToFasterEngine(t *testing.T) {
 	if flipped < 0 {
 		t.Fatalf("router never flipped after the latency inversion: %+v", r.Snapshot())
 	}
-	// The flip requires probing the now-fast arm and a few EWMA steps;
-	// a couple of probe cycles must suffice.
-	if flipped > 4*ProbeEvery {
-		t.Fatalf("router flipped too slowly: after %d picks (want <= %d)", flipped, 4*ProbeEvery)
+	// The flip requires probing the now-fast arm (once per
+	// (numArms-1)*ProbeEvery picks) and a few EWMA steps; a few probe
+	// cycles must suffice.
+	if flipped > 10*ProbeEvery {
+		t.Fatalf("router flipped too slowly: after %d picks (want <= %d)", flipped, 10*ProbeEvery)
 	}
 	tail := 0
 	for i := 0; i < 100; i++ {
@@ -100,27 +104,31 @@ func TestRouterConvergesToFasterEngine(t *testing.T) {
 	}
 }
 
-// TestRouterTriesBothArmsFirst: the first two picks measure each
+// TestRouterTriesEachArmFirst: the first numArms picks measure each
 // engine once before any preference forms.
-func TestRouterTriesBothArmsFirst(t *testing.T) {
+func TestRouterTriesEachArmFirst(t *testing.T) {
 	r := &Router{}
-	first := r.Pick()
-	r.Observe(first, time.Millisecond)
-	second := r.Pick()
-	if first == second {
-		t.Fatalf("router picked %s twice before measuring both arms", first)
+	seen := map[string]bool{}
+	var order []string
+	for i := 0; i < numArms; i++ {
+		e := r.Pick()
+		if seen[e] {
+			t.Fatalf("router picked %s twice before measuring every arm (order %v)", e, order)
+		}
+		seen[e] = true
+		order = append(order, e)
+		if r.Best() != "" {
+			t.Fatalf("Best() = %q before all arms observed", r.Best())
+		}
+		r.Observe(e, time.Duration(i+1)*time.Millisecond)
 	}
-	if r.Best() != "" {
-		t.Fatalf("Best() = %q before both arms observed", r.Best())
-	}
-	r.Observe(second, 2*time.Millisecond)
-	if got := r.Best(); got != first {
-		t.Fatalf("Best() = %q, want the faster %q", got, first)
+	if got := r.Best(); got != order[0] {
+		t.Fatalf("Best() = %q, want the faster %q", got, order[0])
 	}
 }
 
 // TestRouterRoutesAroundFailingArm: a backend that always fails is
-// penalized rather than left untried, so auto routing settles on the
+// penalized rather than left untried, so auto routing settles on a
 // healthy arm instead of retrying the broken one forever — while the
 // epsilon probe keeps re-checking it, so a recovered backend heals.
 func TestRouterRoutesAroundFailingArm(t *testing.T) {
@@ -136,16 +144,17 @@ func TestRouterRoutesAroundFailingArm(t *testing.T) {
 			r.Observe(e, time.Millisecond)
 		}
 	}
-	// The broken arm is tried once up front and then only on the probe
-	// schedule — never as the preferred arm.
+	// The broken arm is tried once up front and then only on its share
+	// of the probe schedule — never as the preferred arm.
 	if max := 1 + 100/ProbeEvery + 1; failures > max {
 		t.Fatalf("broken arm picked %d/100 times (want <= %d)", failures, max)
 	}
 	// Recovery: the broken arm starts succeeding faster than the
-	// healthy one; probes must heal its EWMA and flip the preference.
-	// Decaying a 1s penalty to sub-millisecond at α=0.25 takes ~25
-	// probe observations, i.e. ~200 picks on the ε=1/8 schedule.
-	for i := 0; i < 40*ProbeEvery; i++ {
+	// healthy ones; probes must heal its EWMA and flip the preference.
+	// Decaying a 1s penalty below 1ms at α=0.25 takes ~25 probe
+	// observations, and the probes alternate between the two non-best
+	// arms, so ~25·2·ProbeEvery picks.
+	for i := 0; i < 60*ProbeEvery; i++ {
 		e := r.Pick()
 		if e == broken {
 			r.Observe(e, 100*time.Microsecond)
@@ -166,6 +175,25 @@ func TestRouterIgnoresUnknownEngine(t *testing.T) {
 	for _, a := range r.Snapshot() {
 		if a.N != 0 {
 			t.Fatalf("unknown engine observation leaked into arm %s", a.Engine)
+		}
+	}
+}
+
+// TestRouterStripsHybridDecoration: an observation reported under the
+// decorated name ("hybrid[t,v]") lands in the hybrid arm.
+func TestRouterStripsHybridDecoration(t *testing.T) {
+	r := &Router{}
+	r.Observe(registry.Hybrid+"[t,v,t]", 2*time.Millisecond)
+	for _, a := range r.Snapshot() {
+		switch a.Engine {
+		case registry.Hybrid:
+			if a.N != 1 || a.Ewma != 2*time.Millisecond {
+				t.Fatalf("decorated observation mishandled: %+v", a)
+			}
+		default:
+			if a.N != 0 {
+				t.Fatalf("decorated observation leaked into arm %s", a.Engine)
+			}
 		}
 	}
 }

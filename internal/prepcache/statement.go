@@ -7,6 +7,7 @@ import (
 
 	"paradigms/internal/catalog"
 	"paradigms/internal/compiled"
+	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
 	"paradigms/internal/registry"
 )
@@ -22,7 +23,8 @@ type Statement struct {
 	// lowering backends.
 	Plan *logical.Plan
 
-	router Router
+	router     Router
+	pipeRouter PipelineRouter
 }
 
 // NewStatement wraps an optimized plan as a prepared statement.
@@ -39,6 +41,10 @@ func (s *Statement) ParamTypes() []catalog.Type { return s.Plan.Params }
 // Router exposes the statement's adaptive engine router.
 func (s *Statement) Router() *Router { return &s.router }
 
+// PipeRouter exposes the statement's per-pipeline router — the hybrid
+// engine's arm-level counterpart of Router.
+func (s *Statement) PipeRouter() *PipelineRouter { return &s.pipeRouter }
+
 // BindTexts parses one argument text per placeholder into the raw
 // values Execute takes (see logical.(*Plan).BindTexts).
 func (s *Statement) BindTexts(args []string) ([]int64, error) {
@@ -47,11 +53,14 @@ func (s *Statement) BindTexts(args []string) ([]int64, error) {
 
 // Execute runs the statement with one argument binding on the given
 // engine — registry.Typer (compiled fused pipelines), registry.
-// Tectorwise (vectorized operator plans), or Auto, which resolves to
-// whichever backend the statement's router currently measures as
-// faster. It returns the result and the engine that actually ran.
-// Every successful execution's latency feeds the router, whichever way
-// the engine was chosen, so explicit-engine traffic trains Auto too.
+// Tectorwise (vectorized operator plans), registry.Hybrid (per-pipeline
+// mix of the two, routed by the statement's PipelineRouter), or Auto,
+// which resolves to whichever backend the statement's router currently
+// measures as faster. It returns the result and the engine that
+// actually ran — for hybrid, decorated with the pipeline assignment
+// ("hybrid[t,v]"). Every successful execution's latency feeds the
+// router, whichever way the engine was chosen, so explicit-engine
+// traffic trains Auto too.
 func (s *Statement) Execute(ctx context.Context, engine string, args []int64, workers, vecSize int) (*logical.Result, string, error) {
 	used := engine
 	if engine == Auto {
@@ -67,9 +76,15 @@ func (s *Statement) Execute(ctx context.Context, engine string, args []int64, wo
 		res, err = compiled.ExecuteArgs(ctx, s.Plan, workers, args)
 	case registry.Tectorwise:
 		res, err = s.Plan.ExecuteArgs(ctx, workers, vecSize, args)
+	case registry.Hybrid:
+		var rep *hybrid.Report
+		res, rep, err = hybrid.ExecuteArgsRouted(ctx, s.Plan, workers, vecSize, &s.pipeRouter, args)
+		if err == nil && rep != nil {
+			used = registry.Hybrid + rep.Suffix()
+		}
 	default:
-		return nil, used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s)",
-			engine, registry.Typer, registry.Tectorwise, Auto)
+		return nil, used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s | %s)",
+			engine, registry.Typer, registry.Tectorwise, registry.Hybrid, Auto)
 	}
 	if err != nil {
 		// A live-context failure is the engine's fault: penalize the
@@ -105,9 +120,13 @@ func (s *Statement) ExecuteStream(ctx context.Context, engine string, args []int
 		err = compiled.ExecuteArgsStream(ctx, s.Plan, workers, chunk, args, sink)
 	case registry.Tectorwise:
 		err = s.Plan.ExecuteArgsStream(ctx, workers, vecSize, chunk, args, sink)
+	case registry.Hybrid:
+		// Streaming materializes and chunks (the hybrid executor has no
+		// incremental path); assignments come from the cost heuristic.
+		err = hybrid.ExecuteArgsStream(ctx, s.Plan, workers, chunk, args, sink)
 	default:
-		return used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s)",
-			engine, registry.Typer, registry.Tectorwise, Auto)
+		return used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s | %s)",
+			engine, registry.Typer, registry.Tectorwise, registry.Hybrid, Auto)
 	}
 	if err != nil {
 		if ctx.Err() == nil {

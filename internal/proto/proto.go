@@ -51,9 +51,9 @@ type QueryRequest struct {
 	// Tenant attributes the query for scheduling and stats
 	// ("" = the server's default tenant).
 	Tenant string `json:"tenant,omitempty"`
-	// Engine is "typer", "tectorwise", or — prepared only — "auto".
-	// Empty defaults to "typer" for ad-hoc texts and "auto" for
-	// prepared executions.
+	// Engine is "typer", "tectorwise", "hybrid", or — prepared only —
+	// "auto". Empty defaults to "typer" for ad-hoc texts and "auto"
+	// for prepared executions.
 	Engine string `json:"engine,omitempty"`
 	// SQL is the query text. Required.
 	SQL string `json:"sql"`
@@ -71,13 +71,13 @@ func (q *QueryRequest) Validate() error {
 		return errors.New("proto: empty sql")
 	}
 	switch q.Engine {
-	case "", "typer", "tectorwise":
+	case "", "typer", "tectorwise", "hybrid":
 	case "auto":
 		if !q.Prepared {
 			return errors.New(`proto: engine "auto" requires a prepared execution (adaptive routing lives on prepared statements)`)
 		}
 	default:
-		return fmt.Errorf("proto: unknown engine %q (typer | tectorwise | auto)", q.Engine)
+		return fmt.Errorf("proto: unknown engine %q (typer | tectorwise | hybrid | auto)", q.Engine)
 	}
 	if len(q.Args) > 0 && !q.Prepared {
 		return errors.New("proto: args require prepared=true")

@@ -24,7 +24,12 @@ import (
 const (
 	Typer      = "typer"
 	Tectorwise = "tectorwise"
-	Reference  = "reference"
+	// Hybrid is the per-pipeline mixed-paradigm executor
+	// (internal/hybrid): each pipeline of a query runs on whichever
+	// backend — fused or vectorized — suits it, exchanging data through
+	// the shared materialization boundaries.
+	Hybrid    = "hybrid"
+	Reference = "reference"
 )
 
 // Options carries the per-run execution knobs. VectorSize is only

@@ -69,6 +69,17 @@ func NewScan(disp *exec.Dispatcher, vecSize int) *Scan {
 	return &Scan{disp: disp, vecSize: vecSize}
 }
 
+// SetVec changes the tuples-per-vector size for subsequent vectors —
+// the micro-adaptivity hook (§8.4): a pipeline can trial several vector
+// sizes on its first morsels and commit to the fastest. Callers must
+// keep v within the capacity of the buffers downstream operators were
+// built with. Values <= 0 are ignored.
+func (s *Scan) SetVec(v int) {
+	if v > 0 {
+		s.vecSize = v
+	}
+}
+
 // Next returns the size of the next vector (0 when the scan is
 // exhausted). Vectors never cross morsel boundaries.
 func (s *Scan) Next() int {

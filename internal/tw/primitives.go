@@ -238,10 +238,22 @@ func MapHashSel[T ~int32 | ~uint32](col []T, sel []int32, res []uint64) {
 	}
 }
 
-// MapHashU64 hashes a dense vector of already-packed 64-bit keys.
+// MapHashU64 hashes a dense vector of already-packed 64-bit keys,
+// 4-way unrolled so the independent multiply chains overlap (the ILP
+// form of vectorized hashing — §5, Fig. 8a). The hash function is read
+// once per call so the engine-wide Hash variable stays swappable (the
+// hash-function ablation benchmark relies on this).
 func MapHashU64(keys []uint64, res []uint64) {
-	for i := 0; i < len(keys); i++ {
-		res[i] = Hash(keys[i])
+	h := Hash
+	n := len(keys) &^ 3
+	for i := 0; i < n; i += 4 {
+		res[i] = h(keys[i])
+		res[i+1] = h(keys[i+1])
+		res[i+2] = h(keys[i+2])
+		res[i+3] = h(keys[i+3])
+	}
+	for i := n; i < len(keys); i++ {
+		res[i] = h(keys[i])
 	}
 }
 

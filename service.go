@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"paradigms/internal/compiled"
+	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/server"
@@ -152,8 +153,10 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 				return engine, compiled.ExecuteStream(ctx, pl, workers, opt.StreamChunk, rs)
 			case string(Tectorwise):
 				return engine, pl.ExecuteStream(ctx, workers, opt.VectorSize, opt.StreamChunk, rs)
+			case string(Hybrid):
+				return engine, hybrid.ExecuteStream(ctx, pl, workers, opt.StreamChunk, rs)
 			default:
-				return engine, fmt.Errorf("paradigms: engine %q cannot stream ad-hoc SQL (use %s or %s)", engine, Typer, Tectorwise)
+				return engine, fmt.Errorf("paradigms: engine %q cannot stream ad-hoc SQL (use %s, %s, or %s)", engine, Typer, Tectorwise, Hybrid)
 			}
 		},
 		ExecPrepStream: func(ctx context.Context, engine string, stmt any, args []string, workers int, sink any) (string, error) {
