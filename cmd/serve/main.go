@@ -39,6 +39,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -49,6 +50,7 @@ import (
 
 	"paradigms"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/proto"
 	"paradigms/internal/proto/client"
 	"paradigms/internal/server"
@@ -185,6 +187,9 @@ func main() {
 	prepared := flag.Bool("prepared", false, "prepared-statement workload over the network (plan cache, adaptive auto-routing)")
 	fairbench := flag.Bool("fairbench", false, "run the solo/DRR/FIFO fairness experiment")
 	statsJSON := flag.Bool("statsjson", false, "also emit the final /statsz snapshot")
+	qlog := flag.String("qlog", "", "append one NDJSON record per query to this file (structured query log)")
+	qlogMax := flag.Int64("qlogmax", 0, "query log rotation bound in bytes (0 = 64 MiB)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the front-end")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "generating TPC-H SF=%g and SSB SF=%g...\n", *sf, *ssbsf)
@@ -201,6 +206,16 @@ func main() {
 		MorselSize:         *morsel,
 		YieldPause:         *yieldPause,
 		SkipValidation:     true, // streamed results are covered by the equivalence suite
+		Metrics:            obs.NewMetrics(),
+	}
+	if *qlog != "" {
+		ql, err := obs.OpenQueryLog(*qlog, *qlogMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer ql.Close()
+		opts.QueryLog = ql
 	}
 
 	if *fairbench {
@@ -209,7 +224,7 @@ func main() {
 	}
 
 	svc := paradigms.NewService(tpchDB, ssbDB, opts)
-	base, shutdown, err := serve(svc, *listen)
+	base, shutdown, err := serve(svc, *listen, opts.Metrics, *pprofFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
@@ -245,13 +260,25 @@ func main() {
 }
 
 // serve starts the HTTP front-end, returning its base URL and a
-// shutdown func.
-func serve(svc *server.Service, addr string) (string, func(), error) {
+// shutdown func. A non-nil metrics registry backs /metricsz;
+// withPprof mounts net/http/pprof under /debug/pprof/.
+func serve(svc *server.Service, addr string, metrics *obs.Metrics, withPprof bool) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	hs := &http.Server{Handler: proto.NewServer(svc, nil).Handler()}
+	handler := proto.NewServer(svc, nil).WithMetrics(metrics).Handler()
+	if withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	go hs.Serve(ln)
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -380,7 +407,7 @@ func runFairbench(tpchDB, ssbDB *paradigms.DB, opts paradigms.ServiceOptions, d 
 		o := opts
 		o.FIFO = fifo
 		svc := paradigms.NewService(tpchDB, ssbDB, o)
-		base, shutdown, err := serve(svc, "127.0.0.1:0")
+		base, shutdown, err := serve(svc, "127.0.0.1:0", o.Metrics, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)

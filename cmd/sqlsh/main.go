@@ -35,6 +35,11 @@
 //	                   pipeline decomposition under \engine typer and
 //	                   the per-pipeline engine assignment under
 //	                   \engine hybrid
+//	explain analyze <query>
+//	                   run the query instrumented and print, per
+//	                   pipeline, the observed vs estimated cardinality,
+//	                   selectivity, hash-table sizes, and wall time on
+//	                   whichever backend \engine selects
 //
 // Example session:
 //
@@ -64,6 +69,7 @@ import (
 	"paradigms/internal/compiled"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/registry"
 	"paradigms/internal/storage"
@@ -268,19 +274,26 @@ func (sh *shell) meta(cmd string) bool {
 
 // statement routes one statement through the plan cache and executes
 // it (or explains it). Re-running a statement — any spelling that
-// normalizes equally — skips parse, bind, and plan.
+// normalizes equally — skips parse, bind, and plan. "explain <sql>"
+// prints the plan without running; "explain analyze <sql>" runs the
+// statement instrumented and prints the per-pipeline observed vs
+// estimated cardinalities and timings.
 func (sh *shell) statement(stmt string) {
-	explain := false
+	explain, analyze := false, false
 	if f := strings.Fields(stmt); len(f) > 0 && strings.EqualFold(f[0], "explain") {
 		explain = true
 		stmt = strings.TrimSpace(stmt[len(f[0]):])
+		if len(f) > 1 && strings.EqualFold(f[1], "analyze") {
+			analyze = true
+			stmt = strings.TrimSpace(stmt[len(f[1]):])
+		}
 	}
 	db, err := logical.RouteByTables(stmt, sh.dbs...)
 	if err != nil {
 		fmt.Fprintln(sh.out, "error:", err)
 		return
 	}
-	if explain {
+	if explain && !analyze {
 		sh.explain(db, stmt)
 		return
 	}
@@ -293,6 +306,10 @@ func (sh *shell) statement(stmt string) {
 	}
 	if n := st.NumParams(); n > 0 {
 		fmt.Fprintf(sh.out, "statement has %d parameter%s; use \\prepare <name> <sql> and \\execute <name> <args>\n", n, plural(n))
+		return
+	}
+	if analyze {
+		sh.analyzeStatement(st, nil)
 		return
 	}
 	sh.runStatement(st, nil)
@@ -319,6 +336,28 @@ func (sh *shell) runStatement(st *prepcache.Statement, vals []int64) {
 	default:
 		fmt.Fprintf(sh.out, "  [%s]\n", elapsed)
 	}
+}
+
+// analyzeStatement is runStatement instrumented: the execution runs
+// under a telemetry collector, and instead of the result rows the
+// shell prints the optimized plan, the per-pipeline observed vs
+// estimated cardinalities and timings, and a one-line summary. Works
+// on every backend — hybrid rows additionally carry the per-pipeline
+// engine assignment, and auto reports the backend the router resolved
+// to.
+func (sh *shell) analyzeStatement(st *prepcache.Statement, vals []int64) {
+	col := obs.NewCollector()
+	ctx := obs.WithCollector(context.Background(), col)
+	start := sh.clock()
+	res, used, err := st.Execute(ctx, sh.engine, vals, sh.workers, sh.vecSize)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	elapsed := sh.clock().Sub(start).Round(100 * time.Microsecond)
+	fmt.Fprint(sh.out, st.Plan.Format())
+	fmt.Fprint(sh.out, obs.FormatPipes(col.Pipes()))
+	fmt.Fprintf(sh.out, "(%d row%s)  [%s %s]\n", len(res.Rows), plural(len(res.Rows)), elapsed, used)
 }
 
 // listPrepared prints the named prepared statements with their

@@ -29,6 +29,7 @@ var extensionPackages = map[string]string{
 	"sqlcheck":  "extension", // differential-test generator/oracle/minis
 	"prepcache": "extension", // prepared statements, plan cache, adaptive routing
 	"proto":     "extension", // network protocol of the serving front-end
+	"obs":       "extension", // execution telemetry: EXPLAIN ANALYZE, query log, metrics
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -5,10 +5,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/simd"
 	"paradigms/internal/storage"
 )
@@ -147,6 +149,18 @@ func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *lo
 		return nil, err
 	}
 	w := workers(nWorkers)
+	col := obs.FromContext(ctx)
+	if col != nil {
+		// The vectorized lowering produces the identical pipeline
+		// decomposition (the hybrid executor's parity invariant), so its
+		// describer serves both backends.
+		if err := pl.DescribePipes(col); err != nil {
+			return nil, err
+		}
+		for i := range pr.pipes {
+			col.SetPipeEngine(i, "t")
+		}
+	}
 	for _, p := range pr.pipes {
 		p.disp = exec.NewDispatcherCtx(ctx, p.scan.Table.Rows(), 0)
 		if p.keyCol != nil {
@@ -219,23 +233,40 @@ func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *lo
 	}
 
 	bar := exec.NewBarrier(w)
+	fi := len(pr.pipes) - 1
 	exec.Parallel(w, func(wid int) {
 		// Build pipelines in dependency order, each ending at its
 		// pipeline breaker (materialize → barrier → size directory →
 		// parallel insert).
-		for _, p := range pr.pipes {
+		for pi, p := range pr.pipes {
 			if p.keyCol == nil {
 				continue
 			}
+			var t0 time.Time
+			if col != nil {
+				t0 = time.Now()
+			}
 			p.runBuild(wid)
+			if col != nil {
+				col.PipeWorker(pi, 0, 0, time.Since(t0).Nanoseconds())
+			}
 			bar.Wait(func() { p.ht.Prepare(p.ht.Rows()) })
 			p.ht.InsertShard(wid)
 			bar.Wait(nil)
 		}
 
+		var t0 time.Time
+		var nOut *int64
+		if col != nil {
+			t0 = time.Now()
+			nOut = new(int64)
+		}
 		switch {
 		case keyed:
-			final.runGrouped(wid, specs, keyGet, spill)
+			final.runGrouped(wid, specs, keyGet, spill, nOut)
+			if col != nil {
+				col.PipeWorker(fi, *nOut, 0, time.Since(t0).Nanoseconds())
+			}
 			bar.Wait(nil)
 			// Phase two: per-partition merge of partial aggregates.
 			// Output rows subslice a per-partition arena (one
@@ -260,14 +291,35 @@ func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *lo
 			}
 		case global:
 			partials[wid] = final.runGlobal(wid, specs)
+			if col != nil {
+				col.PipeWorker(fi, partials[wid].N, 0, time.Since(t0).Nanoseconds())
+			}
 		default:
 			if stream != nil {
-				final.runProjectStream(items, streamBufs[wid])
+				final.runProjectStream(items, streamBufs[wid], nOut)
 			} else {
 				workerRows[wid] = final.runProject(wid, items)
+				if nOut != nil {
+					*nOut = int64(len(workerRows[wid]))
+				}
+			}
+			if col != nil {
+				col.PipeWorker(fi, *nOut, 0, time.Since(t0).Nanoseconds())
 			}
 		}
 	})
+
+	if col != nil {
+		// Build-pipeline output = the shared table's final row count;
+		// merged once here rather than per worker.
+		for i, p := range pr.pipes {
+			if p.keyCol != nil {
+				n := int64(p.ht.Rows())
+				col.SetHTRows(i, n)
+				col.PipeWorker(i, n, 0, 0)
+			}
+		}
+	}
 
 	if stream != nil {
 		for _, b := range streamBufs {
@@ -698,12 +750,15 @@ func (p *pipe) groupKeyGet(agg *logical.Aggregate) (u64Fn, error) {
 // runGrouped is phase one of the keyed aggregation: fused scan/probe
 // loop feeding a cache-resident pre-aggregation table, overflow and
 // final flush spilling partition-partial rows [hash, key, aggs...].
-func (p *pipe) runGrouped(wid int, specs []groupSpec, keyGet u64Fn, spill *hashtable.Spill) {
+// A non-nil nOut (telemetry-instrumented executions) counts the rows
+// reaching the sink in a worker-local counter; nil leaves the fused
+// loop untouched.
+func (p *pipe) runGrouped(wid int, specs []groupSpec, keyGet u64Fn, spill *hashtable.Spill, nOut *int64) {
 	local := hashtable.New(1+len(specs), 1)
 	local.Prepare(preAggCapacity)
 	lsh := local.Shard(0)
 
-	p.run(func(i int, fr []int64) {
+	body := func(i int, fr []int64) {
 		k := keyGet(i, fr)
 		h := hashtable.Mix64(k)
 		for ref := local.Lookup(h); ref != 0; ref = local.Next(ref) {
@@ -746,7 +801,15 @@ func (p *pipe) runGrouped(wid int, specs []groupSpec, keyGet u64Fn, spill *hasht
 				row[2+j] = initWord(&specs[j], i, fr)
 			}
 		}
-	})
+	}
+	if nOut != nil {
+		inner := body
+		body = func(i int, fr []int64) {
+			*nOut++
+			inner(i, fr)
+		}
+	}
+	p.run(body)
 
 	local.ForEach(func(ref hashtable.Ref) {
 		h := local.Hash(ref)
@@ -819,9 +882,12 @@ func (p *pipe) runProject(wid int, items []scalarFn) [][]int64 {
 
 // runProjectStream is runProject flushing rows to the worker's stream
 // buffer instead of materializing — projection rows are already in
-// item layout.
-func (p *pipe) runProjectStream(items []scalarFn, buf *logical.StreamBuf) {
+// item layout. A non-nil nOut counts the flushed rows (telemetry).
+func (p *pipe) runProjectStream(items []scalarFn, buf *logical.StreamBuf, nOut *int64) {
 	p.run(func(i int, fr []int64) {
+		if nOut != nil {
+			*nOut++
+		}
 		row := make([]int64, len(items))
 		for j, v := range items {
 			row[j] = v(i, fr)

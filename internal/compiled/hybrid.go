@@ -107,9 +107,11 @@ func (p *Program) RunBuild(i, wid int) { p.pr.pipes[i].runBuild(wid) }
 
 // RunGrouped runs the final pipeline's phase-one keyed aggregation for
 // one worker, spilling partial groups into the shared spill (row layout
-// [hash, key, aggs...], identical to the vectorized sink's).
-func (p *Program) RunGrouped(wid int, spill *hashtable.Spill) {
-	p.pr.final.runGrouped(wid, p.specs, p.keyGet, spill)
+// [hash, key, aggs...], identical to the vectorized sink's). A non-nil
+// nOut counts the rows reaching the sink (telemetry-instrumented
+// executions only).
+func (p *Program) RunGrouped(wid int, spill *hashtable.Spill, nOut *int64) {
+	p.pr.final.runGrouped(wid, p.specs, p.keyGet, spill, nOut)
 }
 
 // RunGlobal runs the final pipeline's ungrouped aggregation for one

@@ -37,6 +37,7 @@ import (
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/plan"
 	"paradigms/internal/registry"
 	"paradigms/internal/simd"
@@ -232,6 +233,43 @@ func ExecuteArgsStream(ctx context.Context, pl *logical.Plan, nWorkers, chunk in
 	return ExecuteStream(ctx, bound, nWorkers, chunk, sink)
 }
 
+// ExecuteStreamRouted is ExecuteStream with an explicit Router and
+// vector size: the execution materializes through ExecuteRouted — so
+// the router is fed and the Report (assignment decoration) comes back
+// to the caller — and the result streams in chunks. This keeps the
+// streaming path's routing and engine decoration identical to the
+// materializing path's.
+func ExecuteStreamRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize, chunk int, router Router, sink logical.RowSink) (*Report, error) {
+	if err := sink.SetCols(pl.Cols); err != nil {
+		return nil, err
+	}
+	res, rep, err := ExecuteRouted(ctx, pl, nWorkers, vecSize, router)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return rep, logical.StreamChunks(ctx, logical.NewStreamer(sink, cancel), res.Rows, chunk)
+}
+
+// ExecuteArgsStreamRouted is ExecuteStreamRouted for parameterized
+// plans.
+func ExecuteArgsStreamRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize, chunk int, router Router, args []int64, sink logical.RowSink) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("hybrid: internal error executing query: %v", r)
+		}
+	}()
+	bound, err := pl.BindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteStreamRouted(ctx, bound, nWorkers, vecSize, chunk, router, sink)
+}
+
 // ExecuteRouted runs a plan with an explicit Router (nil = cost
 // heuristic only) and an explicit vector size (0 = micro-adaptive).
 // On success the Router has been fed the observed per-pipeline
@@ -282,6 +320,11 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 	}
 	if len(assign) != n {
 		assign = CostAssign(meta)
+	}
+
+	col := obs.FromContext(ctx)
+	if col != nil {
+		vp.Describe(col)
 	}
 
 	adaptive := vecSize <= 0
@@ -336,6 +379,17 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		nanos[i] = make([]int64, w)
 		vecs[i] = make([]int, w)
 	}
+	// Row/batch counters, allocated only when a collector rides the
+	// context (same per-worker-column discipline).
+	var orows, obat [][]int64
+	if col != nil {
+		orows = make([][]int64, n)
+		obat = make([][]int64, n)
+		for i := range orows {
+			orows[i] = make([]int64, w)
+			obat[i] = make([]int64, w)
+		}
+	}
 
 	fi := n - 1 // final pipeline (lowering order puts it last)
 	bar := exec.NewBarrier(w)
@@ -355,6 +409,11 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		drain := func(i int, mkSink func() plan.Sink) plan.Sink {
 			root, scan := vecWorker().PipeRoot(i)
 			sink := mkSink()
+			var cs *obs.CountingSink
+			if col != nil {
+				cs = &obs.CountingSink{Sink: sink}
+				sink = cs
+			}
 			if adaptive {
 				vecs[i][wid] = drainAdaptive(root, scan, sink)
 			} else {
@@ -363,6 +422,9 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 				for root.Next(&b) {
 					sink.Consume(&b)
 				}
+			}
+			if cs != nil {
+				orows[i][wid], obat[i][wid] = cs.Rows, cs.Batches
 			}
 			return sink
 		}
@@ -385,10 +447,14 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		}
 
 		start := time.Now()
+		var nOut *int64
+		if col != nil {
+			nOut = &orows[fi][wid]
+		}
 		switch {
 		case keyed:
 			if assign[fi] == EngineCompiled {
-				cp.RunGrouped(wid, spill)
+				cp.RunGrouped(wid, spill, nOut)
 				bar.Wait(nil)
 			} else {
 				sink := drain(fi, func() plan.Sink { return vecWorker().GroupBySink(wid, spill, htOps) })
@@ -409,6 +475,9 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		case global:
 			if assign[fi] == EngineCompiled {
 				partials[wid] = cp.RunGlobal(wid)
+				if nOut != nil {
+					*nOut = partials[wid].N
+				}
 			} else {
 				sink := drain(fi, func() plan.Sink { return vecWorker().GlobalSink(&partials[wid]) })
 				sink.Finish(bar, wid)
@@ -416,6 +485,9 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		default:
 			if assign[fi] == EngineCompiled {
 				workerRows[wid] = cp.RunProject(wid)
+				if nOut != nil {
+					*nOut = int64(len(workerRows[wid]))
+				}
 			} else {
 				drain(fi, func() plan.Sink { return vecWorker().CollectSink(&workerRows[wid]) })
 			}
@@ -442,6 +514,24 @@ func ExecuteRouted(ctx context.Context, pl *logical.Plan, nWorkers, vecSize int,
 		rep.Nanos[i] = maxOf(nanos[i])
 		if assign[i] == EngineVectorized {
 			rep.Vec[i] = modal(vecs[i])
+		}
+	}
+	if col != nil {
+		for i := 0; i < n; i++ {
+			col.SetPipeEngine(i, assign[i].String())
+			var rows, bat int64
+			for wid := 0; wid < w; wid++ {
+				rows += orows[i][wid]
+				bat += obat[i][wid]
+			}
+			if cp.IsBuild(i) {
+				rows = int64(hts[i].Rows())
+				col.SetHTRows(i, rows)
+			}
+			col.PipeWorker(i, rows, bat, rep.Nanos[i])
+			if rep.Vec[i] > 0 {
+				col.SetVec(i, rep.Vec[i])
+			}
 		}
 	}
 	if router != nil && ctx.Err() == nil {

@@ -9,6 +9,7 @@ import (
 	"paradigms/internal/catalog"
 	"paradigms/internal/exec"
 	"paradigms/internal/hashtable"
+	"paradigms/internal/obs"
 	"paradigms/internal/plan"
 	"paradigms/internal/sql"
 	"paradigms/internal/tw"
@@ -38,6 +39,14 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 		return nil, err
 	}
 	e := plan.NewExec(ctx, workers, vecSize)
+	col := obs.FromContext(ctx)
+	if col != nil {
+		describeProgram(prog, col)
+		for i := range prog.pipes {
+			col.SetPipeEngine(i, "v")
+			col.SetVec(i, e.Vec)
+		}
+	}
 	for _, ps := range prog.pipes {
 		ps.disp = e.ScanDisp(ps.scan.Table.Rel)
 		if ps.keyCol != nil {
@@ -78,10 +87,26 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 		workerRows = make([][][]int64, e.Workers)
 	}
 
+	// observed wraps a stage's sink with worker-local row/batch counters
+	// and merges them (plus the worker's stage wall time) into the
+	// collector when the stage completes; with no collector the stage is
+	// returned untouched.
+	observed := func(st plan.Stage, pipe int) plan.Stage {
+		if col == nil {
+			return st
+		}
+		cs := &obs.CountingSink{Sink: st.Sink}
+		st.Sink = cs
+		st.Obs = func(wid int, nanos int64) {
+			col.PipeWorker(pipe, cs.Rows, cs.Batches, nanos)
+		}
+		return st
+	}
+
 	e.Run(func(wid int, bufs *vector.Buffers) []plan.Stage {
 		w := &worker{bufs: bufs, colBuf: map[*pipeSpec]map[*catalog.Column][]uint64{}}
 		var stages []plan.Stage
-		for _, ps := range prog.pipes {
+		for pi, ps := range prog.pipes {
 			if ps.keyCol == nil {
 				continue
 			}
@@ -91,13 +116,14 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 			for i, src := range ps.paySrc {
 				pays[i] = w.srcVecU64(ps, src)
 			}
-			stages = append(stages, plan.Stage{
+			stages = append(stages, observed(plan.Stage{
 				Root: root,
 				Sink: plan.NewHashBuild(bufs, ps.ht, wid, key, pays...),
-			})
+			}, pi))
 		}
 
 		final := prog.final
+		fi := len(prog.pipes) - 1
 		root := w.pipeOps(final, e)
 		switch {
 		case keyed:
@@ -106,10 +132,10 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 			for i, s := range agg.Aggs {
 				vals[i] = w.aggInput(final, s)
 			}
-			stages = append(stages, plan.Stage{
+			stages = append(stages, observed(plan.Stage{
 				Root: root,
 				Sink: plan.NewGroupBy(bufs, spill, wid, htOps, key, vals...),
-			})
+			}, fi))
 			stages = append(stages, plan.MergeStage(partDisp, spill, htOps, func(wid int, row []uint64) {
 				out := make([]int64, agg.MergedWidth())
 				agg.DecodeMergedRow(row, out)
@@ -121,7 +147,7 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 			}))
 		case global:
 			sink := newGlobalAggSink(w, final, agg, &partials[wid])
-			stages = append(stages, plan.Stage{Root: root, Sink: sink})
+			stages = append(stages, observed(plan.Stage{Root: root, Sink: sink}, fi))
 		default:
 			sink := &collectSink{}
 			sink.exprs = make([]vec64, len(pl.Proj))
@@ -133,10 +159,18 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 			} else {
 				sink.out = &workerRows[wid]
 			}
-			stages = append(stages, plan.Stage{Root: root, Sink: sink})
+			stages = append(stages, observed(plan.Stage{Root: root, Sink: sink}, fi))
 		}
 		return stages
 	})
+
+	if col != nil {
+		for i, ps := range prog.pipes {
+			if ps.keyCol != nil {
+				col.SetHTRows(i, int64(ps.ht.Rows()))
+			}
+		}
+	}
 
 	if stream != nil {
 		for _, b := range streamBufs {

@@ -1,0 +1,66 @@
+package logical
+
+import (
+	"paradigms/internal/obs"
+)
+
+// This file is the planner's side of the execution-telemetry extension
+// (internal/obs): it describes the lowered pipeline decomposition —
+// tables, build/final roles, probe counts — together with the planner's
+// cardinality estimates, so EXPLAIN ANALYZE and the query log can put
+// estimated next to observed cardinality per pipeline. The estimates
+// reuse the exact selectivity heuristics the join-order optimizer runs
+// on (selectivity in planner.go), so the drift a consumer computes is
+// the drift the optimizer actually suffered.
+
+// estPipeRows estimates a pipeline's output cardinality: the spine
+// scan's rows scaled by the pushed-down filters' selectivities, then by
+// each probe's retention ratio — the fraction of the build spine's key
+// domain the build chain retains — and each residual equality.
+func estPipeRows(ps *pipeSpec) float64 {
+	if ps.rejectAll {
+		return 0
+	}
+	est := float64(ps.scan.Table.Rel.Rows())
+	for _, f := range ps.scan.Filters {
+		est *= selectivity(f)
+	}
+	for _, st := range ps.steps {
+		domain := float64(st.build.scan.Table.Rel.Rows())
+		if domain > 0 {
+			est *= estPipeRows(st.build) / domain
+		}
+		for range st.residuals {
+			est *= 0.1 // equality residual, same factor as OpEq
+		}
+	}
+	return est
+}
+
+// describeProgram records each pipeline's static shape and estimate
+// into the collector.
+func describeProgram(prog *program, col *obs.Collector) {
+	col.SetPipes(len(prog.pipes))
+	for i, ps := range prog.pipes {
+		col.DescribePipe(i, ps.scan.Table.Name, ps.keyCol != nil,
+			int64(ps.scan.Table.Rel.Rows()), len(ps.steps), estPipeRows(ps))
+	}
+}
+
+// DescribePipes lowers the plan and records each pipeline's shape and
+// cardinality estimate into the collector. It is called only on
+// instrumented executions (the compiled backend has no handle on the
+// vectorized lowering, and re-lowering is microseconds next to any
+// query it would describe).
+func (pl *Plan) DescribePipes(col *obs.Collector) error {
+	prog, err := lower(pl)
+	if err != nil {
+		return err
+	}
+	describeProgram(prog, col)
+	return nil
+}
+
+// Describe records the already-lowered program's pipeline shapes and
+// estimates (the hybrid executor's entry point).
+func (p *VecProgram) Describe(col *obs.Collector) { describeProgram(p.prog, col) }

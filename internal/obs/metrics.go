@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// bucketBounds are the histogram upper bounds in seconds, spanning
+// microsecond pipelines to pathological ten-second queries.
+var bucketBounds = [numBounds]float64{
+	1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+const numBounds = 7
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	counts [numBounds + 1]uint64 // +Inf bucket last
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(bucketBounds[:], seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// Metrics aggregates execution-time histograms across queries:
+// whole-query latency per engine and per-pipeline wall time per backend
+// ("t"/"v"), rendered in the Prometheus text exposition format by
+// WriteTo for the proto server's /metricsz endpoint.
+type Metrics struct {
+	mu    sync.Mutex
+	query map[string]*histogram // by engine name submitted to stats
+	pipe  map[string]*histogram // by pipeline backend tag
+}
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		query: make(map[string]*histogram),
+		pipe:  make(map[string]*histogram),
+	}
+}
+
+// ObserveQuery records one whole-query latency under the engine name.
+func (m *Metrics) ObserveQuery(engine string, seconds float64) {
+	if engine == "" {
+		engine = "unknown"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.query[engine]
+	if h == nil {
+		h = &histogram{}
+		m.query[engine] = h
+	}
+	h.observe(seconds)
+}
+
+// ObservePipes records each pipeline's wall time under its backend tag
+// ("t" → typer-style fused, "v" → tectorwise vectors).
+func (m *Metrics) ObservePipes(pipes []PipeStat) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range pipes {
+		eng := p.Engine
+		if eng == "" {
+			eng = "unknown"
+		}
+		h := m.pipe[eng]
+		if h == nil {
+			h = &histogram{}
+			m.pipe[eng] = h
+		}
+		h.observe(float64(p.Nanos) / 1e9)
+	}
+}
+
+// WriteTo renders the histograms in the Prometheus text format, engines
+// in sorted order so the output is deterministic.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cw := &countWriter{w: w}
+	if err := writeHistFamily(cw, "paradigms_query_seconds",
+		"Whole-query latency by engine.", "engine", m.query); err != nil {
+		return cw.n, err
+	}
+	if err := writeHistFamily(cw, "paradigms_pipeline_seconds",
+		"Per-pipeline wall time by backend (t = fused, v = vectorized).", "backend", m.pipe); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// writeHistFamily renders one histogram family with a single label.
+func writeHistFamily(w io.Writer, name, help, label string, hists map[string]*histogram) error {
+	if len(hists) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := hists[k]
+		var cum uint64
+		for i, bound := range bucketBounds {
+			cum += h.counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				name, label, k, formatBound(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(bucketBounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %g\n%s_count{%s=%q} %d\n",
+			name, label, k, h.sum, name, label, k, h.n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound without exponent notation, as the
+// Prometheus text format prefers.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// countWriter counts bytes for the io.WriterTo contract.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

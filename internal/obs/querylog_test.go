@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQueryLogWriteAndParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queries.ndjson")
+	l, err := OpenQueryLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := QueryRecord{
+		Time: "2026-01-02T03:04:05Z", Engine: "typer", Used: "typer",
+		SQL: "select count(*) as n from lineitem", LatencyMs: 1.5, Rows: 1,
+		PlanShape: "00000000deadbeef",
+		Pipes:     []PipeStat{{Table: "lineitem", RowsIn: 100, RowsOut: 100}},
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Write(&rec); err == nil {
+		t.Error("Write after Close should error")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var got QueryRecord
+		if err := json.Unmarshal(sc.Bytes(), &got); err != nil {
+			t.Fatalf("line %d not parseable: %v", lines, err)
+		}
+		if got.SQL != rec.SQL || got.Rows != 1 || len(got.Pipes) != 1 {
+			t.Errorf("round trip mismatch: %+v", got)
+		}
+	}
+	if lines != 3 {
+		t.Errorf("got %d lines, want 3", lines)
+	}
+}
+
+func TestQueryLogRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	l, err := OpenQueryLog(path, 256) // tiny bound to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rec := QueryRecord{Engine: "typer", SQL: "select count(*) as n from lineitem", Rows: 1}
+	for i := 0; i < 20; i++ {
+		if err := l.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 256 {
+		t.Errorf("live log %d bytes exceeds bound 256", st.Size())
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("rotation target missing: %v", err)
+	}
+}
+
+func TestQueryLogReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	rec := QueryRecord{Engine: "typer", SQL: "select 1"}
+	for i := 0; i < 2; i++ {
+		l, err := OpenQueryLog(path, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(splitLines(raw)); n != 2 {
+		t.Errorf("got %d lines after reopen, want 2", n)
+	}
+}
+
+func splitLines(b []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, c := range b {
+		if c == '\n' {
+			out = append(out, b[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

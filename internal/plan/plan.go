@@ -26,6 +26,7 @@ package plan
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"paradigms/internal/exec"
 	"paradigms/internal/storage"
@@ -96,6 +97,12 @@ type Stage struct {
 	Root Operator
 	Sink Sink
 	Run  func(wid int)
+
+	// Obs, when non-nil, receives the worker's wall time after the
+	// stage completes (telemetry-instrumented executions only). The
+	// uninstrumented path pays one nil check per stage per worker —
+	// never per batch.
+	Obs func(wid int, nanos int64)
 }
 
 // Run executes the plan: build is called once per worker with the
@@ -107,6 +114,10 @@ func (e *Exec) Run(build func(wid int, bufs *vector.Buffers) []Stage) {
 	exec.Parallel(e.Workers, func(wid int) {
 		bufs := vector.NewBuffers(e.Vec)
 		for _, st := range build(wid, bufs) {
+			var start time.Time
+			if st.Obs != nil {
+				start = time.Now()
+			}
 			switch {
 			case st.Root != nil:
 				var b Batch
@@ -116,6 +127,9 @@ func (e *Exec) Run(build func(wid int, bufs *vector.Buffers) []Stage) {
 				st.Sink.Finish(e.bar, wid)
 			case st.Run != nil:
 				st.Run(wid)
+			}
+			if st.Obs != nil {
+				st.Obs(wid, time.Since(start).Nanoseconds())
 			}
 		}
 	})

@@ -122,8 +122,14 @@ func (s *Statement) ExecuteStream(ctx context.Context, engine string, args []int
 		err = s.Plan.ExecuteArgsStream(ctx, workers, vecSize, chunk, args, sink)
 	case registry.Hybrid:
 		// Streaming materializes and chunks (the hybrid executor has no
-		// incremental path); assignments come from the cost heuristic.
-		err = hybrid.ExecuteArgsStream(ctx, s.Plan, workers, chunk, args, sink)
+		// incremental path), but routes and decorates exactly like the
+		// materializing path: the statement's PipelineRouter assigns and
+		// learns, and the end frame reports "hybrid[t,v,...]".
+		var rep *hybrid.Report
+		rep, err = hybrid.ExecuteArgsStreamRouted(ctx, s.Plan, workers, vecSize, chunk, &s.pipeRouter, args, sink)
+		if err == nil && rep != nil {
+			used = registry.Hybrid + rep.Suffix()
+		}
 	default:
 		return used, fmt.Errorf("prepcache: unknown engine %q (%s | %s | %s | %s)",
 			engine, registry.Typer, registry.Tectorwise, registry.Hybrid, Auto)

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"paradigms/internal/obs"
 	"paradigms/internal/proto"
 )
 
@@ -120,6 +121,14 @@ func (c *Client) QueryPrepared(ctx context.Context, engine, sql string, args ...
 	return c.do(ctx, proto.QueryRequest{Tenant: c.Tenant, Engine: engine, SQL: sql, Prepared: true, Args: args})
 }
 
+// QueryAnalyze is Query with telemetry: the server instruments the
+// execution and streams an extra analyze frame (per-pipeline observed
+// vs estimated cardinalities and timings), readable via Rows.Pipes
+// after the stream ends.
+func (c *Client) QueryAnalyze(ctx context.Context, engine, sql string) (*Rows, error) {
+	return c.do(ctx, proto.QueryRequest{Tenant: c.Tenant, Engine: engine, SQL: sql, Analyze: true})
+}
+
 func (c *Client) do(ctx context.Context, q proto.QueryRequest) (*Rows, error) {
 	resp, err := c.post(ctx, "/v1/query", q)
 	if err != nil {
@@ -180,8 +189,9 @@ type Rows struct {
 	batch [][]int64
 	idx   int
 
-	end *proto.Frame
-	err error
+	pipes []obs.PipeStat
+	end   *proto.Frame
+	err   error
 }
 
 // Cols is the output schema (available after the first Next call, or
@@ -230,6 +240,8 @@ func (r *Rows) advance() bool {
 		r.cols = f.Cols
 	case proto.FrameRows:
 		r.batch, r.idx = f.Rows, 0
+	case proto.FrameAnalyze:
+		r.pipes = f.Pipes
 	case proto.FrameEnd:
 		r.end = f
 		return false
@@ -254,6 +266,10 @@ func (r *Rows) Engine() string {
 	}
 	return r.end.Engine
 }
+
+// Pipes is the per-pipeline telemetry of a QueryAnalyze execution
+// (nil otherwise; valid after the stream ended cleanly).
+func (r *Rows) Pipes() []obs.PipeStat { return r.pipes }
 
 // RowCount is the server-side row count from the end frame.
 func (r *Rows) RowCount() int64 {

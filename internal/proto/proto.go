@@ -24,14 +24,16 @@ import (
 
 	"paradigms/internal/catalog"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 )
 
 // Frame types of a streamed query response.
 const (
-	FrameCols  = "cols"
-	FrameRows  = "rows"
-	FrameEnd   = "end"
-	FrameError = "error"
+	FrameCols    = "cols"
+	FrameRows    = "rows"
+	FrameAnalyze = "analyze"
+	FrameEnd     = "end"
+	FrameError   = "error"
 )
 
 // Error codes carried by error frames and HTTP error bodies.
@@ -63,6 +65,11 @@ type QueryRequest struct {
 	Prepared bool `json:"prepared,omitempty"`
 	// Args are the placeholder bindings of a prepared execution.
 	Args []string `json:"args,omitempty"`
+	// Analyze instruments the execution with per-pipeline telemetry
+	// (EXPLAIN ANALYZE over the wire): the response carries one extra
+	// "analyze" frame, just before "end", with the observed per-pipeline
+	// cardinalities and timings.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // Validate checks the decoded request's invariants.
@@ -159,6 +166,8 @@ type Frame struct {
 	Cols []Col `json:"cols,omitempty"`
 	// rows
 	Rows [][]int64 `json:"rows,omitempty"`
+	// analyze (per-pipeline telemetry of an Analyze execution)
+	Pipes []obs.PipeStat `json:"pipes,omitempty"`
 	// end
 	Engine    string   `json:"engine,omitempty"`
 	RowCount  *int64   `json:"row_count,omitempty"`
@@ -184,28 +193,35 @@ func DecodeFrame(line []byte) (*Frame, error) {
 		if len(f.Cols) == 0 {
 			return nil, errors.New("proto: cols frame without columns")
 		}
-		if f.Rows != nil || f.Error != "" || f.RowCount != nil {
+		if f.Rows != nil || f.Error != "" || f.RowCount != nil || f.Pipes != nil {
 			return nil, errors.New("proto: cols frame with extraneous fields")
 		}
 	case FrameRows:
 		if len(f.Rows) == 0 {
 			return nil, errors.New("proto: rows frame without rows")
 		}
-		if f.Cols != nil || f.Error != "" || f.RowCount != nil {
+		if f.Cols != nil || f.Error != "" || f.RowCount != nil || f.Pipes != nil {
 			return nil, errors.New("proto: rows frame with extraneous fields")
+		}
+	case FrameAnalyze:
+		if len(f.Pipes) == 0 {
+			return nil, errors.New("proto: analyze frame without pipes")
+		}
+		if f.Cols != nil || f.Rows != nil || f.Error != "" || f.RowCount != nil {
+			return nil, errors.New("proto: analyze frame with extraneous fields")
 		}
 	case FrameEnd:
 		if f.RowCount == nil || f.ElapsedMs == nil {
 			return nil, errors.New("proto: end frame missing counters")
 		}
-		if f.Cols != nil || f.Rows != nil || f.Error != "" {
+		if f.Cols != nil || f.Rows != nil || f.Error != "" || f.Pipes != nil {
 			return nil, errors.New("proto: end frame with extraneous fields")
 		}
 	case FrameError:
 		if f.Error == "" || f.Code == "" {
 			return nil, errors.New("proto: error frame missing error/code")
 		}
-		if f.Cols != nil || f.Rows != nil || f.RowCount != nil {
+		if f.Cols != nil || f.Rows != nil || f.RowCount != nil || f.Pipes != nil {
 			return nil, errors.New("proto: error frame with extraneous fields")
 		}
 	default:

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/server"
 )
@@ -20,12 +22,14 @@ import (
 //	POST /v1/query   — execute one SQL text, streaming NDJSON frames
 //	POST /v1/prepare — prepare a text (idempotent; warms the plan cache)
 //	GET  /statsz     — aggregate + per-tenant service stats as JSON
+//	GET  /metricsz   — service counters + latency histograms, Prometheus text
 //	GET  /healthz    — liveness
 //
 // The zero value is not usable; construct with NewServer.
 type Server struct {
-	svc *server.Service
-	now func() time.Time
+	svc     *server.Service
+	now     func() time.Time
+	metrics *obs.Metrics
 }
 
 // NewServer wraps a query service. now is injectable for the golden
@@ -37,12 +41,22 @@ func NewServer(svc *server.Service, now func() time.Time) *Server {
 	return &Server{svc: svc, now: now}
 }
 
+// WithMetrics attaches the shared histogram registry rendered by
+// /metricsz (the same registry the facade's ObsEnd hook feeds), and
+// returns the server for chaining. Without it /metricsz serves the
+// service counters alone.
+func (s *Server) WithMetrics(m *obs.Metrics) *Server {
+	s.metrics = m
+	return s
+}
+
 // Handler builds the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/prepare", s.handlePrepare)
 	mux.HandleFunc("/statsz", s.handleStats)
+	mux.HandleFunc("/metricsz", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
@@ -107,6 +121,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	sink := &ndjsonSink{w: w}
 	req.Sink = sink
+	if q.Analyze {
+		req.Collector = obs.NewCollector()
+	}
 
 	start := s.now()
 	h, err := s.svc.SubmitReq(r.Context(), req)
@@ -129,7 +146,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		sink.frame(Frame{Type: FrameError, Error: err.Error(), Code: errCode(err)})
 		return
 	}
-	n := sink.rowCount()
+	if req.Collector != nil {
+		if pipes := req.Collector.Pipes(); len(pipes) > 0 {
+			sink.frame(Frame{Type: FrameAnalyze, Pipes: pipes})
+		}
+	}
+	n := sink.RowCount()
 	elapsed := float64(s.now().Sub(start)) / float64(time.Millisecond)
 	sink.frame(Frame{Type: FrameEnd, Engine: h.EngineUsed(), RowCount: &n, ElapsedMs: &elapsed})
 }
@@ -179,6 +201,46 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(raw, '\n'))
 }
 
+// handleMetrics renders the service's counters — and, when a registry
+// is attached, the per-engine latency histograms — in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("paradigms_queries_submitted_total", "Submissions assigned a query id.", st.Submitted)
+	counter("paradigms_queries_served_total", "Successfully completed queries.", st.Served)
+	counter("paradigms_queries_failed_total", "Queries that failed executing or validating.", st.Failed)
+	counter("paradigms_queries_canceled_total", "Queries abandoned via context.", st.Canceled)
+	counter("paradigms_queries_rejected_total", "Admission-queue overload rejections.", st.Rejected)
+	counter("paradigms_queries_prepared_total", "Served queries that ran through the prepared-statement path.", st.PreparedServed)
+	counter("paradigms_queries_streamed_total", "Served queries that streamed result batches.", st.StreamedServed)
+	counter("paradigms_plan_cache_hits_total", "Prepare calls served from the plan cache.", st.PlanCacheHits)
+	counter("paradigms_plan_cache_misses_total", "Prepare calls that parsed and planned.", st.PlanCacheMisses)
+	counter("paradigms_plan_cache_evictions_total", "Plan cache LRU evictions.", st.PlanCacheEvictions)
+	counter("paradigms_morsels_dispatched_total", "Morsel claims made by this service's queries.", uint64(st.MorselsDispatched))
+	gauge("paradigms_queries_in_flight", "Queries currently executing.", int64(st.InFlight))
+	gauge("paradigms_queries_queued", "Queries waiting for admission.", int64(st.Queued))
+	engines := make([]string, 0, len(st.PerEngine))
+	for e := range st.PerEngine {
+		engines = append(engines, e)
+	}
+	sort.Strings(engines)
+	fmt.Fprintf(w, "# HELP paradigms_queries_engine_total Served queries by the engine that ran them.\n")
+	fmt.Fprintf(w, "# TYPE paradigms_queries_engine_total counter\n")
+	for _, e := range engines {
+		fmt.Fprintf(w, "paradigms_queries_engine_total{engine=%q} %d\n", e, st.PerEngine[e])
+	}
+	if s.metrics != nil {
+		s.metrics.WriteTo(w)
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	raw, err := json.Marshal(s.svc.Stats())
 	if err != nil {
@@ -210,7 +272,10 @@ func (s *ndjsonSink) started() bool {
 	return s.wrote
 }
 
-func (s *ndjsonSink) rowCount() int64 {
+// RowCount is the rows streamed so far. Exported so the service's
+// ObsEnd hook can read the result cardinality through the generic
+// `interface{ RowCount() int64 }` assertion on the sink.
+func (s *ndjsonSink) RowCount() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rows

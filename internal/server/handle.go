@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync/atomic"
 	"time"
+
+	"paradigms/internal/obs"
 )
 
 // Handle is a submitted query's ticket: identity, engine choice, timing,
@@ -23,6 +25,10 @@ type Handle struct {
 	// sink receives streamed result batches (nil for materializing
 	// submissions); see Req.Sink.
 	sink any
+
+	// col collects per-pipeline execution telemetry (nil for
+	// uninstrumented submissions); see Req.Collector and Config.ObsBegin.
+	col *obs.Collector
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -67,6 +73,10 @@ func (h *Handle) EngineUsed() string {
 	}
 	return h.engine
 }
+
+// Collector is the telemetry collector the query executed under (nil
+// for uninstrumented submissions). Valid after Done.
+func (h *Handle) Collector() *obs.Collector { return h.col }
 
 // Prepared reports whether the handle is a prepared-statement
 // execution, and Args returns its argument binding.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"paradigms/internal/exec"
+	"paradigms/internal/obs"
 )
 
 // ExecFunc executes one query on behalf of the service. It must honor ctx
@@ -143,6 +144,45 @@ type Config struct {
 	// PlanCacheStats, if set, is polled by Stats to surface the plan
 	// cache's hit/miss/eviction counters.
 	PlanCacheStats func() (hits, misses, evictions uint64)
+	// ObsBegin, if set, creates the telemetry collector attached to each
+	// execution's context (nil return = uninstrumented). A collector
+	// already carried by the request (Req.Collector — e.g. an EXPLAIN
+	// ANALYZE submission) takes precedence.
+	ObsBegin func() *obs.Collector
+	// ObsEnd, if set, receives every finished query together with its
+	// collector (nil when uninstrumented) — the facade wires the
+	// structured query log and metrics here. Called outside the
+	// service's lock, after stats are recorded.
+	ObsEnd func(col *obs.Collector, info QueryInfo)
+	// EngineKey, if set, normalizes an engine name before per-engine
+	// stats attribution — the facade strips hybrid assignment
+	// decorations so "hybrid[t,v]" and "hybrid[t,t]" count under one
+	// "hybrid" key instead of fragmenting the map per assignment.
+	EngineKey func(engine string) string
+}
+
+// QueryInfo describes one finished query for the ObsEnd hook.
+type QueryInfo struct {
+	// Tenant the query billed to; Engine as submitted (possibly
+	// "auto"); Used as executed (hybrid-decorated; equals Engine when
+	// the query never ran).
+	Tenant string
+	Engine string
+	Used   string
+	// Query is the submitted text (a prepared submission's statement
+	// text).
+	Query    string
+	Prepared bool
+	Streamed bool
+	// Latency is submit-to-finish; Rows the result cardinality (from a
+	// streaming sink's RowCount method when available, else -1 — the
+	// facade refines it from the materialized result).
+	Latency time.Duration
+	Rows    int64
+	// Result is the materialized result (nil for streams and
+	// failures); Err the failure (nil when served).
+	Result any
+	Err    error
 }
 
 // waiter is one queued admission request.
@@ -173,6 +213,10 @@ type Req struct {
 	// materializing the result (the facade's hooks define the concrete
 	// sink type; validation is skipped for streams).
 	Sink any
+	// Collector, if non-nil, instruments the execution with per-pipeline
+	// telemetry readable by the caller after Done (EXPLAIN ANALYZE).
+	// It overrides Config.ObsBegin for this submission.
+	Collector *obs.Collector
 }
 
 // Service is a concurrent query execution service: bounded concurrency,
@@ -330,8 +374,12 @@ func (s *Service) SubmitReq(ctx context.Context, req Req) (*Handle, error) {
 		prep:      req.Prep,
 		args:      req.Args,
 		sink:      req.Sink,
+		col:       req.Collector,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+	}
+	if h.col == nil && s.cfg.ObsBegin != nil {
+		h.col = s.cfg.ObsBegin()
 	}
 	qctx, cancel := context.WithCancel(ctx)
 	h.cancel = cancel
@@ -395,6 +443,9 @@ func (s *Service) run(h *Handle, ctx context.Context, t *tenant, w *waiter, shar
 	mctx := exec.WithMorselCounter(ctx, &s.morsels)
 	if s.cfg.MorselSize > 0 {
 		mctx = exec.WithMorselSize(mctx, s.cfg.MorselSize)
+	}
+	if h.col != nil {
+		mctx = obs.WithCollector(mctx, h.col)
 	}
 	// Morsel-level yielding: every dispatcher of this query calls back
 	// between morsels; the pause is whatever the fairness controller
@@ -482,6 +533,13 @@ func (s *Service) finish(h *Handle, t *tenant, res any, err error) {
 		h.result = res
 	}
 	lat := h.finished.Sub(h.submitted)
+	// Attribute to the engine that actually ran ("auto" resolves per
+	// execution); a query that died in the queue never ran and keeps its
+	// submitted engine.
+	eng := h.ran
+	if eng == "" {
+		eng = h.engine
+	}
 	s.mu.Lock()
 	switch {
 	case err == nil:
@@ -497,14 +555,11 @@ func (s *Service) finish(h *Handle, t *tenant, res any, err error) {
 		if s.st.perEngine == nil {
 			s.st.perEngine = make(map[string]uint64)
 		}
-		// Attribute to the engine that actually ran ("auto" resolves
-		// per execution); a query that died in the queue never ran and
-		// keeps its submitted engine.
-		eng := h.ran
-		if eng == "" {
-			eng = h.engine
+		key := eng
+		if s.cfg.EngineKey != nil {
+			key = s.cfg.EngineKey(eng)
 		}
-		s.st.perEngine[eng]++
+		s.st.perEngine[key]++
 		s.st.record(lat)
 		t.record(lat)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -515,6 +570,26 @@ func (s *Service) finish(h *Handle, t *tenant, res any, err error) {
 		t.failed++
 	}
 	s.mu.Unlock()
+	if s.cfg.ObsEnd != nil && h.col != nil {
+		info := QueryInfo{
+			Tenant:   h.tenant,
+			Engine:   h.engine,
+			Used:     eng,
+			Query:    h.query,
+			Prepared: h.prep != nil,
+			Streamed: h.sink != nil,
+			Latency:  lat,
+			Rows:     -1,
+			Err:      err,
+		}
+		if err == nil {
+			info.Result = res
+			if rc, ok := h.sink.(interface{ RowCount() int64 }); ok {
+				info.Rows = rc.RowCount()
+			}
+		}
+		s.cfg.ObsEnd(h.col, info)
+	}
 	close(h.done)
 }
 

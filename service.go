@@ -11,6 +11,7 @@ import (
 	"paradigms/internal/compiled"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/prepcache"
 	"paradigms/internal/server"
 	"paradigms/internal/sql"
@@ -49,6 +50,15 @@ type ServiceOptions struct {
 	// see server.Config.
 	YieldPause time.Duration
 	MorselSize int
+	// Metrics, if non-nil, receives per-query and per-pipeline latency
+	// observations from every execution (rendered by the proto server's
+	// /metricsz). QueryLog, if non-nil, receives one structured NDJSON
+	// record per finished query (cmd/serve -qlog). Setting either
+	// instruments every execution with a telemetry collector; leaving
+	// both nil keeps executions collector-free (EXPLAIN ANALYZE
+	// submissions still instrument themselves via Req.Collector).
+	Metrics  *obs.Metrics
+	QueryLog *obs.QueryLog
 }
 
 // NewService builds a concurrent query service over the given databases.
@@ -154,7 +164,14 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			case string(Tectorwise):
 				return engine, pl.ExecuteStream(ctx, workers, opt.VectorSize, opt.StreamChunk, rs)
 			case string(Hybrid):
-				return engine, hybrid.ExecuteStream(ctx, pl, workers, opt.StreamChunk, rs)
+				// Routed so the end frame reports the per-pipeline
+				// assignment ("hybrid[t,v]"), exactly like the prepared
+				// and materializing hybrid paths.
+				rep, err := hybrid.ExecuteStreamRouted(ctx, pl, workers, opt.VectorSize, opt.StreamChunk, nil, rs)
+				if err == nil && rep != nil {
+					return engine + rep.Suffix(), nil
+				}
+				return engine, err
 			default:
 				return engine, fmt.Errorf("paradigms: engine %q cannot stream ad-hoc SQL (use %s, %s, or %s)", engine, Typer, Tectorwise, Hybrid)
 			}
@@ -175,6 +192,50 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			hits, misses, evictions, _ = cache.Stats()
 			return hits, misses, evictions
 		},
+		// Per-engine stats attribution counts hybrid executions under one
+		// "hybrid" key regardless of their per-pipeline assignment
+		// decoration ("hybrid[t,v]" vs "hybrid[t,t]").
+		EngineKey: prepcache.BaseEngine,
+	}
+
+	if opt.Metrics != nil || opt.QueryLog != nil {
+		cfg.ObsBegin = obs.NewCollector
+		cfg.ObsEnd = func(col *obs.Collector, info server.QueryInfo) {
+			pipes := col.Pipes()
+			if opt.Metrics != nil && info.Err == nil {
+				opt.Metrics.ObserveQuery(prepcache.BaseEngine(info.Used), info.Latency.Seconds())
+				opt.Metrics.ObservePipes(pipes)
+			}
+			if opt.QueryLog == nil {
+				return
+			}
+			rec := obs.QueryRecord{
+				Time:      time.Now().UTC().Format(time.RFC3339Nano),
+				Tenant:    info.Tenant,
+				Engine:    info.Engine,
+				Used:      info.Used,
+				SQL:       info.Query,
+				Prepared:  info.Prepared,
+				Streamed:  info.Streamed,
+				PlanShape: obs.ShapeHash(pipes),
+				LatencyMs: float64(info.Latency) / float64(time.Millisecond),
+				Rows:      info.Rows,
+				Pipes:     pipes,
+			}
+			if sql.IsQuery(info.Query) {
+				rec.SQL = prepcache.Normalize(info.Query)
+				if db, err := route(info.Query); err == nil {
+					rec.CatalogVersion = logical.CatalogFor(db).Version
+				}
+			}
+			if res, ok := info.Result.(*logical.Result); ok {
+				rec.Rows = int64(len(res.Rows))
+			}
+			if info.Err != nil {
+				rec.Err = info.Err.Error()
+			}
+			opt.QueryLog.Write(&rec)
+		}
 	}
 
 	if !opt.SkipValidation {
