@@ -189,6 +189,7 @@ func main() {
 	statsJSON := flag.Bool("statsjson", false, "also emit the final /statsz snapshot")
 	qlog := flag.String("qlog", "", "append one NDJSON record per query to this file (structured query log)")
 	qlogMax := flag.Int64("qlogmax", 0, "query log rotation bound in bytes (0 = 64 MiB)")
+	prewarm := flag.String("prewarm", "", "mine this query log at startup and pre-prepare its heavy hitters with learned cardinality hints")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the front-end")
 	flag.Parse()
 
@@ -207,6 +208,10 @@ func main() {
 		YieldPause:         *yieldPause,
 		SkipValidation:     true, // streamed results are covered by the equivalence suite
 		Metrics:            obs.NewMetrics(),
+		Prewarm:            *prewarm,
+	}
+	if *prewarm != "" {
+		fmt.Fprintf(os.Stderr, "prewarming plan cache from %s...\n", *prewarm)
 	}
 	if *qlog != "" {
 		ql, err := obs.OpenQueryLog(*qlog, *qlogMax)

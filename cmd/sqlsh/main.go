@@ -355,7 +355,7 @@ func (sh *shell) analyzeStatement(st *prepcache.Statement, vals []int64) {
 		return
 	}
 	elapsed := sh.clock().Sub(start).Round(100 * time.Microsecond)
-	fmt.Fprint(sh.out, st.Plan.Format())
+	fmt.Fprint(sh.out, st.Plan().Format())
 	fmt.Fprint(sh.out, obs.FormatPipes(col.Pipes()))
 	fmt.Fprintf(sh.out, "(%d row%s)  [%s %s]\n", len(res.Rows), plural(len(res.Rows)), elapsed, used)
 }

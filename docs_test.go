@@ -30,6 +30,7 @@ var extensionPackages = map[string]string{
 	"prepcache": "extension", // prepared statements, plan cache, adaptive routing
 	"proto":     "extension", // network protocol of the serving front-end
 	"obs":       "extension", // execution telemetry: EXPLAIN ANALYZE, query log, metrics
+	"feedback":  "extension", // cardinality feedback: drift-triggered re-planning, prewarm mining
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

@@ -1,0 +1,204 @@
+// Package feedback is an extension beyond the paper's fixed query set:
+// it closes the loop between execution telemetry and the planner. A
+// per-statement store accumulates the observed per-pipeline
+// cardinalities that internal/obs collects, detects sustained drift
+// between the optimizer's estimates and reality, and hands the observed
+// selectivities back to internal/logical as CardHints — so a statement
+// whose static estimates mislead the join order gets re-planned from
+// what actually happened rather than from guesses. The paper's engines
+// share one plan; this package decides when that plan was built on
+// wrong cardinalities.
+package feedback
+
+import (
+	"sync"
+
+	"paradigms/internal/obs"
+)
+
+// Drift policy: a statement is re-planned when some pipeline's observed
+// output cardinality is off its estimate by at least DriftThreshold (in
+// either direction) for DriftRuns consecutive executions. One bad run
+// can be a parameter outlier; a sustained factor-4 error is the
+// optimizer being wrong about the workload.
+const (
+	DriftThreshold = 4.0
+	DriftRuns      = 3
+)
+
+// selAlpha is the EWMA weight of the newest observed selectivity —
+// recent bindings dominate, but one outlier cannot flip a hint alone.
+const selAlpha = 0.3
+
+// maxKeys bounds the store; when full, the oldest statement's state is
+// evicted (statements still hot re-enter on their next execution).
+const maxKeys = 1024
+
+// Hints is a per-table observed-selectivity map implementing
+// logical.CardHints. A nil Hints is valid and hints nothing.
+type Hints map[string]float64
+
+// ScanSelectivity implements logical.CardHints.
+func (h Hints) ScanSelectivity(table string) (float64, bool) {
+	s, ok := h[table]
+	return s, ok
+}
+
+// Key identifies one statement's feedback state: the normalized SQL,
+// the catalog version the plan was built against, and the plan's
+// pipeline-shape hash. Re-planning changes the shape, so the re-planned
+// statement accumulates fresh state under a new key — and, since its
+// estimates now come from the hints, observes drift near 1 instead of
+// re-triggering.
+type Key struct {
+	SQL     string
+	Catalog uint64
+	Shape   string
+}
+
+// stmtState is one statement's accumulated feedback.
+type stmtState struct {
+	sel    map[string]float64 // per-table observed filter selectivity (EWMA)
+	runs   int
+	streak int // consecutive runs with drift >= DriftThreshold
+}
+
+// Store accumulates per-statement cardinality feedback. Safe for
+// concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	stats map[Key]*stmtState
+	order []Key // insertion order, for eviction
+}
+
+// NewStore returns an empty feedback store.
+func NewStore() *Store {
+	return &Store{stats: make(map[Key]*stmtState)}
+}
+
+// Record folds one execution's per-pipeline telemetry into the
+// statement's state and reports whether drift has been sustained long
+// enough that the caller should re-plan with Hints. Advising a re-plan
+// resets the streak, so a caller that cannot act (or whose re-plan
+// produced the same plan) is re-advised only after another full streak.
+func (s *Store) Record(k Key, pipes []obs.PipeStat) bool {
+	if len(pipes) == 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats[k]
+	if st == nil {
+		st = &stmtState{sel: make(map[string]float64)}
+		if len(s.order) >= maxKeys {
+			delete(s.stats, s.order[0])
+			s.order = s.order[1:]
+		}
+		s.stats[k] = st
+		s.order = append(s.order, k)
+	}
+	observeSel(st.sel, pipes)
+	st.runs++
+	if maxDrift(pipes) >= DriftThreshold {
+		st.streak++
+	} else {
+		st.streak = 0
+	}
+	if st.streak >= DriftRuns {
+		st.streak = 0
+		return true
+	}
+	return false
+}
+
+// Hints returns the statement's observed per-table selectivities (a
+// copy; nil when the statement has no recorded state).
+func (s *Store) Hints(k Key) Hints {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats[k]
+	if st == nil || len(st.sel) == 0 {
+		return nil
+	}
+	h := make(Hints, len(st.sel))
+	for t, v := range st.sel {
+		h[t] = v
+	}
+	return h
+}
+
+// Runs returns how many executions have been recorded under the key.
+func (s *Store) Runs(k Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.stats[k]; st != nil {
+		return st.runs
+	}
+	return 0
+}
+
+// HintsFromPipes derives hints directly from one execution's pipeline
+// telemetry — the pre-warm path, where a mined query-log record stands
+// in for accumulated state. Returns nil when nothing is attributable.
+func HintsFromPipes(pipes []obs.PipeStat) Hints {
+	sel := make(map[string]float64)
+	observeSel(sel, pipes)
+	if len(sel) == 0 {
+		return nil
+	}
+	return Hints(sel)
+}
+
+// observeSel attributes observed filter selectivity per table. Only
+// probe-free pipelines qualify: their rows-out/rows-in ratio is the
+// pushed-down filters' selectivity alone, while a probing pipeline's
+// output confounds filters with join retention. The observation is
+// clamped away from exact zero so a no-rows binding cannot pin a
+// table's estimate to nothing.
+func observeSel(sel map[string]float64, pipes []obs.PipeStat) {
+	for i := range pipes {
+		p := &pipes[i]
+		if p.Probes != 0 || p.RowsIn <= 0 {
+			continue
+		}
+		obs := float64(p.RowsOut) / float64(p.RowsIn)
+		if min := 0.5 / float64(p.RowsIn); obs < min {
+			obs = min
+		}
+		if prev, ok := sel[p.Table]; ok {
+			sel[p.Table] = (1-selAlpha)*prev + selAlpha*obs
+		} else {
+			sel[p.Table] = obs
+		}
+	}
+}
+
+// maxDrift is the execution's worst per-pipeline estimation error: the
+// larger of obs/est and est/obs across pipelines, with both sides
+// floored at one row so empty-and-estimated-empty pipelines read as
+// drift 1, not infinity.
+func maxDrift(pipes []obs.PipeStat) float64 {
+	worst := 1.0
+	for i := range pipes {
+		p := &pipes[i]
+		if p.RowsIn <= 0 {
+			continue
+		}
+		est := p.EstRows
+		if est < 1 {
+			est = 1
+		}
+		obs := float64(p.RowsOut)
+		if obs < 1 {
+			obs = 1
+		}
+		d := obs / est
+		if d < 1 {
+			d = 1 / d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,157 @@
+package feedback
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paradigms/internal/obs"
+)
+
+// driftPipes is one execution's telemetry with a controllable worst
+// estimation error: the supplier pipe observes `obs` rows against an
+// estimate of 100.
+func driftPipes(observed int64) []obs.PipeStat {
+	return []obs.PipeStat{
+		{Index: 0, Table: "supplier", Build: true, RowsIn: 1000, RowsOut: observed, EstRows: 100},
+		{Index: 1, Table: "lineitem", RowsIn: 5000, RowsOut: 5000, Probes: 1, EstRows: 5000},
+	}
+}
+
+// TestStoreAdvisesReplanAfterSustainedDrift: one or two drifting runs
+// advise nothing, the DriftRuns-th advises a re-plan, and the advice
+// resets the streak so the caller is not re-advised every subsequent
+// run.
+func TestStoreAdvisesReplanAfterSustainedDrift(t *testing.T) {
+	s := NewStore()
+	k := Key{SQL: "select 1", Catalog: 7, Shape: "abc"}
+	bad := driftPipes(900) // drift 9x
+	for run := 1; run < DriftRuns; run++ {
+		if s.Record(k, bad) {
+			t.Fatalf("advised replan after %d runs (want %d)", run, DriftRuns)
+		}
+	}
+	if !s.Record(k, bad) {
+		t.Fatalf("no replan advice after %d sustained drifting runs", DriftRuns)
+	}
+	for run := 1; run < DriftRuns; run++ {
+		if s.Record(k, bad) {
+			t.Fatalf("re-advised %d runs after the reset (want a full new streak)", run)
+		}
+	}
+	if !s.Record(k, bad) {
+		t.Fatal("second streak never re-advised")
+	}
+}
+
+// TestStoreDriftStreakBreaks: a single in-bounds run resets the streak
+// — drift must be sustained, not merely frequent.
+func TestStoreDriftStreakBreaks(t *testing.T) {
+	s := NewStore()
+	k := Key{SQL: "q", Shape: "s"}
+	bad, good := driftPipes(900), driftPipes(120) // 9x vs 1.2x
+	for i := 0; i < 10; i++ {
+		if s.Record(k, bad) {
+			t.Fatal("advised mid-alternation")
+		}
+		if s.Record(k, good) {
+			t.Fatal("advised on an in-bounds run")
+		}
+	}
+}
+
+// TestHintsAttribution: only probe-free pipelines contribute observed
+// selectivity (a probing pipeline's output confounds filters with join
+// retention), zero-output observations clamp away from exact zero, and
+// distinct keys keep distinct state.
+func TestHintsAttribution(t *testing.T) {
+	s := NewStore()
+	k := Key{SQL: "q", Shape: "s"}
+	s.Record(k, []obs.PipeStat{
+		{Table: "supplier", Build: true, RowsIn: 1000, RowsOut: 900, EstRows: 100},
+		{Table: "part", Build: true, RowsIn: 1000, RowsOut: 0, EstRows: 300},
+		{Table: "lineitem", RowsIn: 5000, RowsOut: 100, Probes: 2, EstRows: 120},
+	})
+	h := s.Hints(k)
+	if got, ok := h.ScanSelectivity("supplier"); !ok || math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("supplier hint = %v, %v; want 0.9", got, ok)
+	}
+	if got, ok := h.ScanSelectivity("part"); !ok || got <= 0 || got > 0.001 {
+		t.Fatalf("part hint = %v, %v; want clamped small positive", got, ok)
+	}
+	if _, ok := h.ScanSelectivity("lineitem"); ok {
+		t.Fatal("probing pipeline leaked a selectivity hint")
+	}
+	if s.Hints(Key{SQL: "q", Shape: "other"}) != nil {
+		t.Fatal("hints leaked across shape keys")
+	}
+	var none Hints
+	if _, ok := none.ScanSelectivity("supplier"); ok {
+		t.Fatal("nil Hints claimed a selectivity")
+	}
+}
+
+// TestMineLog: frequency-ordered templates across the live file and its
+// rotation, newest pipes win, failed executions and torn lines are
+// skipped, and the limit caps the result.
+func TestMineLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.ndjson")
+	old := `{"sql":"select a","engine":"auto","latency_ms":1,"rows":1,"pipes":[{"pipe":0,"table":"supplier","rows_in":10,"rows_out":1,"est_rows":5}]}
+{"sql":"select b","engine":"auto","latency_ms":1,"rows":1}
+`
+	live := `{"sql":"select a","engine":"auto","latency_ms":1,"rows":1,"pipes":[{"pipe":0,"table":"supplier","rows_in":10,"rows_out":9,"est_rows":5}]}
+{"sql":"select a","engine":"auto","latency_ms":1,"rows":1}
+{"sql":"select c","engine":"auto","latency_ms":1,"rows":-1,"error":"boom"}
+{not json}
+{"sql":"select b","engine":"auto","latency_ms":1,"rows":1}
+`
+	if err := os.WriteFile(path+".1", []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(live), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tmpls, err := MineLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmpls) != 2 {
+		t.Fatalf("mined %d templates, want 2 (errored/torn lines skipped): %+v", len(tmpls), tmpls)
+	}
+	if tmpls[0].SQL != "select a" || tmpls[0].Count != 3 {
+		t.Fatalf("heavy hitter = %q x%d, want \"select a\" x3", tmpls[0].SQL, tmpls[0].Count)
+	}
+	if tmpls[1].SQL != "select b" || tmpls[1].Count != 2 {
+		t.Fatalf("second = %q x%d, want \"select b\" x2", tmpls[1].SQL, tmpls[1].Count)
+	}
+	// The live file's instrumented record overrides the rotation's.
+	h := tmpls[0].Hints()
+	if got, ok := h.ScanSelectivity("supplier"); !ok || math.Abs(got-0.9) > 1e-9 {
+		t.Fatalf("mined supplier hint = %v, %v; want newest observation 0.9", got, ok)
+	}
+	if tmpls[1].Hints() != nil {
+		t.Fatal("template without pipes fabricated hints")
+	}
+
+	if got, err := MineLog(path, 1); err != nil || len(got) != 1 || got[0].SQL != "select a" {
+		t.Fatalf("limit 1 = %+v, %v", got, err)
+	}
+	if _, err := MineLog(filepath.Join(dir, "missing.ndjson"), 0); err == nil {
+		t.Fatal("missing main log file did not error")
+	}
+}
+
+// TestMineLogWithoutRotation: a lone live file mines fine.
+func TestMineLogWithoutRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	if err := os.WriteFile(path, []byte(`{"sql":"select a","engine":"auto","latency_ms":1,"rows":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpls, err := MineLog(path, 0)
+	if err != nil || len(tmpls) != 1 || tmpls[0].Count != 1 {
+		t.Fatalf("MineLog = %+v, %v", tmpls, err)
+	}
+}

@@ -1,0 +1,87 @@
+package feedback
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sort"
+
+	"paradigms/internal/obs"
+)
+
+// Template is one mined statement: its normalized SQL, how often the
+// log saw it, and the newest execution's pipeline telemetry (empty when
+// no record carried instrumented pipes).
+type Template struct {
+	SQL   string
+	Count int
+	Pipes []obs.PipeStat
+}
+
+// Hints derives the template's cardinality hints from its recorded
+// pipeline telemetry (nil when the log had none).
+func (t *Template) Hints() Hints { return HintsFromPipes(t.Pipes) }
+
+// MineLog replays a query log (the NDJSON file internal/obs writes,
+// plus its ".1" rotation if present) and returns the heavy-hitter
+// statements by frequency, capped at limit (<= 0 selects 32). Failed
+// executions and malformed lines are skipped; the newest instrumented
+// record wins a template's Pipes. The main log file must exist — a
+// missing rotation is not an error.
+func MineLog(path string, limit int) ([]Template, error) {
+	if limit <= 0 {
+		limit = 32
+	}
+	bysql := make(map[string]*Template)
+	// The rotation holds the older records: read it first so the main
+	// file's pipes overwrite.
+	if err := mineFile(path+".1", bysql); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := mineFile(path, bysql); err != nil {
+		return nil, err
+	}
+	out := make([]Template, 0, len(bysql))
+	for _, t := range bysql {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].SQL < out[j].SQL
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+func mineFile(path string, bysql map[string]*Template) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var rec obs.QueryRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // a torn or foreign line does not poison the mine
+		}
+		if rec.SQL == "" || rec.Err != "" {
+			continue
+		}
+		t := bysql[rec.SQL]
+		if t == nil {
+			t = &Template{SQL: rec.SQL}
+			bysql[rec.SQL] = t
+		}
+		t.Count++
+		if len(rec.Pipes) > 0 {
+			t.Pipes = rec.Pipes
+		}
+	}
+	return sc.Err()
+}

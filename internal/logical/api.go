@@ -53,6 +53,13 @@ func RouteByTables(stmt string, dbs ...*storage.Database) (*storage.Database, er
 // Prepare parses, binds, and plans a SQL text against a database —
 // cmd/sqlsh's EXPLAIN path.
 func Prepare(db *storage.Database, text string) (*Plan, error) {
+	return PrepareHints(db, text, nil)
+}
+
+// PrepareHints is Prepare with a cardinality-feedback override for the
+// join-order pick (see PlanQueryHints) — the re-planning entry point of
+// the feedback loop.
+func PrepareHints(db *storage.Database, text string, hints CardHints) (*Plan, error) {
 	sel, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -60,7 +67,7 @@ func Prepare(db *storage.Database, text string) (*Plan, error) {
 	if err := sql.Bind(sel, CatalogFor(db)); err != nil {
 		return nil, err
 	}
-	return PlanQuery(sel, CatalogFor(db))
+	return PlanQueryHints(sel, CatalogFor(db), hints)
 }
 
 // Run executes an ad-hoc SQL text end to end: parse → bind → optimize →

@@ -163,6 +163,13 @@ type Plan struct {
 	// rows, like a plan-time constant false).
 	ParamConds []sql.Expr
 
+	// Hints is the cardinality-feedback override the plan was built
+	// with (nil for a statically planned statement). It informed the
+	// join order and keeps informing the plan's telemetry estimates,
+	// so est-vs-observed drift is measured against what the optimizer
+	// actually believed.
+	Hints CardHints
+
 	cat *catalog.Catalog
 }
 

@@ -14,21 +14,21 @@ import (
 // the drift the optimizer actually suffered.
 
 // estPipeRows estimates a pipeline's output cardinality: the spine
-// scan's rows scaled by the pushed-down filters' selectivities, then by
-// each probe's retention ratio — the fraction of the build spine's key
-// domain the build chain retains — and each residual equality.
-func estPipeRows(ps *pipeSpec) float64 {
+// scan's rows scaled by the pushed-down filters' selectivities —
+// observed history when the plan carries hints, static guesses
+// otherwise — then by each probe's retention ratio (the fraction of
+// the build spine's key domain the build chain retains) and each
+// residual equality.
+func estPipeRows(ps *pipeSpec, hints CardHints) float64 {
 	if ps.rejectAll {
 		return 0
 	}
 	est := float64(ps.scan.Table.Rel.Rows())
-	for _, f := range ps.scan.Filters {
-		est *= selectivity(f)
-	}
+	est *= scanSelectivity(ps.scan, hints)
 	for _, st := range ps.steps {
 		domain := float64(st.build.scan.Table.Rel.Rows())
 		if domain > 0 {
-			est *= estPipeRows(st.build) / domain
+			est *= estPipeRows(st.build, hints) / domain
 		}
 		for range st.residuals {
 			est *= 0.1 // equality residual, same factor as OpEq
@@ -37,13 +37,30 @@ func estPipeRows(ps *pipeSpec) float64 {
 	return est
 }
 
+// scanSelectivity is estPipeRows's per-scan filter-selectivity
+// estimate: the hinted (observed) value when available, the product of
+// static per-predicate guesses otherwise — mirroring the planner's
+// tableSelectivity so the telemetry's estimates are the optimizer's.
+func scanSelectivity(sc *Scan, hints CardHints) float64 {
+	if hints != nil {
+		if s, ok := hints.ScanSelectivity(sc.Table.Name); ok {
+			return s
+		}
+	}
+	sel := 1.0
+	for _, f := range sc.Filters {
+		sel *= selectivity(f)
+	}
+	return sel
+}
+
 // describeProgram records each pipeline's static shape and estimate
 // into the collector.
 func describeProgram(prog *program, col *obs.Collector) {
 	col.SetPipes(len(prog.pipes))
 	for i, ps := range prog.pipes {
 		col.DescribePipe(i, ps.scan.Table.Name, ps.keyCol != nil,
-			int64(ps.scan.Table.Rel.Rows()), len(ps.steps), estPipeRows(ps))
+			int64(ps.scan.Table.Rel.Rows()), len(ps.steps), estPipeRows(ps, prog.pl.Hints))
 	}
 }
 

@@ -8,14 +8,39 @@ import (
 	"paradigms/internal/sql"
 )
 
+// CardHints supplies observed cardinality history to the planner — the
+// feedback half of the telemetry loop (internal/feedback implements it
+// over accumulated per-pipeline observations). A nil CardHints, or one
+// with no history for a table, falls back to the static per-predicate
+// selectivity guesses.
+type CardHints interface {
+	// ScanSelectivity returns the observed fraction of the named
+	// table's rows that survive its pushed-down filters in this
+	// statement, and whether history exists.
+	ScanSelectivity(table string) (float64, bool)
+}
+
 // PlanQuery turns a bound SELECT into an optimized logical plan:
 // constant folding, predicate classification and pushdown, the
 // join-order pick, residual placement, grouping-key reduction, and
 // projection pruning — in that order.
 func PlanQuery(sel *sql.Select, cat *catalog.Catalog) (*Plan, error) {
+	return PlanQueryHints(sel, cat, nil)
+}
+
+// PlanQueryHints is PlanQuery with a cardinality-feedback override:
+// where the join-order pick estimates a chain's build cardinality, the
+// hinted (observed) selectivity of each table replaces the static
+// per-predicate guess, so skewed data re-orders the joins the way the
+// measurements say it should. The hints are retained on the plan, so
+// its telemetry estimates (est_rows in EXPLAIN ANALYZE and the query
+// log) reflect them too — a re-planned statement whose observations
+// match its hints reports no drift.
+func PlanQueryHints(sel *sql.Select, cat *catalog.Catalog, hints CardHints) (*Plan, error) {
 	p := &planner{
 		cat:     cat,
 		sel:     sel,
+		hints:   hints,
 		filters: map[*catalog.Table][]sql.Expr{},
 	}
 	for _, f := range sel.From {
@@ -39,7 +64,7 @@ func PlanQuery(sel *sql.Select, cat *catalog.Catalog) (*Plan, error) {
 	}
 
 	pl := &Plan{Root: root, Limit: sel.Limit, AlwaysFalse: p.alwaysFalse, cat: cat,
-		ParamConds: p.paramConds}
+		ParamConds: p.paramConds, Hints: p.hints}
 	for _, prm := range sel.Params {
 		pl.Params = append(pl.Params, prm.Typ)
 	}
@@ -108,6 +133,7 @@ func (e edge) other(t *catalog.Table) *catalog.Column {
 type planner struct {
 	cat         *catalog.Catalog
 	sel         *sql.Select
+	hints       CardHints
 	tables      []*catalog.Table
 	filters     map[*catalog.Table][]sql.Expr
 	edges       []edge
@@ -338,13 +364,12 @@ func (p *planner) orderWithSpine(tables []*catalog.Table, edges []edge, spine *c
 
 	// Cardinality heuristic: probe the smallest (post-filter) build side
 	// first. A chain's build cardinality is its attachment table's rows
-	// scaled by the selectivity guesses of every filter in the chain.
+	// scaled by each chain table's filter selectivity — observed history
+	// when hints carry it, static per-predicate guesses otherwise.
 	for i := range chains {
 		est := float64(chains[i].attach.other(spine).Table.Rows())
 		for _, t := range chains[i].tables {
-			for _, f := range p.filters[t] {
-				est *= selectivity(f)
-			}
+			est *= p.tableSelectivity(t)
 		}
 		chains[i].est = est
 	}
@@ -508,6 +533,23 @@ func components(tables []*catalog.Table, edges []edge) [][]*catalog.Table {
 		out = append(out, g)
 	}
 	return out
+}
+
+// tableSelectivity is the estimated fraction of t's rows surviving its
+// pushed-down filters: the statement's observed history when the
+// planner has hints for the table, the static per-predicate guesses
+// otherwise.
+func (p *planner) tableSelectivity(t *catalog.Table) float64 {
+	if p.hints != nil {
+		if s, ok := p.hints.ScanSelectivity(t.Name); ok {
+			return s
+		}
+	}
+	sel := 1.0
+	for _, f := range p.filters[t] {
+		sel *= selectivity(f)
+	}
+	return sel
 }
 
 // selectivity is the planner's per-predicate reduction guess.

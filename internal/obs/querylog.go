@@ -85,9 +85,15 @@ func (l *QueryLog) Write(rec *QueryRecord) error {
 		return fmt.Errorf("obs: query log closed")
 	}
 	if l.size+int64(len(line)) > l.max && l.size > 0 {
-		if err := l.rotateLocked(); err != nil {
+		if err := l.rotateLocked(); err != nil && l.f == nil {
+			// Rotation failed AND the handle could not be restored:
+			// nothing to write into.
 			return err
 		}
+		// A failed rotation with a restored handle degrades to
+		// appending past the bound: the size cap is best-effort, and
+		// growing beyond it beats dropping records. The next Write
+		// retries the rotation.
 	}
 	n, err := l.f.Write(line)
 	l.size += int64(n)
@@ -98,9 +104,20 @@ func (l *QueryLog) Write(rec *QueryRecord) error {
 }
 
 // rotateLocked moves the current file to path+".1" and starts fresh.
+// On failure the handle is restored to a usable state: the un-renamed
+// file is reopened appending (or, if even that fails, l.f is nil so
+// Write and Close see a closed log instead of a closed-but-non-nil
+// handle that every later Write would fail against and Close would
+// double-close).
 func (l *QueryLog) rotateLocked() error {
 	l.f.Close()
+	l.f = nil
 	if err := os.Rename(l.path, l.path+".1"); err != nil {
+		f, ferr := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("obs: rotate query log: %v (reopen after failed rotate: %w)", err, ferr)
+		}
+		l.f = f
 		return fmt.Errorf("obs: rotate query log: %w", err)
 	}
 	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)

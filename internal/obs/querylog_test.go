@@ -79,6 +79,61 @@ func TestQueryLogRotation(t *testing.T) {
 	}
 }
 
+// TestQueryLogRotateFailure injects a rotation failure (the rename
+// target is occupied by a directory, so os.Rename fails) and checks the
+// log stays usable: writes keep succeeding — appending past the bound
+// rather than failing against a closed handle — and once the target is
+// cleared, the next write rotates normally and Close is clean.
+func TestQueryLogRotateFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.ndjson")
+	if err := os.Mkdir(path+".1", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenQueryLog(path, 256) // tiny bound to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := QueryRecord{Engine: "typer", SQL: "select count(*) as n from lineitem", Rows: 1}
+	for i := 0; i < 20; i++ {
+		if err := l.Write(&rec); err != nil {
+			t.Fatalf("write %d after failed rotate: %v", i, err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(splitLines(raw)); n != 20 {
+		t.Errorf("got %d records with rotation blocked, want all 20", n)
+	}
+	var got QueryRecord
+	if err := json.Unmarshal(splitLines(raw)[19], &got); err != nil || got.SQL != rec.SQL {
+		t.Errorf("last record not parseable after failed rotations: %v %+v", err, got)
+	}
+
+	// Unblock the rotation target: the very next over-bound write
+	// rotates and the live file shrinks back under the bound.
+	if err := os.Remove(path + ".1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Write(&rec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() > 256 {
+		t.Errorf("live log %d bytes exceeds bound 256 after rotation unblocked", st.Size())
+	}
+	if fi, err := os.Stat(path + ".1"); err != nil || fi.IsDir() {
+		t.Errorf("rotation target missing after unblock: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("close after failed rotations: %v", err)
+	}
+}
+
 func TestQueryLogReopenAppends(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "q.ndjson")
 	rec := QueryRecord{Engine: "typer", SQL: "select 1"}

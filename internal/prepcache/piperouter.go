@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"paradigms/internal/hybrid"
+	"paradigms/internal/obs"
 )
 
 // PipelineRouter is the statement Router's per-pipeline counterpart:
@@ -22,12 +23,18 @@ import (
 // estimate fresh. Flipping one pipeline at a time keeps the probe's
 // blast radius to a single pipeline of a single execution.
 //
-// When the plan's pipeline count changes (replanning after a catalog
-// change), all estimates reset: arm histories describe pipelines that
-// no longer exist.
+// When the plan's pipeline *shape* changes (replanning after a catalog
+// change, or a feedback-driven re-plan that reorders or recomposes the
+// pipelines), all estimates reset: arm histories describe pipelines
+// that no longer exist. The reset keys on the shape fingerprint — the
+// same fields obs.ShapeHash covers — not the pipeline count, because a
+// re-plan can swap pipeline composition at equal count (e.g. reorder
+// two build chains), and reusing the stale EWMAs would attribute one
+// pipeline's history to another.
 type PipelineRouter struct {
 	mu      sync.Mutex
 	decides uint64
+	shape   string
 	arms    []pipeArms
 }
 
@@ -38,14 +45,27 @@ type pipeArms struct {
 	ewma [2]float64 // latency EWMA, nanoseconds
 }
 
+// metaShape fingerprints the pipeline decomposition the router is
+// tracking, over the same fields as obs.ShapeHash (table, build/final
+// role, probe count, in pipeline order) — so the router's notion of
+// "same plan" matches the feedback store's.
+func metaShape(meta []hybrid.PipeMeta) string {
+	pipes := make([]obs.PipeStat, len(meta))
+	for i, m := range meta {
+		pipes[i] = obs.PipeStat{Table: m.Table, Build: m.Build, Probes: m.Probes}
+	}
+	return obs.ShapeHash(pipes)
+}
+
 // Decide assigns an engine to every pipeline. Safe for concurrent use;
 // deterministic given the call sequence.
 func (p *PipelineRouter) Decide(meta []hybrid.PipeMeta) []hybrid.Engine {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.arms) != len(meta) {
+	if shape := metaShape(meta); shape != p.shape {
 		p.arms = make([]pipeArms, len(meta)) // plan shape changed: reset
 		p.decides = 0
+		p.shape = shape
 	}
 	p.decides++
 	seed := hybrid.CostAssign(meta)

@@ -152,6 +152,57 @@ func TestPipelineRouterFlipsWithWorkload(t *testing.T) {
 	}
 }
 
+// TestPipelineRouterResetsOnEqualCountShapeSwap: a re-plan that swaps
+// pipeline composition at the SAME pipeline count — e.g. a
+// feedback-driven re-plan reordering two build chains — must reset the
+// arm histories too. Keying the reset on the count alone silently
+// reused pipeline 0's EWMAs for what is now a different table's
+// pipeline.
+func TestPipelineRouterResetsOnEqualCountShapeSwap(t *testing.T) {
+	p := &PipelineRouter{}
+	before := []hybrid.PipeMeta{
+		{Table: "supplier", Rows: 20000, Filters: 1, Build: true},
+		{Table: "part", Rows: 20000, Filters: 2, Build: true},
+		{Table: "lineitem", Rows: 100000, Probes: 2, Filters: 1},
+	}
+	clock := &pipeClock{lat: [][2]time.Duration{
+		{2 * time.Millisecond, 1 * time.Millisecond},
+		{1 * time.Millisecond, 3 * time.Millisecond},
+		{2 * time.Millisecond, 1 * time.Millisecond},
+	}}
+	for r := 0; r < 50; r++ {
+		clock.run(p, before)
+	}
+
+	// Same count, different composition: the re-plan flipped the two
+	// build chains' order.
+	after := []hybrid.PipeMeta{before[1], before[0], before[2]}
+	seed := hybrid.CostAssign(after)
+	first := p.Decide(after)
+	for i := range after {
+		if first[i] != seed[i] {
+			t.Fatalf("post-replan decision P%d = %v, want heuristic seed %v", i, first[i], seed[i])
+		}
+	}
+	for i, a := range p.PipeSnapshot() {
+		if a.N[0] != 0 || a.N[1] != 0 {
+			t.Fatalf("P%d carried stale observations across the equal-count replan: %+v", i, a)
+		}
+	}
+
+	// An unchanged shape, by contrast, must NOT reset: history is the
+	// router's whole value.
+	p.Observe(first, []int64{int64(time.Millisecond), int64(time.Millisecond), int64(time.Millisecond)})
+	p.Decide(after)
+	total := uint64(0)
+	for _, a := range p.PipeSnapshot() {
+		total += a.N[0] + a.N[1]
+	}
+	if total == 0 {
+		t.Fatal("same-shape decide wiped the arm histories")
+	}
+}
+
 // TestPipelineRouterResetsOnShapeChange: when the plan's pipeline
 // count changes (replan after a catalog change), the estimates reset
 // and routing starts over from the heuristic seed for the new shape.

@@ -24,12 +24,19 @@ const ProbeEvery = 8
 // ewmaAlpha is the weight of the newest observation.
 const ewmaAlpha = 0.25
 
-// failurePenalty is the latency a failed execution feeds into the
-// arm's EWMA — far above any healthy execution, so auto routing falls
-// through to another backend instead of retrying a broken one
-// forever, while the epsilon probe keeps re-checking it (a recovered
-// backend heals within a few probes).
-const failurePenalty = time.Second
+// failurePenaltyFloor is the minimum latency a failed execution feeds
+// into the arm's EWMA. The actual penalty scales with the workload:
+// failurePenaltyFactor times the slowest *other* observed arm's EWMA,
+// floored here — a fixed 1s penalty would make a persistently failing
+// engine rank *faster* than working ones on statements whose healthy
+// latency exceeds 1s, converging auto-routing onto the broken arm.
+const failurePenaltyFloor = time.Second
+
+// failurePenaltyFactor scales the worst healthy arm's EWMA into the
+// failure penalty, so a failed arm always loses the best-arm
+// comparison by a wide margin yet heals within a few probes once it
+// recovers.
+const failurePenaltyFactor = 4
 
 // numArms is the arm count of the statement router.
 const numArms = 3
@@ -133,13 +140,35 @@ func (r *Router) Observe(engine string, d time.Duration) {
 	r.n[i]++
 }
 
-// ObserveFailure records one failed execution as a failurePenalty
+// ObserveFailure records one failed execution as a penalty
 // observation, so the arm counts as tried (Pick's try-each-arm-first
 // phase must not return a persistently failing backend forever) and
-// loses the best-arm comparison until it recovers. Cancellations are
-// the caller's to filter out — they say nothing about the engine.
+// loses the best-arm comparison until it recovers. The penalty is
+// failurePenaltyFactor times the slowest other observed arm's EWMA
+// (floor failurePenaltyFloor), so it dominates healthy latencies of
+// any magnitude; the failing arm's own EWMA is excluded so repeated
+// failures saturate at the penalty instead of compounding without
+// bound. Cancellations are the caller's to filter out — they say
+// nothing about the engine.
 func (r *Router) ObserveFailure(engine string) {
-	r.Observe(engine, failurePenalty)
+	i := armOf(engine)
+	if i < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	penalty := float64(failurePenaltyFloor)
+	for j := range r.ewma {
+		if j != i && r.n[j] > 0 && failurePenaltyFactor*r.ewma[j] > penalty {
+			penalty = failurePenaltyFactor * r.ewma[j]
+		}
+	}
+	if r.n[i] == 0 {
+		r.ewma[i] = penalty
+	} else {
+		r.ewma[i] = (1-ewmaAlpha)*r.ewma[i] + ewmaAlpha*penalty
+	}
+	r.n[i]++
 }
 
 // ArmStats is one engine's routing state.

@@ -167,6 +167,60 @@ func TestRouterRoutesAroundFailingArm(t *testing.T) {
 	}
 }
 
+// TestRouterFailurePenaltyScalesToWorkload: on a statement whose
+// healthy latency exceeds 1s, a persistently failing arm must still
+// rank slower than the working ones. A fixed 1s penalty ranked the
+// broken arm *faster* (1s EWMA vs 5s healthy), converging auto-routing
+// onto the arm that never succeeds; the penalty now scales to a
+// multiple of the worst other observed arm's EWMA.
+func TestRouterFailurePenaltyScalesToWorkload(t *testing.T) {
+	r := &Router{}
+	broken := registry.Hybrid
+	healthy := 5 * time.Second
+	failures := 0
+	for i := 0; i < 200; i++ {
+		e := r.Pick()
+		if e == broken {
+			failures++
+			r.ObserveFailure(e)
+		} else {
+			r.Observe(e, healthy)
+		}
+	}
+	if got := r.Best(); got == broken {
+		t.Fatalf("auto routing converged on the failing arm: %+v", r.Snapshot())
+	}
+	// The broken arm is tried once up front, then only on its probe
+	// share — never as the preferred arm.
+	if max := 1 + 200/ProbeEvery + 1; failures > max {
+		t.Fatalf("broken arm picked %d/200 times (want <= %d)", failures, max)
+	}
+	// The penalty must clear the healthy EWMA with margin, and repeated
+	// failures must saturate rather than compound without bound.
+	for _, arm := range r.Snapshot() {
+		if arm.Engine != broken {
+			continue
+		}
+		if arm.Ewma <= healthy {
+			t.Fatalf("failing arm EWMA %v does not exceed healthy %v", arm.Ewma, healthy)
+		}
+		if arm.Ewma > 2*failurePenaltyFactor*healthy {
+			t.Fatalf("failing arm EWMA %v compounded past the scaled penalty %v", arm.Ewma, failurePenaltyFactor*healthy)
+		}
+	}
+	// Sub-second statements keep the floor: a fresh router that has
+	// only seen microsecond latencies still penalizes failures at >= 1s.
+	r2 := &Router{}
+	r2.Observe(registry.Typer, 50*time.Microsecond)
+	r2.Observe(registry.Tectorwise, 60*time.Microsecond)
+	r2.ObserveFailure(registry.Hybrid)
+	for _, arm := range r2.Snapshot() {
+		if arm.Engine == registry.Hybrid && arm.Ewma < failurePenaltyFloor {
+			t.Fatalf("failure penalty %v under the %v floor", arm.Ewma, failurePenaltyFloor)
+		}
+	}
+}
+
 // TestRouterIgnoresUnknownEngine: observations for engines the router
 // does not model must not corrupt its state.
 func TestRouterIgnoresUnknownEngine(t *testing.T) {

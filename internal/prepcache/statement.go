@@ -3,40 +3,81 @@ package prepcache
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"paradigms/internal/catalog"
 	"paradigms/internal/compiled"
+	"paradigms/internal/feedback"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
+	"paradigms/internal/obs"
 	"paradigms/internal/registry"
 )
 
 // Statement is one prepared SQL text: the optimized parameterized plan
 // plus the statement's adaptive engine router. The plan is an immutable
 // template — Execute binds arguments into a copy-on-write clone — so a
-// Statement is safe for concurrent execution from many clients.
+// Statement is safe for concurrent execution from many clients. With
+// cardinality feedback enabled the plan pointer itself can advance (an
+// atomic swap to a re-planned template when observed cardinalities
+// drift from the estimates); in-flight executions finish on the plan
+// they loaded.
 type Statement struct {
 	// Text is the normalized SQL the statement was prepared from.
 	Text string
-	// Plan is the optimized parameterized logical plan, shared by both
-	// lowering backends.
-	Plan *logical.Plan
+
+	plan    atomic.Pointer[logical.Plan]
+	fb      atomic.Pointer[fbState]
+	replans atomic.Uint64
 
 	router     Router
 	pipeRouter PipelineRouter
 }
 
-// NewStatement wraps an optimized plan as a prepared statement.
-func NewStatement(text string, pl *logical.Plan) *Statement {
-	return &Statement{Text: text, Plan: pl}
+// fbState is the statement's feedback wiring: where observations
+// accumulate, which catalog version keys them, and how to rebuild the
+// plan from hints.
+type fbState struct {
+	store   *feedback.Store
+	catalog uint64
+	replan  func(logical.CardHints) (*logical.Plan, error)
 }
 
+// NewStatement wraps an optimized plan as a prepared statement.
+func NewStatement(text string, pl *logical.Plan) *Statement {
+	s := &Statement{Text: text}
+	s.plan.Store(pl)
+	return s
+}
+
+// Plan returns the statement's current optimized plan template. With
+// feedback enabled this advances across re-plans; callers snapshot it
+// once per use.
+func (s *Statement) Plan() *logical.Plan { return s.plan.Load() }
+
+// EnableFeedback arms the statement's cardinality-feedback loop:
+// successful executions record their per-pipeline observed
+// cardinalities into store under (Text, catalogVersion, plan shape),
+// and when the store reports sustained drift the statement rebuilds its
+// plan through replan with the observed selectivities as hints,
+// swapping the template in place. The first call wins; later calls are
+// no-ops (the cache hands one Statement to many clients).
+func (s *Statement) EnableFeedback(store *feedback.Store, catalogVersion uint64, replan func(logical.CardHints) (*logical.Plan, error)) {
+	if store == nil {
+		return
+	}
+	s.fb.CompareAndSwap(nil, &fbState{store: store, catalog: catalogVersion, replan: replan})
+}
+
+// Replans reports how many times feedback has swapped the plan.
+func (s *Statement) Replans() uint64 { return s.replans.Load() }
+
 // NumParams is the number of `?` placeholders.
-func (s *Statement) NumParams() int { return len(s.Plan.Params) }
+func (s *Statement) NumParams() int { return len(s.Plan().Params) }
 
 // ParamTypes lists the bound type of each placeholder in order.
-func (s *Statement) ParamTypes() []catalog.Type { return s.Plan.Params }
+func (s *Statement) ParamTypes() []catalog.Type { return s.Plan().Params }
 
 // Router exposes the statement's adaptive engine router.
 func (s *Statement) Router() *Router { return &s.router }
@@ -48,7 +89,61 @@ func (s *Statement) PipeRouter() *PipelineRouter { return &s.pipeRouter }
 // BindTexts parses one argument text per placeholder into the raw
 // values Execute takes (see logical.(*Plan).BindTexts).
 func (s *Statement) BindTexts(args []string) ([]int64, error) {
-	return s.Plan.BindTexts(args)
+	return s.Plan().BindTexts(args)
+}
+
+// observeCtx returns the context to execute under and the collector
+// feedback should read. With feedback armed, an uninstrumented context
+// gets the statement's own collector attached — the engines populate
+// whatever collector rides the context, so feedback sees per-pipeline
+// telemetry whether or not the caller asked for EXPLAIN ANALYZE.
+func (s *Statement) observeCtx(ctx context.Context) (context.Context, *obs.Collector) {
+	if s.fb.Load() == nil {
+		return ctx, nil
+	}
+	if col := obs.FromContext(ctx); col != nil {
+		return ctx, col
+	}
+	col := obs.NewCollector()
+	return obs.WithCollector(ctx, col), col
+}
+
+// observeFeedback folds one successful execution's telemetry into the
+// feedback store and, when drift has been sustained, re-plans with the
+// observed selectivities and swaps the statement's template. The swap
+// changes the plan's pipeline shape, which both re-keys subsequent
+// feedback (the re-planned statement accumulates fresh state, now with
+// estimates that match observations) and makes the PipelineRouter
+// restart from its heuristic seed on the next hybrid decision.
+func (s *Statement) observeFeedback(pl *logical.Plan, col *obs.Collector) {
+	fb := s.fb.Load()
+	if fb == nil || col == nil {
+		return
+	}
+	pipes := col.Pipes()
+	if len(pipes) == 0 {
+		return
+	}
+	key := feedback.Key{SQL: s.Text, Catalog: fb.catalog, Shape: obs.ShapeHash(pipes)}
+	if !fb.store.Record(key, pipes) {
+		return
+	}
+	hints := fb.store.Hints(key)
+	if len(hints) == 0 || fb.replan == nil {
+		return
+	}
+	np, err := fb.replan(hints)
+	if err != nil || np == nil {
+		return
+	}
+	if np.Format() == pl.Format() {
+		// The observed cardinalities do not change the join order:
+		// keep the current template (and its trained routers).
+		return
+	}
+	if s.plan.CompareAndSwap(pl, np) {
+		s.replans.Add(1)
+	}
 }
 
 // Execute runs the statement with one argument binding on the given
@@ -62,10 +157,12 @@ func (s *Statement) BindTexts(args []string) ([]int64, error) {
 // router, whichever way the engine was chosen, so explicit-engine
 // traffic trains Auto too.
 func (s *Statement) Execute(ctx context.Context, engine string, args []int64, workers, vecSize int) (*logical.Result, string, error) {
+	pl := s.plan.Load()
 	used := engine
 	if engine == Auto {
 		used = s.router.Pick()
 	}
+	ctx, col := s.observeCtx(ctx)
 	start := time.Now()
 	var (
 		res *logical.Result
@@ -73,12 +170,12 @@ func (s *Statement) Execute(ctx context.Context, engine string, args []int64, wo
 	)
 	switch used {
 	case registry.Typer:
-		res, err = compiled.ExecuteArgs(ctx, s.Plan, workers, args)
+		res, err = compiled.ExecuteArgs(ctx, pl, workers, args)
 	case registry.Tectorwise:
-		res, err = s.Plan.ExecuteArgs(ctx, workers, vecSize, args)
+		res, err = pl.ExecuteArgs(ctx, workers, vecSize, args)
 	case registry.Hybrid:
 		var rep *hybrid.Report
-		res, rep, err = hybrid.ExecuteArgsRouted(ctx, s.Plan, workers, vecSize, &s.pipeRouter, args)
+		res, rep, err = hybrid.ExecuteArgsRouted(ctx, pl, workers, vecSize, &s.pipeRouter, args)
 		if err == nil && rep != nil {
 			used = registry.Hybrid + rep.Suffix()
 		}
@@ -100,6 +197,7 @@ func (s *Statement) Execute(ctx context.Context, engine string, args []int64, wo
 		return nil, used, err
 	}
 	s.router.Observe(used, time.Since(start))
+	s.observeFeedback(pl, col)
 	return res, used, nil
 }
 
@@ -109,24 +207,26 @@ func (s *Statement) Execute(ctx context.Context, engine string, args []int64, wo
 // successful streamed executions train it exactly like materialized
 // ones.
 func (s *Statement) ExecuteStream(ctx context.Context, engine string, args []int64, workers, vecSize, chunk int, sink logical.RowSink) (string, error) {
+	pl := s.plan.Load()
 	used := engine
 	if engine == Auto {
 		used = s.router.Pick()
 	}
+	ctx, col := s.observeCtx(ctx)
 	start := time.Now()
 	var err error
 	switch used {
 	case registry.Typer:
-		err = compiled.ExecuteArgsStream(ctx, s.Plan, workers, chunk, args, sink)
+		err = compiled.ExecuteArgsStream(ctx, pl, workers, chunk, args, sink)
 	case registry.Tectorwise:
-		err = s.Plan.ExecuteArgsStream(ctx, workers, vecSize, chunk, args, sink)
+		err = pl.ExecuteArgsStream(ctx, workers, vecSize, chunk, args, sink)
 	case registry.Hybrid:
 		// Streaming materializes and chunks (the hybrid executor has no
 		// incremental path), but routes and decorates exactly like the
 		// materializing path: the statement's PipelineRouter assigns and
 		// learns, and the end frame reports "hybrid[t,v,...]".
 		var rep *hybrid.Report
-		rep, err = hybrid.ExecuteArgsStreamRouted(ctx, s.Plan, workers, vecSize, chunk, &s.pipeRouter, args, sink)
+		rep, err = hybrid.ExecuteArgsStreamRouted(ctx, pl, workers, vecSize, chunk, &s.pipeRouter, args, sink)
 		if err == nil && rep != nil {
 			used = registry.Hybrid + rep.Suffix()
 		}
@@ -144,5 +244,6 @@ func (s *Statement) ExecuteStream(ctx context.Context, engine string, args []int
 		return used, err
 	}
 	s.router.Observe(used, time.Since(start))
+	s.observeFeedback(pl, col)
 	return used, nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"paradigms/internal/compiled"
+	"paradigms/internal/feedback"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
 	"paradigms/internal/obs"
@@ -59,6 +60,19 @@ type ServiceOptions struct {
 	// submissions still instrument themselves via Req.Collector).
 	Metrics  *obs.Metrics
 	QueryLog *obs.QueryLog
+	// Prewarm, if non-empty, names a query-log NDJSON file (the format
+	// QueryLog writes) to mine at startup: the heavy-hitter SQL
+	// templates found there are prepared into the plan cache before the
+	// service takes traffic, planned with the cardinality hints learned
+	// from the logged per-pipeline telemetry — so a restarted server's
+	// first queries hit warm, feedback-informed plans (cmd/serve
+	// -prewarm).
+	Prewarm string
+	// NoFeedback disables the cardinality-feedback loop on prepared
+	// statements. By default every prepared statement records its
+	// observed per-pipeline cardinalities and re-plans itself when they
+	// drift a sustained 4x from the optimizer's estimates.
+	NoFeedback bool
 }
 
 // NewService builds a concurrent query service over the given databases.
@@ -83,6 +97,44 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 	}
 
 	cache := prepcache.New(opt.PlanCacheSize)
+
+	// prepare is the one path onto the plan cache (Prep below and the
+	// startup pre-warm): fetch or build the statement, then arm its
+	// cardinality-feedback loop so sustained estimate drift re-plans it
+	// with observed selectivities.
+	fbStore := feedback.NewStore()
+	prepare := func(query string, hints logical.CardHints) (*prepcache.Statement, error) {
+		db, err := route(query)
+		if err != nil {
+			return nil, err
+		}
+		cat := logical.CatalogFor(db)
+		st, _, err := cache.GetOrPrepare(cat, query, func() (*logical.Plan, error) {
+			return logical.PrepareHints(db, query, hints)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !opt.NoFeedback {
+			st.EnableFeedback(fbStore, cat.Version, func(h logical.CardHints) (*logical.Plan, error) {
+				return logical.PrepareHints(db, query, h)
+			})
+		}
+		return st, nil
+	}
+
+	if opt.Prewarm != "" {
+		// Best-effort: a missing or torn log must not stop the server.
+		if tmpls, err := feedback.MineLog(opt.Prewarm, 0); err == nil {
+			for _, t := range tmpls {
+				if !sql.IsQuery(t.SQL) {
+					continue // registered query names are planless
+				}
+				prepare(t.SQL, t.Hints())
+			}
+		}
+	}
+
 	cfg := server.Config{
 		WorkerBudget:       opt.WorkerBudget,
 		MaxConcurrent:      opt.MaxConcurrent,
@@ -114,14 +166,11 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			if !sql.IsQuery(query) {
 				return nil, fmt.Errorf("paradigms: only ad-hoc SQL texts can be prepared (got query name %q)", query)
 			}
-			db, err := route(query)
+			st, err := prepare(query, nil)
 			if err != nil {
 				return nil, err
 			}
-			st, _, err := cache.GetOrPrepare(logical.CatalogFor(db), query, func() (*logical.Plan, error) {
-				return logical.Prepare(db, query)
-			})
-			return st, err
+			return st, nil
 		},
 		ExecPrep: func(ctx context.Context, engine string, stmt any, args []string, workers int) (any, string, error) {
 			st := stmt.(*prepcache.Statement)
