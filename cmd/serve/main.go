@@ -190,6 +190,7 @@ func main() {
 	qlog := flag.String("qlog", "", "append one NDJSON record per query to this file (structured query log)")
 	qlogMax := flag.Int64("qlogmax", 0, "query log rotation bound in bytes (0 = 64 MiB)")
 	prewarm := flag.String("prewarm", "", "mine this query log at startup and pre-prepare its heavy hitters with learned cardinality hints")
+	shards := flag.Int("shards", 0, "hash-partition each database into N in-process shards and run distributable ad-hoc SQL through scatter/gather exchanges (0 = single-process)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the front-end")
 	flag.Parse()
 
@@ -209,6 +210,10 @@ func main() {
 		SkipValidation:     true, // streamed results are covered by the equivalence suite
 		Metrics:            obs.NewMetrics(),
 		Prewarm:            *prewarm,
+		Shards:             *shards,
+	}
+	if *shards > 1 {
+		fmt.Fprintf(os.Stderr, "sharding ad-hoc SQL across %d in-process shards...\n", *shards)
 	}
 	if *prewarm != "" {
 		fmt.Fprintf(os.Stderr, "prewarming plan cache from %s...\n", *prewarm)

@@ -31,6 +31,7 @@ var extensionPackages = map[string]string{
 	"proto":     "extension", // network protocol of the serving front-end
 	"obs":       "extension", // execution telemetry: EXPLAIN ANALYZE, query log, metrics
 	"feedback":  "extension", // cardinality feedback: drift-triggered re-planning, prewarm mining
+	"exchange":  "extension", // sharded scatter/gather execution over catalog slices
 }
 
 // packageDoc returns the package doc comment of the Go package in dir.

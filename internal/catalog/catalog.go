@@ -126,6 +126,23 @@ var uniqueKeys = map[string]string{
 	"date":     "d_datekey",
 }
 
+// partitionKeys annotates the hash-partitioning column of every fact
+// table for the sharded executor (internal/exchange). lineitem and
+// orders co-partition on the order key, so their join never crosses a
+// shard boundary; lineorder joins only replicated dimensions, so any
+// high-cardinality column works and the customer key spreads evenly.
+// Relations absent here — the dimensions, and partsupp with its
+// composite key — are replicated to every shard.
+var partitionKeys = map[string]string{
+	"lineitem":  "l_orderkey",
+	"orders":    "o_orderkey",
+	"lineorder": "lo_custkey",
+}
+
+// PartitionKey returns the relation's hash-partition column name, or
+// "" for relations that are replicated in a sharded deployment.
+func PartitionKey(table string) string { return partitionKeys[table] }
+
 // numericScales overrides the default scale-2 annotation of Numeric
 // columns. SSB stores lo_discount as a raw percentage point (1..10), so
 // its SQL literals are whole numbers.

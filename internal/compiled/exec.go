@@ -88,7 +88,7 @@ func ExecuteStream(ctx context.Context, pl *logical.Plan, nWorkers, chunk int, s
 	st := logical.NewStreamer(sink, cancel)
 
 	if pl.Streamable() {
-		if _, err := executeInto(sctx, pl, nWorkers, st, chunk); err != nil {
+		if _, err := executeInto(sctx, pl, nWorkers, st, chunk, nil); err != nil {
 			return err
 		}
 		if err := st.Err(); err != nil {
@@ -136,14 +136,51 @@ func Execute(ctx context.Context, pl *logical.Plan, nWorkers int) (res *logical.
 	if len(pl.Params) > 0 {
 		return nil, fmt.Errorf("compiled: statement has %d unbound parameter(s); use ExecuteArgs", len(pl.Params))
 	}
-	return executeInto(ctx, pl, nWorkers, nil, 0)
+	return executeInto(ctx, pl, nWorkers, nil, 0, nil)
 }
 
-// executeInto is the shared body of Execute and ExecuteStream: with a
-// nil stream it materializes a Result; with a stream it flushes row
-// batches as they are produced and returns a nil Result (streaming
-// callers pass a Streamable plan).
-func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *logical.Streamer, chunk int) (res *logical.Result, err error) {
+// ExecutePartial runs the plan's fused pipelines but stops before
+// finalization, returning the shard-local partial state for
+// logical.(*Plan).MergePartials — the compiled backend's scatter side
+// of the exchange, with the same contract as the vectorized
+// ExecutePartial.
+func ExecutePartial(ctx context.Context, pl *logical.Plan, nWorkers int) (part *logical.Partial, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	if len(pl.Params) > 0 {
+		return nil, fmt.Errorf("compiled: statement has %d unbound parameter(s); use ExecutePartialArgs", len(pl.Params))
+	}
+	part = &logical.Partial{}
+	if _, err := executeInto(ctx, pl, nWorkers, nil, 0, part); err != nil {
+		return nil, err
+	}
+	return part, nil
+}
+
+// ExecutePartialArgs is ExecutePartial for parameterized plans (the
+// binding substitutes into a copy-on-write clone, like ExecuteArgs).
+func ExecutePartialArgs(ctx context.Context, pl *logical.Plan, nWorkers int, args []int64) (part *logical.Partial, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compiled: internal error executing query: %v", r)
+		}
+	}()
+	bound, err := pl.BindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return ExecutePartial(ctx, bound, nWorkers)
+}
+
+// executeInto is the shared body of Execute, ExecuteStream, and
+// ExecutePartial: with a nil stream it materializes a Result; with a
+// stream it flushes row batches as they are produced and returns a nil
+// Result (streaming callers pass a Streamable plan). With a non-nil
+// part it fills the shard-local partial state instead of finalizing.
+func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *logical.Streamer, chunk int, part *logical.Partial) (res *logical.Result, err error) {
 	pr, err := lower(pl)
 	if err != nil {
 		return nil, err
@@ -324,6 +361,24 @@ func executeInto(ctx context.Context, pl *logical.Plan, nWorkers int, stream *lo
 	if stream != nil {
 		for _, b := range streamBufs {
 			b.Flush()
+		}
+		return nil, nil
+	}
+
+	if part != nil {
+		// Partial mode: hand the pre-finalization state to the exchange
+		// merge instead of running the HAVING/sort/limit tail here.
+		switch {
+		case keyed:
+			for _, wr := range workerRows {
+				part.Groups = append(part.Groups, wr...)
+			}
+		case global:
+			part.Globals = partials
+		default:
+			for _, wr := range workerRows {
+				part.Rows = append(part.Rows, wr...)
+			}
 		}
 		return nil, nil
 	}

@@ -1,0 +1,83 @@
+package exchange
+
+import (
+	"fmt"
+
+	"paradigms/internal/catalog"
+	"paradigms/internal/hashtable"
+	"paradigms/internal/storage"
+)
+
+// PartitionKeys returns the hash-partition column per relation of the
+// database, from the catalog's schema annotations, keeping only keys
+// the materialized relations actually carry. Relations absent from the
+// result are replicated to every shard.
+func PartitionKeys(db *storage.Database) map[string]string {
+	keys := make(map[string]string)
+	for _, name := range db.Relations() {
+		if k := catalog.PartitionKey(name); k != "" && db.Rel(name).Has(k) {
+			keys[name] = k
+		}
+	}
+	return keys
+}
+
+// Partition hash-partitions the database into n slices: every relation
+// with a partition key is split row-wise by Mix64(key) mod n (the same
+// finalizer the join hash tables use, so co-partitioned tables land
+// together); every other relation is shared by pointer — replicated,
+// at zero memory cost in-process. n=1 returns the database itself, so
+// a one-shard cluster is bit-identical to single-process execution.
+func Partition(db *storage.Database, n int, keys map[string]string) ([]*storage.Database, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("exchange: shard count %d < 1", n)
+	}
+	if n == 1 {
+		return []*storage.Database{db}, nil
+	}
+	out := make([]*storage.Database, n)
+	for i := range out {
+		out[i] = storage.NewDatabase(db.Name, db.ScaleFactor)
+	}
+	for _, name := range db.Relations() {
+		rel := db.Rel(name)
+		key, ok := keys[name]
+		if !ok {
+			for i := range out {
+				out[i].Add(rel)
+			}
+			continue
+		}
+		c := rel.Column(key)
+		idx := make([][]int, n)
+		for i := 0; i < rel.Rows(); i++ {
+			w, err := keyWord(c, i)
+			if err != nil {
+				return nil, err
+			}
+			s := int(hashtable.Mix64(w) % uint64(n))
+			idx[s] = append(idx[s], i)
+		}
+		for i := range out {
+			out[i].Add(rel.Gather(idx[i]))
+		}
+	}
+	return out, nil
+}
+
+// keyWord is a partition-key value as the join machinery's key word
+// (32-bit values zero-extended), so partitioning and probing agree on
+// the hash of every key.
+func keyWord(c *storage.Column, i int) (uint64, error) {
+	switch c.Type {
+	case storage.Int32:
+		return uint64(uint32(c.I32[i])), nil
+	case storage.Date:
+		return uint64(uint32(c.Dat[i])), nil
+	case storage.Int64:
+		return uint64(c.I64[i]), nil
+	case storage.Numeric:
+		return uint64(c.Num[i]), nil
+	}
+	return 0, fmt.Errorf("exchange: column %s (%s) cannot be a partition key", c.Name, c.Type)
+}

@@ -11,6 +11,7 @@
 package feedback
 
 import (
+	"container/list"
 	"sync"
 
 	"paradigms/internal/obs"
@@ -30,8 +31,13 @@ const (
 // recent bindings dominate, but one outlier cannot flip a hint alone.
 const selAlpha = 0.3
 
-// maxKeys bounds the store; when full, the oldest statement's state is
-// evicted (statements still hot re-enter on their next execution).
+// maxKeys bounds the store; when full, the least recently used
+// statement's state is evicted (statements still hot re-enter on their
+// next execution). The key includes the catalog version, so a workload
+// that churns catalog versions would otherwise accumulate one dead
+// entry per (statement, version) forever — stale versions of a
+// statement are therefore also evicted eagerly when a newer version of
+// the same SQL first records.
 const maxKeys = 1024
 
 // Hints is a per-table observed-selectivity map implementing
@@ -60,7 +66,8 @@ type Key struct {
 type stmtState struct {
 	sel    map[string]float64 // per-table observed filter selectivity (EWMA)
 	runs   int
-	streak int // consecutive runs with drift >= DriftThreshold
+	streak int           // consecutive runs with drift >= DriftThreshold
+	elem   *list.Element // position in the store's recency list
 }
 
 // Store accumulates per-statement cardinality feedback. Safe for
@@ -68,12 +75,43 @@ type stmtState struct {
 type Store struct {
 	mu    sync.Mutex
 	stats map[Key]*stmtState
-	order []Key // insertion order, for eviction
+	lru   *list.List // Keys, most recently used at the front
 }
 
 // NewStore returns an empty feedback store.
 func NewStore() *Store {
-	return &Store{stats: make(map[Key]*stmtState)}
+	return &Store{stats: make(map[Key]*stmtState), lru: list.New()}
+}
+
+// Len returns the number of statements with recorded state.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stats)
+}
+
+// insert adds fresh state for k, first evicting stale versions of the
+// same statement (an older catalog version never executes again once a
+// newer one has been planned) and then, if still full, the least
+// recently used statement. Callers hold s.mu.
+func (s *Store) insert(k Key) *stmtState {
+	for e := s.lru.Back(); e != nil; {
+		prev := e.Prev()
+		if old := e.Value.(Key); old.SQL == k.SQL && old.Catalog < k.Catalog {
+			s.lru.Remove(e)
+			delete(s.stats, old)
+		}
+		e = prev
+	}
+	for len(s.stats) >= maxKeys {
+		e := s.lru.Back()
+		s.lru.Remove(e)
+		delete(s.stats, e.Value.(Key))
+	}
+	st := &stmtState{sel: make(map[string]float64)}
+	st.elem = s.lru.PushFront(k)
+	s.stats[k] = st
+	return st
 }
 
 // Record folds one execution's per-pipeline telemetry into the
@@ -89,13 +127,9 @@ func (s *Store) Record(k Key, pipes []obs.PipeStat) bool {
 	defer s.mu.Unlock()
 	st := s.stats[k]
 	if st == nil {
-		st = &stmtState{sel: make(map[string]float64)}
-		if len(s.order) >= maxKeys {
-			delete(s.stats, s.order[0])
-			s.order = s.order[1:]
-		}
-		s.stats[k] = st
-		s.order = append(s.order, k)
+		st = s.insert(k)
+	} else {
+		s.lru.MoveToFront(st.elem)
 	}
 	observeSel(st.sel, pipes)
 	st.runs++
@@ -120,6 +154,7 @@ func (s *Store) Hints(k Key) Hints {
 	if st == nil || len(st.sel) == 0 {
 		return nil
 	}
+	s.lru.MoveToFront(st.elem) // a consulted statement is a live one
 	h := make(Hints, len(st.sel))
 	for t, v := range st.sel {
 		h[t] = v

@@ -1,6 +1,7 @@
 package feedback
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -89,6 +90,71 @@ func TestHintsAttribution(t *testing.T) {
 	var none Hints
 	if _, ok := none.ScanSelectivity("supplier"); ok {
 		t.Fatal("nil Hints claimed a selectivity")
+	}
+}
+
+// TestStoreBoundedUnderCatalogChurn: a workload that re-registers its
+// catalog (bumping the version in every key) must not grow the store
+// without bound — each statement keeps exactly one live entry, because
+// inserting a newer catalog version evicts the stale ones eagerly.
+func TestStoreBoundedUnderCatalogChurn(t *testing.T) {
+	s := NewStore()
+	pipes := driftPipes(120)
+	const stmts = 16
+	for version := uint64(1); version <= 500; version++ {
+		for q := 0; q < stmts; q++ {
+			k := Key{SQL: string(rune('a' + q)), Catalog: version, Shape: "s"}
+			s.Record(k, pipes)
+		}
+		if got := s.Len(); got > stmts {
+			t.Fatalf("store grew to %d entries at version %d, want <= %d (stale versions evicted)", got, version, stmts)
+		}
+	}
+	if got := s.Len(); got != stmts {
+		t.Fatalf("store holds %d entries after churn, want %d", got, stmts)
+	}
+	// The surviving state is the newest version's, fresh (not carried
+	// over from evicted versions).
+	k := Key{SQL: "a", Catalog: 500, Shape: "s"}
+	if runs := s.Runs(k); runs != 1 {
+		t.Fatalf("newest-version entry has %d runs, want 1", runs)
+	}
+	if runs := s.Runs(Key{SQL: "a", Catalog: 499, Shape: "s"}); runs != 0 {
+		t.Fatalf("stale-version entry still has state (%d runs)", runs)
+	}
+}
+
+// TestStoreLRUEviction: with distinct statements beyond the cap, the
+// least recently used entry is evicted — and touching an entry (via
+// Record or Hints) protects it.
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore()
+	pipes := driftPipes(120)
+	key := func(i int) Key { return Key{SQL: fmt.Sprintf("q%d", i), Shape: "s"} }
+	for i := 0; i < maxKeys; i++ {
+		s.Record(key(i), pipes)
+	}
+	if got := s.Len(); got != maxKeys {
+		t.Fatalf("store holds %d entries, want %d", got, maxKeys)
+	}
+	// Touch the two oldest: q0 by recording, q1 by consulting hints.
+	s.Record(key(0), pipes)
+	if s.Hints(key(1)) == nil {
+		t.Fatal("q1 lost its hints while the store was merely full")
+	}
+	// Two inserts now evict the least recently used entries: q2 and q3.
+	s.Record(key(maxKeys), pipes)
+	s.Record(key(maxKeys+1), pipes)
+	if got := s.Len(); got != maxKeys {
+		t.Fatalf("store holds %d entries after overflow, want %d", got, maxKeys)
+	}
+	for _, want := range []struct {
+		i     int
+		alive bool
+	}{{0, true}, {1, true}, {2, false}, {3, false}, {4, true}, {maxKeys, true}, {maxKeys + 1, true}} {
+		if got := s.Runs(key(want.i)) > 0; got != want.alive {
+			t.Errorf("q%d alive = %v, want %v", want.i, got, want.alive)
+		}
 	}
 }
 

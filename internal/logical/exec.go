@@ -25,15 +25,17 @@ func (pl *Plan) Execute(ctx context.Context, workers, vecSize int) (*Result, err
 	if len(pl.Params) > 0 {
 		return nil, fmt.Errorf("logical: statement has %d unbound parameter(s); use ExecuteArgs", len(pl.Params))
 	}
-	return pl.executeInto(ctx, workers, vecSize, nil, 0)
+	return pl.executeInto(ctx, workers, vecSize, nil, 0, nil)
 }
 
-// executeInto is the shared body of Execute and ExecuteStream: with a
-// nil stream it materializes a Result; with a stream it flushes row
-// batches as they are produced — projection rows per morsel from each
-// worker's sink, grouped rows per merged spill partition — and returns
-// a nil Result. Streaming callers must pass a Streamable plan.
-func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *Streamer, chunk int) (*Result, error) {
+// executeInto is the shared body of Execute, ExecuteStream, and
+// ExecutePartial: with a nil stream it materializes a Result; with a
+// stream it flushes row batches as they are produced — projection rows
+// per morsel from each worker's sink, grouped rows per merged spill
+// partition — and returns a nil Result (streaming callers must pass a
+// Streamable plan). With a non-nil part it fills the shard-local
+// partial state instead of finalizing.
+func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *Streamer, chunk int, part *Partial) (*Result, error) {
 	prog, err := lower(pl)
 	if err != nil {
 		return nil, err
@@ -175,6 +177,24 @@ func (pl *Plan) executeInto(ctx context.Context, workers, vecSize int, stream *S
 	if stream != nil {
 		for _, b := range streamBufs {
 			b.Flush()
+		}
+		return nil, nil
+	}
+
+	if part != nil {
+		// Partial mode: hand the pre-finalization state to the exchange
+		// merge instead of running the HAVING/sort/limit tail here.
+		switch {
+		case keyed:
+			for _, wr := range workerRows {
+				part.Groups = append(part.Groups, wr...)
+			}
+		case global:
+			part.Globals = partials
+		default:
+			for _, wr := range workerRows {
+				part.Rows = append(part.Rows, wr...)
+			}
 		}
 		return nil, nil
 	}

@@ -145,7 +145,7 @@ func (pl *Plan) ExecuteStream(ctx context.Context, workers, vecSize, chunk int, 
 	st := NewStreamer(sink, cancel)
 
 	if pl.Streamable() {
-		if _, err := pl.executeInto(sctx, workers, vecSize, st, chunk); err != nil {
+		if _, err := pl.executeInto(sctx, workers, vecSize, st, chunk, nil); err != nil {
 			return err
 		}
 		return firstErr(st.Err(), ctx.Err())

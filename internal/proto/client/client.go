@@ -98,9 +98,16 @@ func decodeError(resp *http.Response) error {
 		return &ServerError{Status: resp.StatusCode, Code: "unknown", Msg: err.Error()}
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
+		// Old servers could drop a sub-millisecond estimate from the
+		// body entirely (omitempty); a zero backoff would turn retry
+		// loops into busy-waiting. Floor it client-side too.
+		ra := time.Duration(body.RetryAfterMs) * time.Millisecond
+		if ra < time.Millisecond {
+			ra = time.Millisecond
+		}
 		return &RetryError{
 			Tenant: body.Tenant, Queued: body.Queued,
-			RetryAfter: time.Duration(body.RetryAfterMs) * time.Millisecond,
+			RetryAfter: ra,
 			Msg:        body.Error,
 		}
 	}

@@ -1,0 +1,46 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRetryErrorFloorsBackoff: a 429 whose body lacks (or zeroes) the
+// millisecond estimate — a legacy server with a sub-millisecond
+// suggestion — must still decode to a positive RetryAfter, so retry
+// loops sleeping on it cannot busy-wait.
+func TestRetryErrorFloorsBackoff(t *testing.T) {
+	bodies := map[string]string{
+		"omitted": `{"error":"queue full","code":"overloaded","tenant":"t","queued":2}`,
+		"zero":    `{"error":"queue full","code":"overloaded","tenant":"t","queued":2,"retry_after_ms":0}`,
+		"normal":  `{"error":"queue full","code":"overloaded","tenant":"t","queued":2,"retry_after_ms":40}`,
+	}
+	wants := map[string]time.Duration{
+		"omitted": time.Millisecond,
+		"zero":    time.Millisecond,
+		"normal":  40 * time.Millisecond,
+	}
+	for name, body := range bodies {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(body + "\n"))
+			}))
+			defer ts.Close()
+			c := New(ts.URL, "t")
+			_, err := c.Query(context.Background(), "typer", "select 1")
+			var re *RetryError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RetryError", err)
+			}
+			if re.RetryAfter != wants[name] {
+				t.Errorf("RetryAfter = %v, want %v", re.RetryAfter, wants[name])
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package proto
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"paradigms/internal/server"
+)
+
+// TestRetryAfterSubMillisecondFloor pins the 429 wire shape for a
+// sub-millisecond backoff estimate. Without the floor, a 300µs
+// suggestion truncates to retry_after_ms:0 — omitempty then drops the
+// field from the body AND the Retry-After header guard skips the
+// header, so the client sees no backoff at all. The floor guarantees
+// every overload rejection carries a positive, actionable estimate.
+func TestRetryAfterSubMillisecondFloor(t *testing.T) {
+	cases := []struct {
+		name    string
+		backoff time.Duration
+		wantMs  int64
+	}{
+		{"sub-millisecond", 300 * time.Microsecond, 1},
+		{"zero", 0, 1},
+		{"exact", 250 * time.Millisecond, 250},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ov := &server.OverloadError{Tenant: "hog", Queued: 3, RetryAfter: tc.backoff}
+			status, body := submitError("hog", ov)
+			if status != http.StatusTooManyRequests {
+				t.Fatalf("status %d, want 429", status)
+			}
+			if body.RetryAfterMs != tc.wantMs {
+				t.Fatalf("retry_after_ms = %d, want %d", body.RetryAfterMs, tc.wantMs)
+			}
+			rec := httptest.NewRecorder()
+			httpError(rec, status, body)
+			if ra := rec.Header().Get("Retry-After"); ra == "" {
+				t.Fatal("429 without Retry-After header")
+			}
+		})
+	}
+
+	// Golden wire bytes for the sub-millisecond rejection: the body
+	// carries retry_after_ms:1 and the header rounds up to one second.
+	ov := &server.OverloadError{Tenant: "hog", Queued: 3, RetryAfter: 300 * time.Microsecond}
+	status, body := submitError("hog", ov)
+	rec := httptest.NewRecorder()
+	httpError(rec, status, body)
+	const want = `{"error":"server: tenant \"hog\" admission queue full (3 queued, retry after 300µs)","code":"overloaded","tenant":"hog","queued":3,"retry_after_ms":1}` + "\n"
+	if got := rec.Body.String(); got != want {
+		t.Errorf("wire bytes diverge:\ngot:  %q\nwant: %q", got, want)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After header = %q, want \"1\"", got)
+	}
+}

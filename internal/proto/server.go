@@ -161,10 +161,18 @@ func submitError(tenant string, err error) (int, ErrorBody) {
 	var ov *server.OverloadError
 	switch {
 	case errors.As(err, &ov):
+		// A sub-millisecond backoff truncates to 0 ms, which omitempty
+		// drops from the body and the header guard in httpError skips —
+		// the client would see a 429 with no backoff at all and retry
+		// immediately. Floor the wire estimate at 1 ms.
+		ms := ov.RetryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
 		return http.StatusTooManyRequests, ErrorBody{
 			Error: err.Error(), Code: CodeOverloaded,
 			Tenant: ov.Tenant, Queued: ov.Queued,
-			RetryAfterMs: ov.RetryAfter.Milliseconds(),
+			RetryAfterMs: ms,
 		}
 	case errors.Is(err, server.ErrClosed):
 		return http.StatusServiceUnavailable, ErrorBody{Error: err.Error(), Code: CodeClosed, Tenant: tenant}

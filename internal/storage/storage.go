@@ -240,6 +240,60 @@ func (r *Relation) typed(name string, t ColType) *Column {
 	return c
 }
 
+// Gather materializes the subset of rows at the given indices as a new
+// relation with the same name, column order, and column types — the
+// storage primitive behind hash-partitioning a table across shards.
+// Values are copied (strings into a fresh heap), so the gathered
+// relation shares no backing arrays with the source.
+func (r *Relation) Gather(idx []int) *Relation {
+	out := NewRelation(r.Name)
+	for _, c := range r.columns {
+		switch c.Type {
+		case Int32:
+			v := make([]int32, len(idx))
+			for j, i := range idx {
+				v[j] = c.I32[i]
+			}
+			out.AddInt32(c.Name, v)
+		case Int64:
+			v := make([]int64, len(idx))
+			for j, i := range idx {
+				v[j] = c.I64[i]
+			}
+			out.AddInt64(c.Name, v)
+		case Numeric:
+			v := make([]types.Numeric, len(idx))
+			for j, i := range idx {
+				v[j] = c.Num[i]
+			}
+			out.AddNumeric(c.Name, v)
+		case Date:
+			v := make([]types.Date, len(idx))
+			for j, i := range idx {
+				v[j] = c.Dat[i]
+			}
+			out.AddDate(c.Name, v)
+		case Byte:
+			v := make([]byte, len(idx))
+			for j, i := range idx {
+				v[j] = c.B[i]
+			}
+			out.AddByte(c.Name, v)
+		case String:
+			avg := 0
+			if n := c.Str.Len(); n > 0 {
+				avg = len(c.Str.Bytes)/n + 1
+			}
+			h := NewStringHeap(len(idx), avg)
+			for _, i := range idx {
+				h.Append(c.Str.Get(i))
+			}
+			out.AddString(c.Name, h)
+		}
+	}
+	return out
+}
+
 // ByteSize returns the approximate in-memory footprint of the relation's
 // column data in bytes (used by the out-of-memory experiment and the
 // bandwidth accounting in benches).

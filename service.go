@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"paradigms/internal/compiled"
+	"paradigms/internal/exchange"
 	"paradigms/internal/feedback"
 	"paradigms/internal/hybrid"
 	"paradigms/internal/logical"
@@ -73,6 +74,15 @@ type ServiceOptions struct {
 	// observed per-pipeline cardinalities and re-plans itself when they
 	// drift a sustained 4x from the optimizer's estimates.
 	NoFeedback bool
+	// Shards, when > 1, hash-partitions each loaded database into that
+	// many in-process shards (internal/exchange) and routes
+	// distributable ad-hoc SQL on the typer and tectorwise engines
+	// through scatter/gather exchanges — one SQL text fans out across
+	// the shards and the partial aggregates merge on the coordinator.
+	// Plans the distribute rewrite rejects, registered query names,
+	// prepared statements, streaming submissions, and the hybrid
+	// engine keep running single-process on the full data.
+	Shards int
 }
 
 // NewService builds a concurrent query service over the given databases.
@@ -94,6 +104,21 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			return nil, fmt.Errorf("paradigms: no database loaded for query %q", query)
 		}
 		return db, nil
+	}
+
+	// Sharded execution: each loaded database gets its own cluster of
+	// catalog slices; the Exec hook below fans distributable ad-hoc SQL
+	// out through it.
+	clusters := make(map[*DB]*exchange.Cluster)
+	if opt.Shards > 1 {
+		for _, db := range []*DB{tpchDB, ssbDB} {
+			if db == nil {
+				continue
+			}
+			if cl, err := exchange.New(db, opt.Shards); err == nil {
+				clusters[db] = cl
+			}
+		}
 	}
 
 	cache := prepcache.New(opt.PlanCacheSize)
@@ -150,6 +175,13 @@ func NewService(tpchDB, ssbDB *DB, opt ServiceOptions) *server.Service {
 			db, err := route(query)
 			if err != nil {
 				return nil, err
+			}
+			if cl := clusters[db]; cl != nil && sql.IsQuery(query) &&
+				(engine == string(Typer) || engine == string(Tectorwise)) {
+				return cl.Run(ctx, exchange.Request{
+					SQL: query, Engine: engine,
+					Workers: workers, VecSize: opt.VectorSize,
+				})
 			}
 			return RunContext(ctx, db, Engine(engine), query,
 				Options{Workers: workers, VectorSize: opt.VectorSize})

@@ -1,0 +1,225 @@
+package paradigms
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"paradigms/internal/compiled"
+	"paradigms/internal/exchange"
+	"paradigms/internal/logical"
+	"paradigms/internal/sqlcheck"
+	"paradigms/internal/storage"
+)
+
+// The sharded differential harness: the same generated corpus the
+// single-process engines are proven on, executed through the exchange
+// path — hash-partitioned shards, per-shard partial execution on both
+// backends, coordinator gather/merge — against the naive oracle.
+
+type clusterKey struct {
+	db *storage.Database
+	n  int
+}
+
+var (
+	clusterMu  sync.Mutex
+	clusterMap = map[clusterKey]*exchange.Cluster{}
+)
+
+// clusterFor builds (once per database × shard count) the shared
+// cluster the sharded tests run against — partitioning the corpus
+// databases is the expensive step, the queries are cheap.
+func clusterFor(t testing.TB, db *storage.Database, n int) *exchange.Cluster {
+	t.Helper()
+	clusterMu.Lock()
+	defer clusterMu.Unlock()
+	k := clusterKey{db, n}
+	if cl, ok := clusterMap[k]; ok {
+		return cl
+	}
+	cl, err := exchange.New(db, n)
+	if err != nil {
+		t.Fatalf("exchange.New(n=%d): %v", n, err)
+	}
+	clusterMap[k] = cl
+	return cl
+}
+
+// checkSharded runs one SQL text through an n-shard cluster on both
+// backends and fails on any mismatch with the oracle.
+func checkSharded(t *testing.T, db *storage.Database, text string, n int) {
+	t.Helper()
+	ctx := context.Background()
+	want, err := sqlcheck.Oracle(db, text)
+	if err != nil {
+		t.Fatalf("oracle failed for %q: %v", text, err)
+	}
+	wantC := sqlcheck.Canon(want)
+	cl := clusterFor(t, db, n)
+	for _, engine := range []string{exchange.EngineTyper, exchange.EngineTectorwise} {
+		res, err := cl.Run(ctx, exchange.Request{SQL: text, Engine: engine, Workers: 4, VecSize: 1000})
+		if err != nil {
+			t.Fatalf("sharded %s n=%d failed for %q: %v", engine, n, text, err)
+		}
+		if !sqlcheck.SameRows(sqlcheck.Canon(res.Rows), wantC) {
+			t.Errorf("sharded %s n=%d differs from oracle for %q\n got %v\nwant %v",
+				engine, n, text, clip(res.Rows), clip(want))
+		}
+	}
+}
+
+// TestSQLShardedDifferentialCorpus is the acceptance bar of the
+// sharded path: the full 200-query corpus (alternating TPC-H and SSB
+// schemas), each query fanned out over 2 shards on both backends and
+// compared with the oracle — zero mismatches.
+func TestSQLShardedDifferentialCorpus(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	for seed := int64(0); seed < 200; seed++ {
+		db := tpchDB
+		if seed%2 == 1 {
+			db = ssbDB
+		}
+		text := sqlcheck.Generate(rand.New(rand.NewSource(seed)), db)
+		checkSharded(t, db, text, 2)
+	}
+}
+
+// TestShardedGridSmoke is the CI shard-count grid: a corpus slice
+// through N ∈ {1, 2, 8} shards, so degenerate (one shard) and sparse
+// (more shards than some key ranges) fan-outs stay covered.
+func TestShardedGridSmoke(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	for _, n := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 25; seed++ {
+			db := tpchDB
+			if seed%2 == 1 {
+				db = ssbDB
+			}
+			text := sqlcheck.Generate(rand.New(rand.NewSource(seed)), db)
+			checkSharded(t, db, text, n)
+		}
+	}
+}
+
+// TestServiceSharded: the service option wires the exchange in — a
+// service built with Shards > 1 answers distributable ad-hoc SQL on
+// both engines through the sharded path, transparently: same results
+// as the oracle, and registered query names plus non-distributable
+// texts keep working through the single-process path.
+func TestServiceSharded(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	svc := NewService(tpchDB, ssbDB, ServiceOptions{Shards: 3})
+	defer svc.Close()
+	ctx := context.Background()
+
+	cases := []struct {
+		db   *storage.Database
+		text string
+	}{
+		// Scatters: co-partitioned fact join with grouped aggregation.
+		{tpchDB, "select o_orderkey, sum(l_extendedprice), count(*) from lineitem, orders where l_orderkey = o_orderkey group by o_orderkey order by o_orderkey limit 7"},
+		// Routes to the SSB database; lo_custkey-partitioned scan.
+		{ssbDB, "select sum(lo_revenue) from lineorder where lo_discount between 1 and 3"},
+		// Replicated-only: pins to one shard.
+		{tpchDB, "select count(*) from nation"},
+	}
+	for _, tc := range cases {
+		db, text := tc.db, tc.text
+		want, err := sqlcheck.Oracle(db, text)
+		if err != nil {
+			t.Fatalf("oracle for %q: %v", text, err)
+		}
+		for _, engine := range []Engine{Typer, Tectorwise} {
+			res, err := svc.Do(ctx, string(engine), text)
+			if err != nil {
+				t.Fatalf("%s %q: %v", engine, text, err)
+			}
+			rows := res.(*logical.Result).Rows
+			if !sqlcheck.SameRows(sqlcheck.Canon(rows), sqlcheck.Canon(want)) {
+				t.Errorf("%s sharded service differs for %q\n got %v\nwant %v", engine, text, clip(rows), clip(want))
+			}
+		}
+	}
+
+	// Registered query names bypass the exchange and still serve.
+	if _, err := svc.Do(ctx, string(Typer), "Q6"); err != nil {
+		t.Fatalf("registered query through sharded service: %v", err)
+	}
+}
+
+// TestShardedOneShardBitIdentical: an N=1 cluster shares the base
+// database with its single shard and merges one partial, so its result
+// must match single-process execution bit-identically — row order
+// included — on both backends. Single-worker execution keeps the
+// concatenation order deterministic on both sides.
+func TestShardedOneShardBitIdentical(t *testing.T) {
+	tpchDB, ssbDB := sqlDBs()
+	ctx := context.Background()
+	for seed := int64(0); seed < 40; seed++ {
+		db := tpchDB
+		if seed%2 == 1 {
+			db = ssbDB
+		}
+		text := sqlcheck.Generate(rand.New(rand.NewSource(seed)), db)
+		cl := clusterFor(t, db, 1)
+
+		want, err := compiled.Run(ctx, db, text, 1)
+		if err != nil {
+			t.Fatalf("compiled failed for %q: %v", text, err)
+		}
+		got, err := cl.Run(ctx, exchange.Request{SQL: text, Engine: exchange.EngineTyper, Workers: 1})
+		if err != nil {
+			t.Fatalf("sharded typer failed for %q: %v", text, err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("typer n=1 not bit-identical for %q\n got %v\nwant %v", text, clip(got.Rows), clip(want.Rows))
+		}
+
+		lwant, err := logical.Run(ctx, db, text, 1, 1000)
+		if err != nil {
+			t.Fatalf("vectorized failed for %q: %v", text, err)
+		}
+		lgot, err := cl.Run(ctx, exchange.Request{SQL: text, Engine: exchange.EngineTectorwise, Workers: 1, VecSize: 1000})
+		if err != nil {
+			t.Fatalf("sharded tectorwise failed for %q: %v", text, err)
+		}
+		if !reflect.DeepEqual(lgot.Rows, lwant.Rows) {
+			t.Errorf("tectorwise n=1 not bit-identical for %q\n got %v\nwant %v", text, clip(lgot.Rows), clip(lwant.Rows))
+		}
+	}
+}
+
+// BenchmarkShardedVsSingle measures the exchange overhead and scaling
+// of the sharded path against plain single-process execution on a
+// grouped fact-table join — the shape the distribute rewrite scatters.
+// In-process, sharding splits the same worker budget across shards, so
+// this is an overhead/scaling probe, not a speedup claim.
+func BenchmarkShardedVsSingle(b *testing.B) {
+	tpchDB, _ := sqlDBs()
+	const text = "select o_orderkey, sum(l_extendedprice), count(*) from lineitem, orders where l_orderkey = o_orderkey group by o_orderkey"
+	ctx := context.Background()
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := compiled.Run(ctx, tpchDB, text, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{2, 4} {
+		cl, err := exchange.New(tpchDB, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Run(ctx, exchange.Request{SQL: text, Engine: exchange.EngineTyper}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
